@@ -1,0 +1,150 @@
+(* Benchmark & reproduction harness.
+
+   Two jobs:
+
+   1. {b Figure regeneration} — every data figure of the paper (2, 3, 4,
+      5, 7, 8, the appendix 9-12) plus the [tcp] extension is regenerated
+      through [Po_experiments.Registry], printed as tables + ASCII plots,
+      and written as CSV under [results/].  The claim audits (Theorems 4,
+      5, 6, Lemma 4, the regime ordering, the AIMD-vs-max-min match) run
+      afterwards.
+
+   2. {b Micro-benchmarks} — Bechamel timings of the load-bearing kernels
+      (rate-equilibrium solve, CP-game solve cold/warm, duopoly migration
+      equilibrium, oligopoly equal-surplus solve, packet simulation,
+      ensemble generation), one [Test.make] per kernel.
+
+   Usage: dune exec bench/main.exe [-- --quick | --figures-only |
+   --bench-only] *)
+
+open Bechamel
+
+let results_dir = "results"
+
+(* ------------------------------------------------------------------ *)
+(* Figure regeneration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_figures ~params () =
+  List.iter
+    (fun (entry : Po_experiments.Registry.entry) ->
+      let t0 = Unix.gettimeofday () in
+      let figure = entry.Po_experiments.Registry.generate ~params () in
+      let dt = Unix.gettimeofday () -. t0 in
+      print_string (Po_experiments.Common.render ~plots:true figure);
+      let written = Po_experiments.Common.csv_files ~dir:results_dir figure in
+      Printf.printf "[%s] regenerated in %.1f s; CSV: %s\n\n"
+        entry.Po_experiments.Registry.id dt
+        (String.concat ", " written))
+    Po_experiments.Registry.entries
+
+let run_claims ~params () =
+  let checks = Po_experiments.Claims.all ~params () in
+  print_string (Po_experiments.Claims.render checks);
+  List.for_all (fun c -> c.Po_experiments.Claims.passed) checks
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kernels () =
+  let open Po_core in
+  let cps1000 = Po_workload.Ensemble.paper_ensemble ~n:1000 ~seed:42 () in
+  let cps100 = Po_workload.Ensemble.paper_ensemble ~n:100 ~seed:42 () in
+  let strategy = Strategy.make ~kappa:0.5 ~c:0.3 in
+  let warm = (Cp_game.solve ~nu:120. ~strategy cps1000).Cp_game.partition in
+  let duo_cfg =
+    Duopoly.config ~nu:25. ~strategy_i:(Strategy.make ~kappa:1. ~c:0.3) ()
+  in
+  let olig_cfg =
+    Oligopoly.homogeneous ~gammas:[| 0.6; 0.4 |] ~nu:25. ~n:2 ~strategy ()
+  in
+  let sim_specs =
+    [| { Po_netsim.Sim.flows = 6; rate_cap = 800.; rtt = 0.04; demand = None };
+       { Po_netsim.Sim.flows = 4; rate_cap = 2400.; rtt = 0.04;
+         demand = None } |]
+  in
+  let sim_cfg =
+    { (Po_netsim.Sim.default_config ~capacity:4000. ~specs:sim_specs) with
+      warmup = 0.5; measure = 1. }
+  in
+  [ Test.make ~name:"equilibrium_solve_1000cp"
+      (Staged.stage (fun () ->
+           ignore (Po_model.Equilibrium.solve ~nu:120. cps1000)));
+    Test.make ~name:"cp_game_solve_cold_1000cp"
+      (Staged.stage (fun () ->
+           ignore (Cp_game.solve ~nu:120. ~strategy cps1000)));
+    Test.make ~name:"cp_game_solve_warm_1000cp"
+      (Staged.stage (fun () ->
+           ignore (Cp_game.solve ~init:warm ~nu:120. ~strategy cps1000)));
+    Test.make ~name:"duopoly_solve_100cp"
+      (Staged.stage (fun () -> ignore (Duopoly.solve duo_cfg cps100)));
+    Test.make ~name:"oligopoly_solve_100cp"
+      (Staged.stage (fun () ->
+           ignore (Oligopoly.solve ~curve_points:60 olig_cfg cps100)));
+    Test.make ~name:"netsim_run_1.5s_horizon"
+      (Staged.stage (fun () -> ignore (Po_netsim.Sim.run sim_cfg)));
+    Test.make ~name:"ensemble_generate_1000cp"
+      (Staged.stage (fun () ->
+           ignore (Po_workload.Ensemble.paper_ensemble ~n:1000 ~seed:7 ()))) ]
+
+let run_microbenchmarks () =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"kernels" (kernels ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols instance raw in
+  print_endline "== Micro-benchmarks (monotonic clock, OLS ns/run) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let ns =
+        match Analyze.OLS.estimates result with
+        | Some (t :: _) -> t
+        | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    analyzed;
+  let rows = List.sort compare !rows in
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "  %-40s %12.0f ns/run  (%.3f ms)\n" name ns (ns /. 1e6))
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let figures_only = Array.exists (( = ) "--figures-only") Sys.argv in
+  let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in
+  (* The full paper scale (n = 1000, 33-point sweeps) takes several
+     minutes end to end; the default here trades sweep resolution for a
+     bench that completes in about a minute while preserving every
+     qualitative shape.  Use the ponet CLI for full-resolution runs. *)
+  let params =
+    if quick then Po_experiments.Common.quick_params
+    else { Po_experiments.Common.n_cps = 400; seed = 42; sweep_points = 17 }
+  in
+  let ok = ref true in
+  if not bench_only then begin
+    Printf.printf
+      "Reproduction harness: %d CPs, %d-point sweeps (%s)\n\n"
+      params.Po_experiments.Common.n_cps
+      params.Po_experiments.Common.sweep_points
+      (if quick then "quick" else "standard");
+    regenerate_figures ~params ();
+    ok := run_claims ~params ()
+  end;
+  if not figures_only then run_microbenchmarks ();
+  if not !ok then begin
+    prerr_endline "claim audits FAILED";
+    exit 1
+  end

@@ -1,0 +1,226 @@
+(* ponet: command-line driver for the public-option reproduction.
+
+   Subcommands:
+     ponet list                     enumerate reproducible experiments
+     ponet fig <id> [...]           regenerate a figure (table/plot/CSV)
+     ponet claims                   run the theorem audits
+     ponet regimes [...]            compare regulatory regimes
+     ponet simulate [...]           run the AIMD bottleneck simulation *)
+
+open Cmdliner
+
+let params_term =
+  let n_cps =
+    Arg.(
+      value
+      & opt int Po_experiments.Common.default_params.Po_experiments.Common.n_cps
+      & info [ "n"; "cps" ] ~docv:"N" ~doc:"Ensemble size (number of CPs).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let points =
+    Arg.(
+      value & opt int 33
+      & info [ "points" ] ~docv:"P" ~doc:"Sweep resolution (points per axis).")
+  in
+  let make n_cps seed sweep_points =
+    { Po_experiments.Common.n_cps; seed; sweep_points }
+  in
+  Term.(const make $ n_cps $ seed $ points)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Po_experiments.Registry.entry) ->
+        Printf.printf "%-6s %s\n" e.Po_experiments.Registry.id
+          e.Po_experiments.Registry.description)
+      Po_experiments.Registry.entries
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List reproducible experiments")
+    Term.(const run $ const ())
+
+let fig_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Figure id (see 'ponet list').")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSV files under $(docv).")
+  in
+  let no_plots =
+    Arg.(value & flag & info [ "no-plots" ] ~doc:"Skip the ASCII plots.")
+  in
+  let run id params csv_dir no_plots =
+    match Po_experiments.Registry.find id with
+    | None ->
+        Printf.eprintf "unknown figure id %S; try 'ponet list'\n" id;
+        exit 1
+    | Some entry ->
+        let figure = entry.Po_experiments.Registry.generate ~params () in
+        print_string (Po_experiments.Common.render ~plots:(not no_plots) figure);
+        (match csv_dir with
+        | None -> ()
+        | Some dir ->
+            let written = Po_experiments.Common.csv_files ~dir figure in
+            List.iter (Printf.printf "wrote %s\n") written)
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate one of the paper's figures")
+    Term.(const run $ id $ params_term $ csv_dir $ no_plots)
+
+let claims_cmd =
+  let run params =
+    let checks = Po_experiments.Claims.all ~params () in
+    print_string (Po_experiments.Claims.render checks);
+    if List.exists (fun c -> not c.Po_experiments.Claims.passed) checks then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "claims" ~doc:"Audit the paper's theorems numerically")
+    Term.(const run $ params_term)
+
+let regimes_cmd =
+  let nu_frac =
+    Arg.(
+      value & opt float 0.85
+      & info [ "capacity" ] ~docv:"FRAC"
+          ~doc:"Per-capita capacity as a fraction of saturation.")
+  in
+  let po_share =
+    Arg.(
+      value & opt float 0.5
+      & info [ "po-share" ] ~docv:"S"
+          ~doc:"Capacity share carved out for the Public Option ISP.")
+  in
+  let run params nu_frac po_share =
+    let cps = Po_experiments.Common.ensemble params in
+    let nu = nu_frac *. Po_workload.Ensemble.saturation_nu cps in
+    Printf.printf "%d CPs, nu = %.2f (%.0f%% of saturation)\n"
+      (Array.length cps) nu (100. *. nu_frac);
+    List.iter
+      (fun (r : Po_core.Public_option.regime_result) ->
+        Printf.printf "  %-34s Phi = %10.4f  Psi = %10.4f%s%s\n"
+          r.Po_core.Public_option.label r.Po_core.Public_option.phi
+          r.Po_core.Public_option.psi
+          (match r.Po_core.Public_option.commercial_strategy with
+          | Some s -> "  strategy " ^ Po_core.Strategy.to_string s
+          | None -> "")
+          (match r.Po_core.Public_option.market_share with
+          | Some m -> Printf.sprintf "  m_I=%.4f" m
+          | None -> ""))
+      (Po_core.Public_option.compare_regimes ~po_share ~levels:2 ~points:9
+         ~nu cps)
+  in
+  Cmd.v
+    (Cmd.info "regimes" ~doc:"Compare regulatory regimes on one market")
+    Term.(const run $ params_term $ nu_frac $ po_share)
+
+let welfare_cmd =
+  let nu_frac =
+    Arg.(
+      value & opt float 0.85
+      & info [ "capacity" ] ~docv:"FRAC"
+          ~doc:"Per-capita capacity as a fraction of saturation.")
+  in
+  let run params nu_frac =
+    let cps = Po_experiments.Common.ensemble params in
+    let nu = nu_frac *. Po_workload.Ensemble.saturation_nu cps in
+    Printf.printf "%d CPs, nu = %.2f (%.0f%% of saturation)\n"
+      (Array.length cps) nu (100. *. nu_frac);
+    Printf.printf "%-34s %12s %12s %12s %12s\n" "regime" "consumer" "isp"
+      "cp" "total";
+    List.iter
+      (fun (label, w) ->
+        Printf.printf "%-34s %12.4f %12.4f %12.4f %12.4f\n" label
+          w.Po_core.Welfare.consumer w.Po_core.Welfare.isp
+          w.Po_core.Welfare.cp w.Po_core.Welfare.total)
+      (Po_core.Welfare.regime_table ~levels:2 ~points:7 ~nu cps)
+  in
+  Cmd.v
+    (Cmd.info "welfare"
+       ~doc:"Three-party welfare decomposition per regulatory regime")
+    Term.(const run $ params_term $ nu_frac)
+
+let ensemble_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the population CSV here.")
+  in
+  let heavy =
+    Arg.(
+      value & flag
+      & info [ "heavy-tailed" ]
+          ~doc:"Draw the Zipf/Pareto ensemble instead of the paper's \
+                uniform one.")
+  in
+  let run params heavy out =
+    let cps =
+      if heavy then
+        Po_workload.Ensemble.heavy_tailed_ensemble
+          ~n:params.Po_experiments.Common.n_cps
+          ~seed:params.Po_experiments.Common.seed ()
+      else Po_experiments.Common.ensemble params
+    in
+    match Po_workload.Io.write_file ~path:out cps with
+    | Ok () ->
+        Printf.printf "wrote %d CPs to %s (saturation nu = %.2f)\n"
+          (Array.length cps) out
+          (Po_workload.Ensemble.saturation_nu cps)
+    | Error e ->
+        prerr_endline e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "ensemble"
+       ~doc:"Draw a CP population and archive it as CSV")
+    Term.(const run $ params_term $ heavy $ out)
+
+let simulate_cmd =
+  let nu =
+    Arg.(
+      value & opt float 2.5
+      & info [ "nu" ] ~docv:"NU" ~doc:"Per-capita capacity (model units).")
+  in
+  let churn =
+    Arg.(value & flag & info [ "churn" ] ~doc:"Enable demand churn.")
+  in
+  let run nu churn =
+    let cps = Po_workload.Scenario.three_cp () in
+    let r = Po_netsim.Validate.compare ~with_churn:churn ~nu cps in
+    Printf.printf
+      "AIMD vs max-min at nu=%.2f (utilization %.3f, max err %.3f)\n" nu
+      r.Po_netsim.Validate.utilization
+      r.Po_netsim.Validate.max_relative_error;
+    Array.iter
+      (fun (c : Po_netsim.Validate.cp_comparison) ->
+        Printf.printf "  %-8s flows=%2d sim=%10.1f model=%10.1f err=%.3f\n"
+          c.Po_netsim.Validate.label c.Po_netsim.Validate.flows
+          c.Po_netsim.Validate.simulated_rate
+          c.Po_netsim.Validate.predicted_rate
+          c.Po_netsim.Validate.relative_error)
+      r.Po_netsim.Validate.per_cp
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the packet-level AIMD simulation against the model")
+    Term.(const run $ nu $ churn)
+
+let () =
+  let doc =
+    "reproduction of 'The Public Option: a Non-regulatory Alternative to \
+     Network Neutrality' (Ma & Misra, CoNEXT 2011)"
+  in
+  let info = Cmd.info "ponet" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; fig_cmd; claims_cmd; regimes_cmd; welfare_cmd;
+            ensemble_cmd; simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/monopoly_regulation.ml: Array Cp_game Format List Monopoly Po_core Po_num Po_workload Public_option Strategy

@@ -1,0 +1,1 @@
+examples/monopoly_regulation.mli:

@@ -1,0 +1,1 @@
+examples/oligopoly_competition.ml: Array Format Oligopoly Po_core Po_workload Strategy

@@ -1,0 +1,1 @@
+examples/oligopoly_competition.mli:

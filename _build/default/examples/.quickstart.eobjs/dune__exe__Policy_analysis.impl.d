@@ -1,0 +1,1 @@
+examples/policy_analysis.ml: Array Cp_game Format List Oligopoly Po_core Po_sizing Po_workload Strategy Welfare

@@ -1,0 +1,1 @@
+examples/public_option_duopoly.ml: Array Cp_game Duopoly Float Format Migration Oligopoly Po_core Po_num Po_workload Strategy

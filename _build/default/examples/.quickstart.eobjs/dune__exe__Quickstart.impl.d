@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cp Equilibrium Format List Maxmin Po_core Po_model Po_workload Printf Surplus

@@ -1,0 +1,1 @@
+examples/tcp_maxmin_validation.ml: Array Format List Po_netsim Po_workload

@@ -1,0 +1,1 @@
+examples/tcp_maxmin_validation.mli:

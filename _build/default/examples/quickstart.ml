@@ -1,0 +1,49 @@
+(* Quickstart: build a three-CP system, solve its rate equilibrium under
+   max-min fairness, and read off throughput, demand and consumer surplus.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Po_model
+
+let () =
+  (* The paper's Sec. II-D example: a Google-type, a Netflix-type and a
+     Skype-type CP, with business parameters attached. *)
+  let cps = Po_workload.Scenario.three_cp_priced () in
+  Array.iter (fun cp -> Format.printf "%a@." Cp.pp cp) cps;
+
+  (* Capacity needed to serve everyone's unconstrained demand. *)
+  let saturation = Po_workload.Ensemble.saturation_nu cps in
+  Format.printf "@.saturation per-capita capacity: %.2f@." saturation;
+
+  (* Solve the rate equilibrium (Theorem 1) at a few capacities. *)
+  Format.printf "@.%-8s %-44s %-8s@." "nu" "theta (google, netflix, skype)"
+    "Phi";
+  List.iter
+    (fun nu ->
+      let sol = Maxmin.solve ~nu cps in
+      let phi = Surplus.consumer cps sol in
+      Format.printf "%-8.2f %-44s %-8.3f@." nu
+        (Printf.sprintf "%.3f / %.3f / %.3f (demand %.2f / %.2f / %.2f)"
+           sol.Equilibrium.theta.(0) sol.Equilibrium.theta.(1)
+           sol.Equilibrium.theta.(2) sol.Equilibrium.demand.(0)
+           sol.Equilibrium.demand.(1) sol.Equilibrium.demand.(2))
+        phi)
+    [ 0.5; 1.5; 3.0; 4.5; saturation ];
+
+  (* Now let a monopolistic ISP price-discriminate: premium class with
+     kappa = 0.6 of the capacity at price c = 0.3 per unit of traffic. *)
+  let nu = 3.0 in
+  let strategy = Po_core.Strategy.make ~kappa:0.6 ~c:0.3 in
+  let outcome = Po_core.Cp_game.solve ~nu ~strategy cps in
+  Format.printf "@.two-class outcome at nu=%.1f under %s:@." nu
+    (Po_core.Strategy.to_string strategy);
+  Array.iteri
+    (fun i cp ->
+      Format.printf "  %-8s -> %s class, theta=%.3f@." cp.Cp.label
+        (if Po_core.Partition.in_premium outcome.Po_core.Cp_game.partition i
+         then "premium"
+         else "ordinary")
+        outcome.Po_core.Cp_game.theta.(i))
+    cps;
+  Format.printf "  consumer surplus Phi = %.3f, ISP surplus Psi = %.3f@."
+    outcome.Po_core.Cp_game.phi outcome.Po_core.Cp_game.psi

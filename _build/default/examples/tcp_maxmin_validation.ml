@@ -1,0 +1,49 @@
+(* Microfoundation check (paper Sec. II-D.2): the paper models TCP as a
+   max-min fair allocator.  This example runs the packet-level AIMD
+   simulator on the three-CP scenario and compares measured per-CP rates
+   against the analytical max-min equilibrium, then shows how RTT
+   heterogeneity erodes the approximation.
+
+   Run with: dune exec examples/tcp_maxmin_validation.exe *)
+
+let () =
+  let cps = Po_workload.Scenario.three_cp () in
+  Format.printf "AIMD packet simulation vs max-min model (3 CPs)@.";
+  List.iter
+    (fun nu ->
+      let r = Po_netsim.Validate.compare ~nu cps in
+      Format.printf "@.nu = %.1f (utilization %.3f):@." nu
+        r.Po_netsim.Validate.utilization;
+      Format.printf "  %-8s %-6s %-12s %-12s %-8s@." "cp" "flows" "sim pkt/s"
+        "model pkt/s" "rel.err";
+      Array.iter
+        (fun (c : Po_netsim.Validate.cp_comparison) ->
+          Format.printf "  %-8s %-6d %-12.1f %-12.1f %-8.3f@."
+            c.Po_netsim.Validate.label c.Po_netsim.Validate.flows
+            c.Po_netsim.Validate.simulated_rate
+            c.Po_netsim.Validate.predicted_rate
+            c.Po_netsim.Validate.relative_error)
+        r.Po_netsim.Validate.per_cp)
+    [ 1.0; 2.5; 4.0 ];
+
+  (* Demand churn: users abandon CPs whose throughput disappoints, the
+     analytical counterpart being the demand-coupled rate equilibrium. *)
+  let churn = Po_netsim.Validate.compare ~with_churn:true ~nu:2.0 cps in
+  Format.printf "@.with demand churn at nu = 2.0 (mean rel. err %.3f):@."
+    churn.Po_netsim.Validate.mean_relative_error;
+  Array.iter
+    (fun (c : Po_netsim.Validate.cp_comparison) ->
+      Format.printf "  %-8s sim %.1f vs model %.1f pkt/s@."
+        c.Po_netsim.Validate.label c.Po_netsim.Validate.simulated_rate
+        c.Po_netsim.Validate.predicted_rate)
+    churn.Po_netsim.Validate.per_cp;
+
+  (* RTT-heterogeneity ablation: AIMD favours short-RTT flows, so the
+     max-min abstraction degrades as the spread widens. *)
+  Format.printf "@.RTT-bias ablation at nu = 2.5:@.";
+  Array.iter
+    (fun (ratio, err) ->
+      Format.printf "  RTT spread x%-4.0f -> max relative error %.3f@." ratio
+        err)
+    (Po_netsim.Validate.rtt_bias_experiment ~nu:2.5
+       ~rtt_ratios:[| 1.; 2.; 4.; 8. |] cps)

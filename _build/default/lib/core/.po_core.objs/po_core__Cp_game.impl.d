@@ -1,0 +1,1 @@
+lib/core/cp_game.ml: Array Cp Equilibrium Float Hashtbl Logs Partition Po_model Printf Strategy Surplus

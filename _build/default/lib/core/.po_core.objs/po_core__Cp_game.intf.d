@@ -1,0 +1,1 @@
+lib/core/cp_game.mli: Partition Po_model Strategy

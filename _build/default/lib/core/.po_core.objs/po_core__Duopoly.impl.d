@@ -1,0 +1,1 @@
+lib/core/duopoly.ml: Array Cp Cp_game Float Po_model Po_num Printf Strategy

@@ -1,0 +1,1 @@
+lib/core/duopoly.mli: Cp_game Po_model Strategy

@@ -1,0 +1,1 @@
+lib/core/investment.ml: Array Duopoly Float Monopoly Po_model Po_num Strategy

@@ -1,0 +1,1 @@
+lib/core/investment.mli: Po_model Strategy

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Cp_game Float Po_num

@@ -1,0 +1,1 @@
+lib/core/migration.ml: Array Cp Cp_game Float Oligopoly Po_model Po_num

@@ -1,0 +1,1 @@
+lib/core/monopoly.ml: Array Cp Cp_game Float Partition Po_model Po_num Printf Strategy

@@ -1,0 +1,1 @@
+lib/core/monopoly.mli: Cp_game Po_model Strategy

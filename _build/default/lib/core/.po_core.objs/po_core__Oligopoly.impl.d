@@ -1,0 +1,1 @@
+lib/core/oligopoly.ml: Array Cp Cp_game Float Hashtbl Po_model Po_num Printf Strategy

@@ -1,0 +1,1 @@
+lib/core/oligopoly.mli: Cp_game Po_model Strategy

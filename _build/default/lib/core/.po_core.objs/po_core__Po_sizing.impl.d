@@ -1,0 +1,1 @@
+lib/core/po_sizing.ml: Array Duopoly Public_option Strategy

@@ -1,0 +1,1 @@
+lib/core/po_sizing.mli: Po_model Strategy

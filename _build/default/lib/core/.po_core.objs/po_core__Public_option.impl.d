@@ -1,0 +1,1 @@
+lib/core/public_option.ml: Cp_game Duopoly Float List Monopoly Printf Strategy String

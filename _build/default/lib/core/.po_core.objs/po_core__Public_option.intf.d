@@ -1,0 +1,1 @@
+lib/core/public_option.mli: Po_model Strategy

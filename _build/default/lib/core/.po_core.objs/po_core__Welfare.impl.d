@@ -1,0 +1,1 @@
+lib/core/welfare.ml: Array Cp Cp_game Duopoly Format Monopoly Oligopoly Partition Po_model Printf Strategy

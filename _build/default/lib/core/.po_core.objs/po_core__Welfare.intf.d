@@ -1,0 +1,1 @@
+lib/core/welfare.mli: Cp_game Duopoly Format Oligopoly Po_model

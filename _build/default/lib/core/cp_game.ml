@@ -1,0 +1,427 @@
+open Po_model
+
+let log_src = Logs.Src.create "po.cp_game" ~doc:"CP-game equilibrium solver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type solution_concept =
+  | Competitive of float
+  | Expost_nash
+
+type outcome = {
+  strategy : Strategy.t;
+  nu : float;
+  partition : Partition.t;
+  theta : float array;
+  rho : float array;
+  cap_ordinary : float;
+  cap_premium : float;
+  lambda_ordinary : float;
+  lambda_premium : float;
+  phi : float;
+  psi : float;
+  converged : bool;
+  iterations : int;
+  concept : solution_concept;
+}
+
+let class_solution ~nu_class cps =
+  if nu_class < 0. then invalid_arg "Cp_game.class_solution: nu_class < 0";
+  if nu_class = 0. then
+    (* Zero capacity throttles everyone to zero, including the view an
+       entrant would take of the class. *)
+    let n = Array.length cps in
+    { Equilibrium.theta = Array.make n 0.; demand = Array.make n 0.;
+      rho = Array.make n 0.; per_capita_rate = 0.; congested = n > 0;
+      cap = 0. }
+  else Equilibrium.solve ~nu:nu_class cps
+
+(* Water level an entrant perceives (Assumption 3): the class's current cap,
+   0 when it has no capacity. *)
+let entrant_cap ~nu_class (sol : Equilibrium.solution) =
+  if nu_class = 0. then 0. else sol.Equilibrium.cap
+
+let rho_at_cap (cp : Cp.t) cap =
+  let theta = Float.min cp.Cp.theta_hat (Float.max cap 0.) in
+  Cp.rho cp ~theta
+
+(* Throughput-taking estimate (Assumption 3) of the per-user rate a CP
+   expects in a class whose current water level is [cap].  An {e empty}
+   class has no level to take — its cap is formally infinite, which would
+   lure every CP simultaneously and destabilise the iteration — so the
+   entrant anticipates its own solo equilibrium there instead. *)
+let estimate_rho (cp : Cp.t) ~nu_class ~occupied cap =
+  if nu_class = 0. then 0.
+  else if occupied then rho_at_cap cp cap
+  else (Equilibrium.solve ~nu:nu_class [| cp |]).Equilibrium.rho.(0)
+
+let class_capacities ~nu ~strategy =
+  let kappa = Strategy.kappa strategy in
+  ((1. -. kappa) *. nu, kappa *. nu)
+
+let outcome_of_partition ~nu ~strategy cps partition =
+  if nu < 0. then invalid_arg "Cp_game.outcome_of_partition: nu < 0";
+  let n = Array.length cps in
+  if Partition.size partition <> n then
+    invalid_arg "Cp_game.outcome_of_partition: partition size mismatch";
+  let nu_o, nu_p = class_capacities ~nu ~strategy in
+  let ordinary = Partition.ordinary_members partition cps in
+  let premium = Partition.premium_members partition cps in
+  let sol_o = class_solution ~nu_class:nu_o ordinary in
+  let sol_p = class_solution ~nu_class:nu_p premium in
+  let theta = Array.make n 0. and rho = Array.make n 0. in
+  let fill indices (sol : Equilibrium.solution) =
+    Array.iteri
+      (fun pos idx ->
+        theta.(idx) <- sol.Equilibrium.theta.(pos);
+        rho.(idx) <- sol.Equilibrium.rho.(pos))
+      indices
+  in
+  fill (Partition.ordinary_indices partition) sol_o;
+  fill (Partition.premium_indices partition) sol_p;
+  let phi = Surplus.consumer ordinary sol_o +. Surplus.consumer premium sol_p in
+  let lambda_premium = sol_p.Equilibrium.per_capita_rate in
+  { strategy; nu; partition; theta; rho;
+    cap_ordinary = entrant_cap ~nu_class:nu_o sol_o;
+    cap_premium = entrant_cap ~nu_class:nu_p sol_p;
+    lambda_ordinary = sol_o.Equilibrium.per_capita_rate; lambda_premium;
+    phi; psi = Strategy.c strategy *. lambda_premium; converged = true;
+    iterations = 0; concept = Competitive 0. }
+
+(* One simultaneous best-response round: every CP re-decides against the
+   current water levels.  Returns the new membership vector. *)
+let simultaneous_round ~nu ~strategy cps partition =
+  let nu_o, nu_p = class_capacities ~nu ~strategy in
+  let c = Strategy.c strategy in
+  let sol_o =
+    class_solution ~nu_class:nu_o (Partition.ordinary_members partition cps)
+  in
+  let sol_p =
+    class_solution ~nu_class:nu_p (Partition.premium_members partition cps)
+  in
+  let cap_o = entrant_cap ~nu_class:nu_o sol_o in
+  let cap_p = entrant_cap ~nu_class:nu_p sol_p in
+  let occupied_o = Partition.ordinary_count partition > 0 in
+  let occupied_p = Partition.premium_count partition > 0 in
+  Partition.of_premium_indicator
+    (Array.map
+       (fun (cp : Cp.t) ->
+         let u_ordinary =
+           cp.Cp.v *. estimate_rho cp ~nu_class:nu_o ~occupied:occupied_o cap_o
+         in
+         let u_premium =
+           (cp.Cp.v -. c)
+           *. estimate_rho cp ~nu_class:nu_p ~occupied:occupied_p cap_p
+         in
+         u_premium > u_ordinary)
+       cps)
+
+let default_hysteresis = 1e-3
+
+(* Asynchronous pass: CPs re-decide one at a time in index order.  Water
+   levels are cached and recomputed only after a CP actually moves, so a
+   quiescent pass costs two class solves total.  [hysteresis] is a relative
+   switching threshold: a CP moves only when the other class improves its
+   utility by that margin — the finite-population analogue of the
+   throughput-taking assumption, without which a marginal CP whose own
+   membership shifts the water level past its indifference point would
+   flip for ever.  Returns the partition and whether any CP moved. *)
+let asynchronous_pass ?(hysteresis = 0.) ~nu ~strategy cps partition =
+  let nu_o, nu_p = class_capacities ~nu ~strategy in
+  let c = Strategy.c strategy in
+  let current = ref partition in
+  let moved = ref false in
+  let caps = ref None in
+  let current_caps () =
+    match !caps with
+    | Some pair -> pair
+    | None ->
+        let sol_o =
+          class_solution ~nu_class:nu_o
+            (Partition.ordinary_members !current cps)
+        in
+        let sol_p =
+          class_solution ~nu_class:nu_p
+            (Partition.premium_members !current cps)
+        in
+        let pair =
+          (entrant_cap ~nu_class:nu_o sol_o, entrant_cap ~nu_class:nu_p sol_p)
+        in
+        caps := Some pair;
+        pair
+  in
+  Array.iteri
+    (fun i (cp : Cp.t) ->
+      let cap_o, cap_p = current_caps () in
+      let occupied_o = Partition.ordinary_count !current > 0 in
+      let occupied_p = Partition.premium_count !current > 0 in
+      let u_ordinary =
+        cp.Cp.v *. estimate_rho cp ~nu_class:nu_o ~occupied:occupied_o cap_o
+      in
+      let u_premium =
+        (cp.Cp.v -. c)
+        *. estimate_rho cp ~nu_class:nu_p ~occupied:occupied_p cap_p
+      in
+      let in_premium = Partition.in_premium !current i in
+      let margin u = Float.abs u *. hysteresis in
+      let wants_premium =
+        if in_premium then u_premium >= u_ordinary -. margin u_premium
+        else u_premium > u_ordinary +. margin u_ordinary
+      in
+      if wants_premium <> in_premium then begin
+        current := Partition.move !current i ~premium:wants_premium;
+        moved := true;
+        caps := None
+      end)
+    cps;
+  (!current, !moved)
+
+let default_init ~strategy cps =
+  if Strategy.kappa strategy = 0. then
+    Partition.all_ordinary (Array.length cps)
+  else
+    Partition.of_premium_pred cps (fun cp ->
+        cp.Cp.v > Strategy.c strategy)
+
+(* Ex-post per-capita throughput a deviator obtains in a target class. *)
+let expost_rho ~nu_class members (cp : Cp.t) =
+  if nu_class = 0. then 0.
+  else begin
+    let extended = Array.append members [| cp |] in
+    let sol = Equilibrium.solve ~nu:nu_class extended in
+    sol.Equilibrium.rho.(Array.length members)
+  end
+
+(* Actual per-capita throughput of CP [i] inside its own class. *)
+let own_rho partition cps (sol_o : Equilibrium.solution)
+    (sol_p : Equilibrium.solution) i =
+  let indices, sol =
+    if Partition.in_premium partition i then
+      (Partition.premium_indices partition, sol_p)
+    else (Partition.ordinary_indices partition, sol_o)
+  in
+  let pos = ref (-1) in
+  Array.iteri (fun p idx -> if idx = i then pos := p) indices;
+  assert (!pos >= 0);
+  ignore cps;
+  sol.Equilibrium.rho.(!pos)
+
+let solve_nash ?init ?(max_rounds = 100) ~nu ~strategy cps =
+  if nu < 0. then invalid_arg "Cp_game.solve_nash: nu < 0";
+  let init =
+    match init with Some p -> p | None -> default_init ~strategy cps
+  in
+  let nu_o, nu_p = class_capacities ~nu ~strategy in
+  let c = Strategy.c strategy in
+  let pass partition =
+    let current = ref partition in
+    let moved = ref false in
+    Array.iteri
+      (fun i (cp : Cp.t) ->
+        let ordinary = Partition.ordinary_members !current cps in
+        let premium = Partition.premium_members !current cps in
+        let sol_o = class_solution ~nu_class:nu_o ordinary in
+        let sol_p = class_solution ~nu_class:nu_p premium in
+        let rho_own = own_rho !current cps sol_o sol_p i in
+        let wants_premium =
+          if Partition.in_premium !current i then
+            let rho_dev = expost_rho ~nu_class:nu_o ordinary cp in
+            (cp.Cp.v -. c) *. rho_own > cp.Cp.v *. rho_dev
+          else
+            let rho_dev = expost_rho ~nu_class:nu_p premium cp in
+            (cp.Cp.v -. c) *. rho_dev > cp.Cp.v *. rho_own
+        in
+        if wants_premium <> Partition.in_premium !current i then begin
+          current := Partition.move !current i ~premium:wants_premium;
+          moved := true
+        end)
+      cps;
+    (!current, !moved)
+  in
+  let rec loop partition round =
+    if round >= max_rounds then
+      { (outcome_of_partition ~nu ~strategy cps partition) with
+        converged = false; iterations = round; concept = Expost_nash }
+    else
+      let partition', moved = pass partition in
+      if not moved then
+        { (outcome_of_partition ~nu ~strategy cps partition') with
+          converged = true; iterations = round + 1; concept = Expost_nash }
+      else loop partition' (round + 1)
+  in
+  loop init 0
+
+let solve ?init ?(max_iter = 200) ~nu ~strategy cps =
+  if nu < 0. then invalid_arg "Cp_game.solve: nu < 0";
+  let init =
+    match init with Some p -> p | None -> default_init ~strategy cps
+  in
+  if Partition.size init <> Array.length cps then
+    invalid_arg "Cp_game.solve: init partition size mismatch";
+  let seen = Hashtbl.create 64 in
+  let finish ?(tolerance = 0.) partition ~converged ~iterations =
+    { (outcome_of_partition ~nu ~strategy cps partition) with
+      converged; iterations; concept = Competitive tolerance }
+  in
+  (* Phase 3: tolerant asynchronous passes.  A quiescent pass at threshold
+     [h] is an eps-competitive equilibrium with eps = h.  The threshold
+     escalates geometrically every few passes because the displacement one
+     CP causes to a class's water level — the force behind persistent
+     flipping — scales with 1/|class| and can exceed any fixed margin. *)
+  let rec tolerant partition rounds_used passes =
+    if passes > 60 then begin
+      (* Throughput-taking best responses refuse to settle: with few CPs a
+         single provider can be a large fraction of a class's load, and a
+         competitive equilibrium need not exist at all.  Ex-post (Nash)
+         best responses are well defined at any population size, and the
+         paper treats both concepts as interchangeable equilibria. *)
+      Log.debug (fun m ->
+          m "tolerant phase exhausted at nu=%g %s; falling back to ex-post \
+             Nash" nu
+            (Strategy.to_string strategy));
+      let nash = solve_nash ~init:partition ~nu ~strategy cps in
+      { nash with
+        iterations = rounds_used + passes + nash.iterations }
+    end
+    else
+      let hysteresis =
+        default_hysteresis *. (2. ** float_of_int (passes / 6))
+      in
+      let partition', moved =
+        asynchronous_pass ~hysteresis ~nu ~strategy cps partition
+      in
+      if not moved then
+        finish ~tolerance:hysteresis partition' ~converged:true
+          ~iterations:(rounds_used + passes + 1)
+      else tolerant partition' rounds_used (passes + 1)
+  in
+  (* Phase 2: strict asynchronous damping after a cycle; if marginal CPs
+     keep flipping (their own membership moves the water level past their
+     indifference point), fall through to the tolerant phase. *)
+  let rec async partition rounds_used passes =
+    if passes > 8 then tolerant partition (rounds_used + passes) 0
+    else
+      let partition', moved = asynchronous_pass ~nu ~strategy cps partition in
+      if not moved then
+        finish partition' ~converged:true ~iterations:(rounds_used + passes + 1)
+      else async partition' rounds_used (passes + 1)
+  in
+  (* Phase 1: fast simultaneous rounds with cycle detection.  On a cycle,
+     continue from the cycle iterate with the larger premium class: cycles
+     typically alternate with a degenerate near-empty class (whose infinite
+     entrant estimate lures everyone back in), and the populous iterate is
+     the one near the equilibrium, sparing the asynchronous phase most of
+     its one-CP-at-a-time walk. *)
+  let rec sync partition previous n =
+    if n >= max_iter then finish partition ~converged:false ~iterations:n
+    else begin
+      let key = Partition.key partition in
+      if Hashtbl.mem seen key then begin
+        Log.debug (fun m ->
+            m "cycle detected after %d simultaneous rounds at nu=%g %s" n nu
+              (Strategy.to_string strategy));
+        let start =
+          match previous with
+          | Some p
+            when Partition.premium_count p
+                 > Partition.premium_count partition ->
+              p
+          | _ -> partition
+        in
+        async start n 0
+      end
+      else begin
+        Hashtbl.add seen key ();
+        let partition' = simultaneous_round ~nu ~strategy cps partition in
+        if Partition.equal partition partition' then
+          finish partition' ~converged:true ~iterations:(n + 1)
+        else sync partition' (Some partition) (n + 1)
+      end
+    end
+  in
+  sync init None 0
+
+let check_competitive ?(tol = 1e-9) ?(rel_tol = 0.) ~nu ~strategy cps
+    partition =
+  let nu_o, nu_p = class_capacities ~nu ~strategy in
+  let c = Strategy.c strategy in
+  let sol_o =
+    class_solution ~nu_class:nu_o (Partition.ordinary_members partition cps)
+  in
+  let sol_p =
+    class_solution ~nu_class:nu_p (Partition.premium_members partition cps)
+  in
+  let cap_o = entrant_cap ~nu_class:nu_o sol_o in
+  let cap_p = entrant_cap ~nu_class:nu_p sol_p in
+  let occupied_o = Partition.ordinary_count partition > 0 in
+  let occupied_p = Partition.premium_count partition > 0 in
+  let bad = ref None in
+  Array.iteri
+    (fun i (cp : Cp.t) ->
+      if !bad = None then begin
+        let u_ordinary =
+          cp.Cp.v *. estimate_rho cp ~nu_class:nu_o ~occupied:occupied_o cap_o
+        in
+        let u_premium =
+          (cp.Cp.v -. c)
+          *. estimate_rho cp ~nu_class:nu_p ~occupied:occupied_p cap_p
+        in
+        (* Ties (within the slack) are acceptable in either class; only a
+           clear preference for the other class is a violation. *)
+        if Partition.in_premium partition i then begin
+          if u_premium < u_ordinary -. tol -. (rel_tol *. Float.abs u_premium)
+          then
+            bad :=
+              Some
+                (Printf.sprintf "CP %d in premium but u_p=%g < u_o=%g" i
+                   u_premium u_ordinary)
+        end
+        else if u_premium > u_ordinary +. tol +. (rel_tol *. Float.abs u_ordinary)
+        then
+          bad :=
+            Some
+              (Printf.sprintf "CP %d in ordinary but u_p=%g > u_o=%g" i
+                 u_premium u_ordinary)
+      end)
+    cps;
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+let check_nash ?(tol = 1e-9) ~nu ~strategy cps partition =
+  let nu_o, nu_p = class_capacities ~nu ~strategy in
+  let c = Strategy.c strategy in
+  let ordinary = Partition.ordinary_members partition cps in
+  let premium = Partition.premium_members partition cps in
+  let sol_o = class_solution ~nu_class:nu_o ordinary in
+  let sol_p = class_solution ~nu_class:nu_p premium in
+  let bad = ref None in
+  Array.iteri
+    (fun i (cp : Cp.t) ->
+      if !bad = None then begin
+        let rho_own = own_rho partition cps sol_o sol_p i in
+        if Partition.in_premium partition i then begin
+          (* Deviating to ordinary: evaluated with i included there. *)
+          let rho_dev = expost_rho ~nu_class:nu_o ordinary cp in
+          let u_stay = (cp.Cp.v -. c) *. rho_own in
+          let u_dev = cp.Cp.v *. rho_dev in
+          if u_stay < u_dev -. tol then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "CP %d in premium gains by leaving (stay=%g, deviate=%g)"
+                   i u_stay u_dev)
+        end
+        else begin
+          let rho_dev = expost_rho ~nu_class:nu_p premium cp in
+          let u_stay = cp.Cp.v *. rho_own in
+          let u_dev = (cp.Cp.v -. c) *. rho_dev in
+          if u_dev > u_stay +. tol then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "CP %d in ordinary strictly gains by joining premium \
+                    (stay=%g, deviate=%g)"
+                   i u_stay u_dev)
+        end
+      end)
+    cps;
+  match !bad with None -> Ok () | Some msg -> Error msg

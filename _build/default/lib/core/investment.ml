@@ -1,0 +1,78 @@
+type monopoly_point = {
+  nu : float;
+  optimal_price : float;
+  psi : float;
+  phi : float;
+}
+
+let monopoly_revenue_curve ?(levels = 3) ?(points = 25) ~nus cps =
+  Array.map
+    (fun nu ->
+      let best = Monopoly.optimal_price ~levels ~points ~nu cps in
+      { nu; optimal_price = best.Monopoly.c; psi = best.Monopoly.psi;
+        phi = best.Monopoly.phi })
+    nus
+
+type competition_point = {
+  gamma : float;
+  market_share : float;
+  psi : float;
+  phi : float;
+}
+
+let competition_share_curve ?(strategy = Strategy.make ~kappa:0.5 ~c:0.3) ~nu
+    ~gammas cps =
+  Array.map
+    (fun gamma ->
+      if not (gamma > 0. && gamma < 1.) then
+        invalid_arg "Investment.competition_share_curve: gamma outside (0, 1)";
+      let cfg =
+        Duopoly.config ~gamma_i:gamma ~nu ~strategy_i:strategy
+          ~strategy_j:strategy ()
+      in
+      let eq = Duopoly.solve cfg cps in
+      { gamma; market_share = eq.Duopoly.m_i; psi = eq.Duopoly.psi_i;
+        phi = eq.Duopoly.phi })
+    gammas
+
+let monopoly_expansion_profitable ?levels ?points ?(threshold = 0.02) ~nu_lo
+    ~nu_hi cps =
+  if nu_lo >= nu_hi then
+    invalid_arg "Investment.monopoly_expansion_profitable: nu_lo >= nu_hi";
+  let curve =
+    monopoly_revenue_curve ?levels ?points ~nus:[| nu_lo; nu_hi |] cps
+  in
+  curve.(1).psi > curve.(0).psi *. (1. +. threshold)
+
+type duopoly_point = {
+  nu : float;
+  optimal_price : float;
+  psi : float;
+  market_share : float;
+}
+
+let duopoly_revenue_curve ?(levels = 2) ?(points = 11) ~nus cps =
+  let hi =
+    Array.fold_left (fun acc (cp : Po_model.Cp.t) -> Float.max acc cp.Po_model.Cp.v) 0. cps
+  in
+  Array.map
+    (fun nu ->
+      let revenue c =
+        let cfg =
+          Duopoly.config ~nu ~strategy_i:(Strategy.make ~kappa:1. ~c) ()
+        in
+        (Duopoly.solve cfg cps).Duopoly.psi_i
+      in
+      let best =
+        Po_num.Optimize.refine_grid_max ~levels ~points ~f:revenue ~lo:0.
+          ~hi:(Float.max hi 1e-9) ()
+      in
+      let cfg =
+        Duopoly.config ~nu
+          ~strategy_i:(Strategy.make ~kappa:1. ~c:best.Po_num.Optimize.x)
+          ()
+      in
+      let eq = Duopoly.solve cfg cps in
+      { nu; optimal_price = best.Po_num.Optimize.x; psi = eq.Duopoly.psi_i;
+        market_share = eq.Duopoly.m_i })
+    nus

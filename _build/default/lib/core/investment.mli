@@ -1,0 +1,70 @@
+(** Capacity-investment incentives (Sec. I bullet 5, Sec. V).
+
+    Two of the paper's claims concern investment:
+
+    - under a {b monopoly}, the CP-side revenue motive can make extra
+      capacity {e unprofitable}: expansion relieves congestion, CPs leave
+      the premium class, and the optimal premium revenue falls (the
+      Choi-Kim effect the paper cites; visible as the declining branches
+      of Figs. 5 and 7);
+    - under {b competition}, market shares are proportional to capacity
+      shares (Lemma 4), so capacity buys customers: "ISPs do have
+      incentives to invest and expand capacity so as to increase their
+      market shares".
+
+    The generators here measure both: the monopolist's {e optimised}
+    revenue as a function of installed capacity, and a competitor's
+    market share / revenue as a function of its capacity share. *)
+
+type monopoly_point = {
+  nu : float;
+  optimal_price : float;  (** revenue-maximising [c] at [kappa = 1] *)
+  psi : float;  (** the optimised revenue *)
+  phi : float;  (** consumer surplus at the ISP's optimum *)
+}
+
+val monopoly_revenue_curve :
+  ?levels:int -> ?points:int -> nus:float array -> Po_model.Cp.t array ->
+  monopoly_point array
+(** The monopolist's optimised CP-side revenue across installed capacity.
+    The optimised revenue is non-decreasing (more capacity can always be
+    sold at the old price), but it {e saturates} while the optimal price
+    falls — the Choi-Kim price effect; the investment return vanishes. *)
+
+type competition_point = {
+  gamma : float;  (** ISP I's capacity share *)
+  market_share : float;
+  psi : float;  (** ISP I's premium revenue per total capita *)
+  phi : float;  (** population consumer surplus *)
+}
+
+val competition_share_curve :
+  ?strategy:Strategy.t -> nu:float -> gammas:float array ->
+  Po_model.Cp.t array -> competition_point array
+(** ISP I's equilibrium market share and revenue as its capacity share
+    grows, against a rival with the same strategy on the remaining
+    capacity (default strategy: [(0.5, 0.3)]).  Lemma 4 predicts
+    [market_share = gamma] along the whole curve. *)
+
+val monopoly_expansion_profitable :
+  ?levels:int -> ?points:int -> ?threshold:float -> nu_lo:float ->
+  nu_hi:float -> Po_model.Cp.t array -> bool
+(** Whether expanding from [nu_lo] to [nu_hi] raises the monopolist's
+    optimised revenue by more than [threshold] (relative, default 2%) —
+    [false] marks the saturation region where investment no longer pays
+    on the CP side. *)
+
+type duopoly_point = {
+  nu : float;  (** total per-capita capacity of the market *)
+  optimal_price : float;  (** ISP I's revenue-maximising [c] at [kappa=1] *)
+  psi : float;  (** ISP I's optimised revenue per total capita *)
+  market_share : float;  (** ISP I's share at that optimum *)
+}
+
+val duopoly_revenue_curve :
+  ?levels:int -> ?points:int -> nus:float array -> Po_model.Cp.t array ->
+  duopoly_point array
+(** ISP I ([kappa = 1], optimised price) against an equal-capacity Public
+    Option, across total capacity.  Here optimised revenue genuinely
+    {e declines} past a peak — the paper's Fig. 7 observation that
+    "capacity expansion could reduce ISP I's revenue from the CPs". *)

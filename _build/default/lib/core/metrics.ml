@@ -1,0 +1,32 @@
+let sweep ~strategy ~nus cps proj =
+  let warm = ref None in
+  Array.map
+    (fun nu ->
+      let o = Cp_game.solve ?init:!warm ~nu ~strategy cps in
+      warm := Some o.Cp_game.partition;
+      proj o)
+    nus
+
+let phi_curve ~strategy ~nus cps =
+  sweep ~strategy ~nus cps (fun o -> o.Cp_game.phi)
+
+let psi_curve ~strategy ~nus cps =
+  sweep ~strategy ~nus cps (fun o -> o.Cp_game.psi)
+
+let epsilon_of_curve phis = Po_num.Stats.max_downward_gap phis
+
+let epsilon ~strategy ~nus cps =
+  let sorted = Array.copy nus in
+  Array.sort compare sorted;
+  epsilon_of_curve (phi_curve ~strategy ~nus:sorted cps)
+
+let alignment_gap ~xs ~ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Metrics.alignment_gap: length mismatch";
+  let gap = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if ys.(i) <= ys.(j) then gap := Float.max !gap (xs.(i) -. xs.(j))
+    done
+  done;
+  Float.max 0. !gap

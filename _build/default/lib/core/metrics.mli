@@ -1,0 +1,34 @@
+(** Discontinuity and alignment metrics (Eq. 9 and Theorem 6).
+
+    Under a fixed strategy the consumer-surplus curve [Phi(nu)] is
+    non-decreasing except at capacities where CPs re-equilibrate between
+    classes, where it can drop.  Eq. (9) measures the worst such drop,
+
+    {v epsilon_s = sup { Phi(nu1) - Phi(nu2) : nu1 < nu2 } v}
+
+    and Theorem 6 uses it to bound how far market-share maximisation can
+    stray from consumer-surplus maximisation. *)
+
+val phi_curve :
+  strategy:Strategy.t -> nus:float array -> Po_model.Cp.t array -> float array
+(** Per-capita consumer surplus along a capacity grid (warm-started CP-game
+    solves). *)
+
+val psi_curve :
+  strategy:Strategy.t -> nus:float array -> Po_model.Cp.t array -> float array
+(** Per-capita ISP surplus along a capacity grid. *)
+
+val epsilon :
+  strategy:Strategy.t -> nus:float array -> Po_model.Cp.t array -> float
+(** Empirical Eq. (9) on the sampled curve: the largest drop of
+    [Phi(nu)] when scanning the (increasing) capacity grid. *)
+
+val epsilon_of_curve : float array -> float
+(** Same, on an already-sampled curve (ordered by increasing [nu]). *)
+
+val alignment_gap : xs:float array -> ys:float array -> float
+(** [sup { xs.(i) - xs.(j) : ys.(i) <= ys.(j) }] clamped at 0, over all
+    sample pairs.  With [xs] the market shares and [ys] the surpluses of a
+    strategy sample this is the empirical [delta_s] of Theorem 6 (how much
+    share a weakly-surplus-dominated strategy can still gain); with the
+    roles swapped it is the empirical [epsilon]-deficit. *)

@@ -1,0 +1,120 @@
+open Po_model
+
+type price_point = {
+  c : float;
+  psi : float;
+  phi : float;
+  premium_count : int;
+  premium_load : float;
+  utilization : float;
+}
+
+let point_of_outcome (o : Cp_game.outcome) =
+  { c = Strategy.c o.Cp_game.strategy;
+    psi = o.Cp_game.psi;
+    phi = o.Cp_game.phi;
+    premium_count = Partition.premium_count o.Cp_game.partition;
+    premium_load = o.Cp_game.lambda_premium;
+    utilization =
+      (if o.Cp_game.nu <= 0. then 1.
+       else
+         (o.Cp_game.lambda_ordinary +. o.Cp_game.lambda_premium)
+         /. o.Cp_game.nu) }
+
+let price_sweep ?(kappa = 1.) ~nu ~cs cps =
+  let warm = ref None in
+  Array.map
+    (fun c ->
+      let strategy = Strategy.make ~kappa ~c in
+      let outcome = Cp_game.solve ?init:!warm ~nu ~strategy cps in
+      warm := Some outcome.Cp_game.partition;
+      point_of_outcome outcome)
+    cs
+
+let capacity_sweep ~strategy ~nus cps =
+  let warm = ref None in
+  Array.map
+    (fun nu ->
+      let outcome = Cp_game.solve ?init:!warm ~nu ~strategy cps in
+      warm := Some outcome.Cp_game.partition;
+      outcome)
+    nus
+
+let max_revenue_price cps =
+  Array.fold_left (fun acc (cp : Cp.t) -> Float.max acc cp.Cp.v) 0. cps
+
+let optimal_price ?(kappa = 1.) ?(levels = 3) ?(points = 41) ~nu cps =
+  let hi = Float.max (max_revenue_price cps) 1e-9 in
+  let revenue c =
+    let strategy = Strategy.make ~kappa ~c in
+    (Cp_game.solve ~nu ~strategy cps).Cp_game.psi
+  in
+  let best = Po_num.Optimize.refine_grid_max ~levels ~points ~f:revenue ~lo:0. ~hi () in
+  let strategy = Strategy.make ~kappa ~c:best.Po_num.Optimize.x in
+  point_of_outcome (Cp_game.solve ~nu ~strategy cps)
+
+let optimal_strategy ?(levels = 3) ?(points = 17) ~nu cps =
+  let hi = Float.max (max_revenue_price cps) 1e-9 in
+  let revenue kappa c =
+    let strategy = Strategy.make ~kappa ~c in
+    (Cp_game.solve ~nu ~strategy cps).Cp_game.psi
+  in
+  let best =
+    Po_num.Optimize.refine_grid_max2 ~levels ~points ~f:revenue ~lo1:0. ~hi1:1.
+      ~lo2:0. ~hi2:hi ()
+  in
+  let strategy =
+    Strategy.make ~kappa:best.Po_num.Optimize.x1 ~c:best.Po_num.Optimize.x2
+  in
+  (strategy, Cp_game.solve ~nu ~strategy cps)
+
+type regime =
+  | Unregulated
+  | Neutral
+  | Capped of float
+  | Fixed of Strategy.t
+
+let regime_outcome ~nu regime cps =
+  match regime with
+  | Neutral -> Cp_game.solve ~nu ~strategy:Strategy.public_option cps
+  | Fixed strategy -> Cp_game.solve ~nu ~strategy cps
+  | Unregulated ->
+      let _, outcome = optimal_strategy ~nu cps in
+      outcome
+  | Capped kappa_cap ->
+      if kappa_cap < 0. || kappa_cap > 1. then
+        invalid_arg "Monopoly.regime_outcome: kappa cap outside [0, 1]";
+      let hi = Float.max (max_revenue_price cps) 1e-9 in
+      let revenue kappa c =
+        (Cp_game.solve ~nu ~strategy:(Strategy.make ~kappa ~c) cps)
+          .Cp_game.psi
+      in
+      let best =
+        Po_num.Optimize.refine_grid_max2 ~levels:3 ~points:13 ~f:revenue
+          ~lo1:0. ~hi1:kappa_cap ~lo2:0. ~hi2:hi ()
+      in
+      Cp_game.solve ~nu
+        ~strategy:
+          (Strategy.make ~kappa:best.Po_num.Optimize.x1
+             ~c:best.Po_num.Optimize.x2)
+        cps
+
+let check_theorem4 ?(tol = 1e-6) ~nu ~c ~kappas cps =
+  let revenue kappa =
+    (Cp_game.solve ~nu ~strategy:(Strategy.make ~kappa ~c) cps).Cp_game.psi
+  in
+  let full = revenue 1. in
+  let rec scan i =
+    if i >= Array.length kappas then Ok ()
+    else begin
+      let psi = revenue kappas.(i) in
+      if psi > full +. tol then
+        Error
+          (Printf.sprintf
+             "theorem 4 violated at nu=%g c=%g: Psi(kappa=%g)=%g > \
+              Psi(1)=%g"
+             nu c kappas.(i) psi full)
+      else scan (i + 1)
+    end
+  in
+  scan 0

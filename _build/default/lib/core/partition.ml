@@ -1,0 +1,56 @@
+type t = bool array
+(* Invariant: treated as immutable; every exposed constructor copies. *)
+
+let all_ordinary n =
+  if n < 0 then invalid_arg "Partition.all_ordinary: negative size";
+  Array.make n false
+
+let of_premium_indicator a = Array.copy a
+
+let of_premium_pred cps pred = Array.map pred cps
+
+let size = Array.length
+let in_premium t i = t.(i)
+
+let premium_count t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t
+
+let ordinary_count t = size t - premium_count t
+
+let check_size t cps =
+  if Array.length cps <> size t then
+    invalid_arg "Partition: CP array size mismatch"
+
+let filter_members t cps keep_premium =
+  check_size t cps;
+  let out = ref [] in
+  for i = size t - 1 downto 0 do
+    if t.(i) = keep_premium then out := cps.(i) :: !out
+  done;
+  Array.of_list !out
+
+let premium_members t cps = filter_members t cps true
+let ordinary_members t cps = filter_members t cps false
+
+let filter_indices t keep_premium =
+  let out = ref [] in
+  for i = size t - 1 downto 0 do
+    if t.(i) = keep_premium then out := i :: !out
+  done;
+  Array.of_list !out
+
+let premium_indices t = filter_indices t true
+let ordinary_indices t = filter_indices t false
+
+let move t i ~premium =
+  if i < 0 || i >= size t then invalid_arg "Partition.move: index out of bounds";
+  let t' = Array.copy t in
+  t'.(i) <- premium;
+  t'
+
+let equal a b = a = b
+
+let key t = String.init (size t) (fun i -> if t.(i) then 'P' else 'O')
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>{premium: %d/%d}@]" (premium_count t) (size t)

@@ -1,0 +1,38 @@
+(** Service-class partitions [(O, P)] of a CP population (Sec. III-B).
+
+    Represented as a membership vector: entry [i] is [true] when CP [i]
+    joined the premium class.  [O union P = N] and [O inter P = empty]
+    hold by construction. *)
+
+type t
+
+val all_ordinary : int -> t
+(** Everyone in the ordinary class (the trivial profile for
+    [kappa = 0]). *)
+
+val of_premium_indicator : bool array -> t
+val of_premium_pred : Po_model.Cp.t array -> (Po_model.Cp.t -> bool) -> t
+(** Partition placing exactly the CPs satisfying the predicate in the
+    premium class. *)
+
+val size : t -> int
+val in_premium : t -> int -> bool
+val premium_count : t -> int
+val ordinary_count : t -> int
+
+val premium_members : t -> Po_model.Cp.t array -> Po_model.Cp.t array
+val ordinary_members : t -> Po_model.Cp.t array -> Po_model.Cp.t array
+(** Subset views; the CP array must have the partition's size.  Order is
+    preserved. *)
+
+val premium_indices : t -> int array
+val ordinary_indices : t -> int array
+
+val move : t -> int -> premium:bool -> t
+(** Functional update of one CP's class. *)
+
+val equal : t -> t -> bool
+val key : t -> string
+(** Compact string key (for cycle-detection hash tables). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type point = {
+  po_share : float;
+  commercial_strategy : Strategy.t;
+  commercial_share : float;
+  phi : float;
+  psi_commercial : float;
+}
+
+let sweep ?(levels = 2) ?(points = 7) ~nu ~po_shares cps =
+  Array.map
+    (fun po_share ->
+      if not (po_share > 0. && po_share < 1.) then
+        invalid_arg "Po_sizing.sweep: share outside (0, 1)";
+      let cfg =
+        Duopoly.config ~gamma_i:(1. -. po_share) ~nu
+          ~strategy_i:Strategy.public_option ()
+      in
+      let strategy, eq =
+        Duopoly.best_response_market_share ~levels ~points ~config:cfg cps
+      in
+      { po_share; commercial_strategy = strategy;
+        commercial_share = eq.Duopoly.m_i; phi = eq.Duopoly.phi;
+        psi_commercial = eq.Duopoly.psi_i })
+    po_shares
+
+type effectiveness = {
+  sweep : point array;
+  phi_unregulated : float;
+  phi_neutral : float;
+  minimum_effective_share : float option;
+}
+
+let effectiveness ?levels ?points ?(slack = 1e-3) ~nu ~po_shares cps =
+  let swept = sweep ?levels ?points ~nu ~po_shares cps in
+  let unregulated = Public_option.unregulated ?levels ?points ~nu cps in
+  let neutral = Public_option.neutral ~nu cps in
+  let phi_neutral = neutral.Public_option.phi in
+  let minimum_effective_share =
+    Array.fold_left
+      (fun acc p ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if p.phi >= phi_neutral *. (1. -. slack) then Some p.po_share
+            else None)
+      None swept
+  in
+  { sweep = swept;
+    phi_unregulated = unregulated.Public_option.phi;
+    phi_neutral;
+    minimum_effective_share }

@@ -1,0 +1,32 @@
+type t = { kappa : float; c : float }
+
+let make ~kappa ~c =
+  if not (kappa >= 0. && kappa <= 1.) then
+    invalid_arg "Strategy.make: kappa outside [0, 1]";
+  if not (c >= 0.) then invalid_arg "Strategy.make: c < 0";
+  { kappa; c }
+
+let kappa t = t.kappa
+let c t = t.c
+
+let public_option = { kappa = 0.; c = 0. }
+let is_public_option t = t.kappa = 0. && t.c = 0.
+let is_neutral t = t.kappa = 0. || t.c = 0.
+
+let equal a b = a.kappa = b.kappa && a.c = b.c
+
+let compare a b =
+  match Float.compare a.kappa b.kappa with
+  | 0 -> Float.compare a.c b.c
+  | n -> n
+
+let pp fmt t = Format.fprintf fmt "(kappa=%g, c=%g)" t.kappa t.c
+let to_string t = Format.asprintf "%a" pp t
+
+let grid ?kappas ?cs () =
+  let default () = Po_num.Grid.linspace 0. 1. 11 in
+  let kappas = match kappas with Some k -> k | None -> default () in
+  let cs = match cs with Some c -> c | None -> default () in
+  Array.concat
+    (Array.to_list
+       (Array.map (fun k -> Array.map (fun c -> make ~kappa:k ~c) cs) kappas))

@@ -1,0 +1,36 @@
+(** ISP strategies (Sec. III-A).
+
+    A strategy [s = (kappa, c)] devotes a fraction [kappa] of the ISP's
+    capacity to a premium service class charged at rate [c] per unit of
+    traffic; the remaining [1 - kappa] serves an ordinary, charge-free
+    class.  This is a Paris-Metro-Pricing style two-class differentiation
+    where the {e content providers} (not consumers) pick classes. *)
+
+type t = private { kappa : float; c : float }
+
+val make : kappa:float -> c:float -> t
+(** Requires [kappa in [0, 1]] and [c >= 0]. *)
+
+val kappa : t -> float
+val c : t -> float
+
+val public_option : t
+(** [(0, 0)]: no premium class, no charges — the strategy a Public Option
+    ISP commits to (Definition 5), also the strategy network-neutrality
+    regulation would impose. *)
+
+val is_public_option : t -> bool
+(** Whether the strategy is exactly [(0, 0)]. *)
+
+val is_neutral : t -> bool
+(** Whether the strategy induces no paid prioritisation: either no premium
+    capacity ([kappa = 0]) or a free premium class ([c = 0]). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val grid : ?kappas:float array -> ?cs:float array -> unit -> t array
+(** Cartesian strategy grid; defaults to 11 x 11 points on
+    [[0,1] x [0,1]]. *)

@@ -1,0 +1,1 @@
+lib/experiments/appendix.ml: Common Fig04 Fig05 Fig07 Fig08 List Po_workload

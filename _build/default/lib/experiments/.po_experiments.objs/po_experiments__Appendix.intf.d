@@ -1,0 +1,1 @@
+lib/experiments/appendix.mli: Common

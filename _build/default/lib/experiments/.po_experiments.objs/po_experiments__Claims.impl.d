@@ -1,0 +1,1 @@
+lib/experiments/claims.ml: Array Buffer Common Cp_game Duopoly Float List Monopoly Oligopoly Po_core Po_netsim Po_workload Printf Public_option Strategy String

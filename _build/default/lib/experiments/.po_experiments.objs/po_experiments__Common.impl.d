@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Buffer Filename List Po_report Po_workload Printf String

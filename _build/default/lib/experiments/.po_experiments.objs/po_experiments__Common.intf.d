@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Po_model Po_report Po_workload

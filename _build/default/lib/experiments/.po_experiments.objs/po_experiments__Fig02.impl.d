@@ -1,0 +1,1 @@
+lib/experiments/fig02.ml: Array Common Demand Po_model Po_num Po_report Printf

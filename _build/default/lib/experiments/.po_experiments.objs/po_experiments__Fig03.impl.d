@@ -1,0 +1,1 @@
+lib/experiments/fig03.ml: Array Common Cp Equilibrium Maxmin Po_model Po_num Po_report Po_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig04.ml: Array Common Monopoly Po_core Po_num Po_report Po_workload Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig04.mli: Common Po_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig05.ml: Array Common Cp_game Monopoly Po_core Po_num Po_report Po_workload Printf Strategy

@@ -1,0 +1,1 @@
+lib/experiments/fig05.mli: Common Po_workload

@@ -1,0 +1,1 @@
+lib/experiments/fig07.ml: Array Common Duopoly Po_core Po_num Po_report Po_workload Printf Strategy

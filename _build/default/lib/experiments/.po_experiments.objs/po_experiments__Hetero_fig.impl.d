@@ -1,0 +1,1 @@
+lib/experiments/hetero_fig.ml: Array Common Monopoly Po_core Po_num Po_report Po_workload Printf

@@ -1,0 +1,1 @@
+lib/experiments/hetero_fig.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/invest_fig.ml: Array Common Investment Po_core Po_num Po_report Po_workload

@@ -1,0 +1,1 @@
+lib/experiments/invest_fig.mli: Common

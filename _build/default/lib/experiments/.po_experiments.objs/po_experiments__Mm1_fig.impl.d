@@ -1,0 +1,1 @@
+lib/experiments/mm1_fig.ml: Array Common List Mm1 Po_model Po_num Po_report Po_workload Printf Surplus

@@ -1,0 +1,1 @@
+lib/experiments/mm1_fig.mli: Common

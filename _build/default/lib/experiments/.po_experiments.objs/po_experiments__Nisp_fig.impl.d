@@ -1,0 +1,1 @@
+lib/experiments/nisp_fig.ml: Array Common Cp_game Oligopoly Po_core Po_report Po_workload Printf Strategy

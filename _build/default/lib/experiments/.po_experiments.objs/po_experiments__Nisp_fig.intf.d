@@ -1,0 +1,1 @@
+lib/experiments/nisp_fig.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/pmp_fig.ml: Array Common Cp_game Option Partition Po_core Po_netsim Po_report Po_workload Printf Strategy

@@ -1,0 +1,1 @@
+lib/experiments/pmp_fig.mli: Common

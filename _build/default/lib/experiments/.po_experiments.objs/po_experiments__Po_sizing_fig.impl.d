@@ -1,0 +1,1 @@
+lib/experiments/po_sizing_fig.ml: Array Common Po_core Po_report Po_sizing Po_workload Printf

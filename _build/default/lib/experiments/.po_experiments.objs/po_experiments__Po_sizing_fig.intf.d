@@ -1,0 +1,1 @@
+lib/experiments/po_sizing_fig.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/red_fig.ml: Array Common Po_netsim Po_num Po_report Po_workload

@@ -1,0 +1,1 @@
+lib/experiments/red_fig.mli: Common

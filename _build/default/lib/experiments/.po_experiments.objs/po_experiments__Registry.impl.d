@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Appendix Common Fig02 Fig03 Fig04 Fig05 Fig07 Fig08 Hetero_fig Invest_fig List Mm1_fig Nisp_fig Pmp_fig Po_sizing_fig Red_fig Tandem_fig Tcp_fig Welfare_fig

@@ -1,0 +1,1 @@
+lib/experiments/tandem_fig.ml: Array Common List Po_model Po_netsim Po_report Po_workload

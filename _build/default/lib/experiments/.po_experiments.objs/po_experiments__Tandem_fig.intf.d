@@ -1,0 +1,1 @@
+lib/experiments/tandem_fig.mli: Common

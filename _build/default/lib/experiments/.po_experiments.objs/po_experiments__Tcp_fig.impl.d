@@ -1,0 +1,1 @@
+lib/experiments/tcp_fig.ml: Array Common List Po_model Po_netsim Po_num Po_report Po_workload Printf

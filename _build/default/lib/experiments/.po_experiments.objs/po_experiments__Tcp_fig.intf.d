@@ -1,0 +1,1 @@
+lib/experiments/tcp_fig.mli: Common

@@ -1,0 +1,1 @@
+lib/experiments/welfare_fig.ml: Array Common List Po_core Po_report Po_workload Printf Welfare

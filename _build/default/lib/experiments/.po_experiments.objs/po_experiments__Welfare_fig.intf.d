@@ -1,0 +1,1 @@
+lib/experiments/welfare_fig.mli: Common

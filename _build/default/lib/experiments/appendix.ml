@@ -1,0 +1,41 @@
+let independent = Po_workload.Ensemble.Independent
+
+let keep_panels names (figure : Common.figure) =
+  { figure with
+    Common.panels =
+      List.filter
+        (fun (name, _) -> List.mem name names)
+        figure.Common.panels }
+
+let note =
+  "appendix setting: phi ~ U[0, U[0,10]], independent of beta; CP \
+   decisions and ISP revenue are unchanged from the main-text figures"
+
+let fig9 ?params () =
+  let base = Fig04.generate ~phi_setting:independent ?params () in
+  { (keep_panels [ "Phi" ] base) with
+    Common.id = "fig9";
+    title = "Appendix: monopoly Phi vs c (kappa = 1), independent phi";
+    notes = [ note ] }
+
+let fig10 ?params () =
+  let base = Fig05.generate ~phi_setting:independent ?params () in
+  { (keep_panels [ "Phi" ] base) with
+    Common.id = "fig10";
+    title = "Appendix: monopoly Phi vs nu, strategy grid, independent phi";
+    notes = [ note ] }
+
+let fig11 ?params () =
+  let base = Fig07.generate ~phi_setting:independent ?params () in
+  { base with
+    Common.id = "fig11";
+    title = "Appendix: duopoly vs Public Option, independent phi";
+    notes = note :: base.Common.notes }
+
+let fig12 ?params () =
+  let base = Fig08.generate ~phi_setting:independent ?params () in
+  { base with
+    Common.id = "fig12";
+    title =
+      "Appendix: duopoly vs Public Option across capacity, independent phi";
+    notes = note :: base.Common.notes }

@@ -1,0 +1,17 @@
+(** Appendix figures 9-12: the same experiments as figures 4, 5, 7 and 8
+    but with consumer utility drawn as [phi ~ U[0, U[0, 10]]] — the same
+    scale as the main text's [U[0, beta]] but independent of the
+    throughput sensitivity.  The paper reports that all observations
+    carry over; these generators let the benches confirm it. *)
+
+val fig9 : ?params:Common.params -> unit -> Common.figure
+(** [Phi] panel of Figure 4 under the independent utility draw. *)
+
+val fig10 : ?params:Common.params -> unit -> Common.figure
+(** [Phi] panel of Figure 5 under the independent utility draw. *)
+
+val fig11 : ?params:Common.params -> unit -> Common.figure
+(** Figure 7 (all panels) under the independent utility draw. *)
+
+val fig12 : ?params:Common.params -> unit -> Common.figure
+(** Figure 8 (all panels) under the independent utility draw. *)

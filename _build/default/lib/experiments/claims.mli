@@ -1,0 +1,40 @@
+(** Numerical audits of the paper's theorems and regulatory claims — the
+    "who wins" checks that accompany the figure reproductions. *)
+
+type check = {
+  claim : string;
+  passed : bool;
+  detail : string;
+}
+
+val theorem4 : ?params:Common.params -> unit -> check
+(** [kappa = 1] revenue-dominates every smaller [kappa] at sampled prices
+    and capacities. *)
+
+val theorem5 : ?params:Common.params -> unit -> check
+(** In the duopoly against a Public Option, the market-share-maximising
+    strategy is (within tolerance) consumer-surplus-maximising. *)
+
+val lemma4 : ?params:Common.params -> unit -> check
+(** Homogeneous oligopoly strategies give market shares equal to capacity
+    shares. *)
+
+val theorem6 : ?params:Common.params -> unit -> check
+(** Market-share best responses are epsilon-best responses for consumer
+    surplus, with epsilon measured per Eq. (9) on the rivals' curves. *)
+
+val corollary1 : ?params:Common.params -> unit -> check
+(** A menu-restricted market-share Nash equilibrium is also a
+    consumer-surplus eps-Nash equilibrium. *)
+
+val regime_ordering : ?params:Common.params -> unit -> check
+(** [Phi(public option) >= Phi(neutral) >= Phi(unregulated)] at a
+    moderately scarce capacity. *)
+
+val tcp_maxmin : ?params:Common.params -> unit -> check
+(** The packet-level AIMD simulation matches the max-min model within a
+    modest relative error on the three-CP scenario. *)
+
+val all : ?params:Common.params -> unit -> check list
+
+val render : check list -> string

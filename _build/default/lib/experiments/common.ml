@@ -1,0 +1,64 @@
+type figure = {
+  id : string;
+  title : string;
+  x_label : string;
+  panels : (string * Po_report.Series.t list) list;
+  notes : string list;
+}
+
+type params = {
+  n_cps : int;
+  seed : int;
+  sweep_points : int;
+}
+
+let default_params = { n_cps = 1000; seed = 42; sweep_points = 33 }
+let quick_params = { n_cps = 120; seed = 42; sweep_points = 9 }
+
+let ensemble ?phi params =
+  Po_workload.Ensemble.paper_ensemble ~n:params.n_cps ?phi ~seed:params.seed
+    ()
+
+let render ?(plots = true) figure =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "== %s: %s ==\n" figure.id figure.title);
+  List.iter
+    (fun (panel_name, series) ->
+      Buffer.add_string buf (Printf.sprintf "\n-- %s --\n" panel_name);
+      Buffer.add_string buf
+        (Po_report.Table.of_series ~precision:4 ~x_header:figure.x_label
+           series);
+      if plots then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf
+          (Po_report.Asciiplot.render ~width:64 ~height:14 series)
+      end)
+    figure.panels;
+  if figure.notes <> [] then begin
+    Buffer.add_string buf "\nNotes:\n";
+    List.iter
+      (fun note -> Buffer.add_string buf (Printf.sprintf "  - %s\n" note))
+      figure.notes
+  end;
+  Buffer.contents buf
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    name
+
+let csv_files ~dir figure =
+  List.map
+    (fun (panel_name, series) ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s_%s.csv" figure.id (sanitize panel_name))
+      in
+      Po_report.Csv.write_file ~path
+        (Po_report.Csv.of_series ~x_header:figure.x_label series);
+      path)
+    figure.panels

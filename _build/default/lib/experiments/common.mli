@@ -1,0 +1,35 @@
+(** Shared plumbing for the figure-reproduction experiments.
+
+    Every experiment module produces a {!figure}: a set of named panels,
+    each holding the series the corresponding paper figure plots.  The
+    bench harness renders them as tables and ASCII plots and writes one
+    CSV per panel. *)
+
+type figure = {
+  id : string;  (** e.g. ["fig4"] *)
+  title : string;
+  x_label : string;
+  panels : (string * Po_report.Series.t list) list;
+  notes : string list;  (** observations to compare against the paper *)
+}
+
+type params = {
+  n_cps : int;  (** ensemble size *)
+  seed : int;
+  sweep_points : int;  (** resolution of the swept axis *)
+}
+
+val default_params : params
+(** The paper's scale: 1000 CPs, 33-point sweeps. *)
+
+val quick_params : params
+(** Reduced scale for tests and timing benches: 120 CPs, 9-point
+    sweeps. *)
+
+val ensemble : ?phi:Po_workload.Ensemble.phi_setting -> params -> Po_model.Cp.t array
+
+val render : ?plots:bool -> figure -> string
+(** Tables (one per panel) and optional ASCII plots. *)
+
+val csv_files : dir:string -> figure -> string list
+(** Write one CSV per panel under [dir]; returns the paths written. *)

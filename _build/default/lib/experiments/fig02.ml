@@ -1,0 +1,27 @@
+open Po_model
+
+let betas = [| 0.1; 0.5; 1.; 3.; 5.; 10. |]
+
+let generate ?(params = Common.default_params) () =
+  let points = max 21 (4 * params.Common.sweep_points) in
+  let omegas = Po_num.Grid.linspace 0.01 1. points in
+  let series =
+    Array.to_list
+      (Array.map
+         (fun beta ->
+           let demand = Demand.exponential ~beta in
+           Po_report.Series.of_fn
+             ~label:(Printf.sprintf "beta=%g" beta)
+             ~xs:omegas
+             (fun omega -> Demand.eval demand omega))
+         betas)
+  in
+  { Common.id = "fig2";
+    title = "Demand function d_i(omega_i) under Eq. (3)";
+    x_label = "omega";
+    panels = [ ("demand", series) ];
+    notes =
+      [ "larger beta = sharper decay: at beta=5 a 10% throughput drop \
+         roughly halves demand (paper Sec. II-D.1)";
+        "beta=0.1 stays near 1 across the whole range (search-like \
+         content)" ] }

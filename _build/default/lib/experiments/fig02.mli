@@ -1,0 +1,6 @@
+(** Figure 2: the demand family [d_i(omega_i)] of Eq. (3) for throughput
+    sensitivities [beta in {0.1, 0.5, 1, 3, 5, 10}]. *)
+
+val betas : float array
+
+val generate : ?params:Common.params -> unit -> Common.figure

@@ -1,0 +1,27 @@
+open Po_model
+
+let generate ?(params = Common.default_params) () =
+  let cps = Po_workload.Scenario.three_cp () in
+  let points = max 25 (3 * params.Common.sweep_points) in
+  let nus = Po_num.Grid.linspace 0.01 6. points in
+  let solutions = Array.map (fun nu -> Maxmin.solve ~nu cps) nus in
+  let series_of proj label i =
+    Po_report.Series.make ~label ~xs:nus
+      ~ys:(Array.map (fun sol -> proj sol i) solutions)
+  in
+  let theta sol i = sol.Equilibrium.theta.(i) in
+  let demand sol i = sol.Equilibrium.demand.(i) in
+  let labels = Array.map (fun (cp : Cp.t) -> cp.Cp.label) cps in
+  let panel proj name =
+    ( name,
+      Array.to_list (Array.mapi (fun i label -> series_of proj label i) labels)
+    )
+  in
+  { Common.id = "fig3";
+    title = "Throughput under the max-min fair mechanism (3-CP example)";
+    x_label = "nu";
+    panels = [ panel theta "throughput"; panel demand "demand" ];
+    notes =
+      [ "as nu grows, demand recovers for Google-type first, then \
+         Skype-type, Netflix-type last (paper Sec. II-D.2)";
+        "google saturates at theta_hat=1, skype at 3, netflix at 10" ] }

@@ -1,0 +1,9 @@
+(** Figure 3: per-CP achievable throughput and demand versus per-capita
+    capacity under the max-min fair mechanism, for the three-CP example of
+    Sec. II-D (Google/Netflix/Skype archetypes).
+
+    The paper's x-axis runs to 6000 with an implicit consumer population of
+    1000; we plot the per-capita capacity [nu in [0, 6]], which is the same
+    sweep by Axiom 4 (independence of scale). *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

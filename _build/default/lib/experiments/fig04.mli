@@ -1,0 +1,16 @@
+(** Figure 4 (and appendix Figure 9): monopoly per-capita ISP surplus
+    [Psi] and consumer surplus [Phi] versus the premium price [c] under
+    [kappa = 1], for per-capita capacities [nu in {20, 50, 100, 150, 200}].
+
+    Expected shape (paper Sec. III-E): [Psi = c nu] while the premium class
+    stays saturated, then a sub-linear region (abundant capacity only),
+    then a sharp collapse once few CPs can afford the class; [Phi] falls
+    with the collapse, and with abundant capacity the revenue-optimal price
+    (around 0.45 at [nu = 200]) sits in the region where [Phi] is already
+    declining — the monopoly misalignment. *)
+
+val nus : float array
+
+val generate :
+  ?phi_setting:Po_workload.Ensemble.phi_setting -> ?params:Common.params ->
+  unit -> Common.figure

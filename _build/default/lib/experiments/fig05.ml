@@ -1,0 +1,48 @@
+open Po_core
+
+let kappas = [| 0.1; 0.5; 0.9 |]
+let cs = [| 0.2; 0.5; 0.8 |]
+
+let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
+    ?(params = Common.default_params) () =
+  let cps = Common.ensemble ~phi:phi_setting params in
+  let nus =
+    Po_num.Grid.linspace 1. 500. (max 11 params.Common.sweep_points)
+  in
+  let combos =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun c -> Array.map (fun kappa -> (kappa, c)) kappas)
+            cs))
+  in
+  let sweeps =
+    Array.map
+      (fun (kappa, c) ->
+        let strategy = Strategy.make ~kappa ~c in
+        ((kappa, c), Monopoly.capacity_sweep ~strategy ~nus cps))
+      combos
+  in
+  let panel proj name =
+    ( name,
+      Array.to_list
+        (Array.map
+           (fun ((kappa, c), outcomes) ->
+             Po_report.Series.make
+               ~label:(Printf.sprintf "kappa=%g,c=%g" kappa c)
+               ~xs:nus
+               ~ys:(Array.map proj outcomes))
+           sweeps) )
+  in
+  { Common.id = "fig5";
+    title = "Monopoly surplus vs capacity under strategies (kappa, c)";
+    x_label = "nu";
+    panels =
+      [ panel (fun (o : Cp_game.outcome) -> o.Cp_game.psi) "Psi";
+        panel (fun (o : Cp_game.outcome) -> o.Cp_game.phi) "Phi" ];
+    notes =
+      [ "Psi rises linearly while the premium class is saturated, then \
+         decays; for small kappa it reaches zero once the ordinary class \
+         can serve everyone";
+        "higher kappa keeps revenue positive at large nu but depresses \
+         Phi below its maximum" ] }

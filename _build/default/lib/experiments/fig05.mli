@@ -1,0 +1,16 @@
+(** Figure 5 (and appendix Figure 10): monopoly [Psi] and [Phi] versus
+    per-capita capacity [nu in [0, 500]] for the strategy grid
+    [kappa in {0.1, 0.5, 0.9}] x [c in {0.2, 0.5, 0.8}].
+
+    Expected shape: three equilibrium regimes per strategy — saturated
+    premium class ([Psi] linear in [nu]), partially utilised class ([Psi]
+    declining as CPs defect to the ordinary class), and an empty premium
+    class at large [nu] where [Psi] hits zero for small [kappa]; larger
+    [kappa] holds revenue longer at the expense of [Phi]. *)
+
+val kappas : float array
+val cs : float array
+
+val generate :
+  ?phi_setting:Po_workload.Ensemble.phi_setting -> ?params:Common.params ->
+  unit -> Common.figure

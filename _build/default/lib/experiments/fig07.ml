@@ -1,0 +1,43 @@
+open Po_core
+
+let nus = [| 20.; 100.; 150.; 200. |]
+
+let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
+    ?(params = Common.default_params) () =
+  let cps = Common.ensemble ~phi:phi_setting params in
+  let cs = Po_num.Grid.linspace 0. 1. (max 11 params.Common.sweep_points) in
+  let sweeps =
+    Array.map
+      (fun nu ->
+        let cfg =
+          Duopoly.config ~nu ~strategy_i:(Strategy.make ~kappa:1. ~c:0.) ()
+        in
+        (nu, Duopoly.price_sweep ~kappa_i:1. ~config:cfg ~cs cps))
+      nus
+  in
+  let panel proj name =
+    ( name,
+      Array.to_list
+        (Array.map
+           (fun (nu, eqs) ->
+             Po_report.Series.make
+               ~label:(Printf.sprintf "nu=%g" nu)
+               ~xs:cs ~ys:(Array.map proj eqs))
+           sweeps) )
+  in
+  { Common.id = "fig7";
+    title =
+      "Duopoly vs a Public Option: market share and surplus vs c_I \
+       (kappa_I = 1)";
+    x_label = "c_I";
+    panels =
+      [ panel (fun (e : Duopoly.equilibrium) -> e.Duopoly.m_i) "market_share";
+        panel (fun (e : Duopoly.equilibrium) -> e.Duopoly.psi_i) "Psi_I";
+        panel (fun (e : Duopoly.equilibrium) -> e.Duopoly.phi) "Phi" ];
+    notes =
+      [ "m_I stays slightly above 1/2 while ISP I's class is saturated, \
+         then collapses (competition disciplines pricing)";
+        "Psi_I peaks lower at nu=200 than nu=150: capacity expansion can \
+         reduce CP-side revenue under kappa=1";
+        "Phi stays positive at c_I -> 1: consumers fall back to the \
+         Public Option" ] }

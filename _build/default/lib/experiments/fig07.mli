@@ -1,0 +1,16 @@
+(** Figure 7 (and appendix Figure 11): duopoly against a Public Option —
+    ISP I's market share [m_I], surplus [Psi_I] and the population
+    consumer surplus [Phi] versus ISP I's premium price [c_I], with
+    [kappa_I = 1], equal capacities, [nu in {20, 100, 150, 200}].
+
+    Expected shape: [m_I] creeps slightly above 1/2 while ISP I's premium
+    class is saturated (restricting membership favours throughput-sensitive
+    traffic), then collapses once the class under-utilises; [Psi_I] drops
+    to zero much more steeply than in the monopoly case; [Phi] never falls
+    to zero because consumers retreat to the Public Option. *)
+
+val nus : float array
+
+val generate :
+  ?phi_setting:Po_workload.Ensemble.phi_setting -> ?params:Common.params ->
+  unit -> Common.figure

@@ -1,0 +1,17 @@
+(** Figure 8 (and appendix Figure 12): duopoly against a Public Option —
+    [Psi_I], [Phi] and [m_I] versus total per-capita capacity
+    [nu in [0, 500]] for ISP I strategies
+    [kappa in {0.1, 0.5, 0.9}] x [c in {0.2, 0.5, 0.8}].
+
+    Expected shape: [Psi_I] drops sharply to zero after its peak (unlike
+    the monopoly's gradual decline); [Phi]'s growth is barely affected by
+    ISP I's strategy; when capacity is scarce differential pricing earns
+    ISP I slightly over half the market, and when abundant it converges to
+    at most an equal split. *)
+
+val kappas : float array
+val cs : float array
+
+val generate :
+  ?phi_setting:Po_workload.Ensemble.phi_setting -> ?params:Common.params ->
+  unit -> Common.figure

@@ -1,0 +1,39 @@
+open Po_core
+
+let generate ?(params = Common.default_params) () =
+  let cps =
+    Po_workload.Ensemble.heavy_tailed_ensemble ~n:params.Common.n_cps
+      ~seed:params.Common.seed ()
+  in
+  let sat = Po_workload.Ensemble.saturation_nu cps in
+  let cs = Po_num.Grid.linspace 0. 1. (max 11 params.Common.sweep_points) in
+  let fracs = [| 0.15; 0.5; 0.85 |] in
+  let sweeps =
+    Array.map
+      (fun frac ->
+        (frac, Monopoly.price_sweep ~kappa:1. ~nu:(frac *. sat) ~cs cps))
+      fracs
+  in
+  let panel proj name =
+    ( name,
+      Array.to_list
+        (Array.map
+           (fun (frac, points) ->
+             Po_report.Series.make
+               ~label:(Printf.sprintf "nu=%.2f*sat" frac)
+               ~xs:cs ~ys:(Array.map proj points))
+           sweeps) )
+  in
+  { Common.id = "hetero";
+    title =
+      "Ablation: monopoly price sweep on a Zipf/Pareto (heavy-tailed) \
+       ensemble";
+    x_label = "c";
+    panels =
+      [ panel (fun (p : Monopoly.price_point) -> p.Monopoly.psi) "Psi";
+        panel (fun (p : Monopoly.price_point) -> p.Monopoly.phi) "Phi" ];
+    notes =
+      [ "the Fig. 4 regimes (linear revenue, collapse, abundant-capacity \
+         misalignment) survive heavy-tailed popularity and peak rates";
+        "saturation capacity differs from the uniform ensemble; sweeps \
+         are anchored to fractions of it" ] }

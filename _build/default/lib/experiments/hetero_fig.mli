@@ -1,0 +1,11 @@
+(** Ablation [hetero]: robustness of the monopoly misalignment to the
+    workload distribution.
+
+    The paper draws CP attributes from uniform laws; real content
+    popularity is Zipf and peak rates are heavy-tailed.  This ablation
+    repeats the Fig. 4 price sweep on the heavy-tailed ensemble and
+    checks that the qualitative conclusions (linear revenue regime,
+    collapse, consumer-surplus misalignment at abundance) survive the
+    skew. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

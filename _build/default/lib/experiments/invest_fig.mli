@@ -1,0 +1,9 @@
+(** Extension experiment [invest]: capacity-investment incentives.
+
+    Panel [monopoly]: the monopolist's {e optimised} CP-side revenue and
+    optimal price across installed capacity — the declining branch is the
+    Choi-Kim disincentive the paper cites.  Panel [competition]: a
+    duopolist's market share and revenue as its capacity share grows —
+    Lemma 4's share-proportional-to-capacity incentive. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

@@ -1,0 +1,9 @@
+(** Ablation [mm1]: consumer surplus across capacity under the paper's
+    closed-loop model (max-min + demand coupling) versus the open-loop
+    M/M/1 delay abstraction used by the prior economic literature the
+    paper criticises (Sec. V).  The point of the ablation is the {e
+    shape} difference: the M/M/1 world has a sharp congestion knee and a
+    delay-discounted plateau, while the closed-loop model degrades
+    gracefully and saturates exactly at the unconstrained optimum. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

@@ -1,0 +1,10 @@
+(** Extension experiment [nisp]: competition intensity.
+
+    Sec. VI: "The more ISPs competing in a market, the less the market
+    needs a public option."  The experiment holds total capacity fixed and
+    varies the number of equal-capacity commercial ISPs; each market is
+    driven to a (menu-restricted) market-share Nash equilibrium via
+    best-response dynamics, and the equilibrium consumer surplus is
+    compared against the monopoly extremes and the full-neutral benchmark. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

@@ -1,0 +1,11 @@
+(** Extension experiment [pmp]: end-to-end validation of the two-class
+    (Paris-Metro-Pricing) abstraction.
+
+    The game layer treats the ordinary and premium classes as two
+    independent max-min bottlenecks of capacity [(1-kappa) nu] and
+    [kappa nu].  Here each class of a solved CP-game outcome is run
+    through the packet-level AIMD simulator and the measured per-class
+    carried load is compared against the analytical class solution —
+    closing the loop from strategic equilibrium to packets on a wire. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

@@ -1,0 +1,46 @@
+open Po_core
+
+let generate ?(params = Common.default_params) () =
+  (* The best-response grid makes each point expensive; a mid-sized
+     ensemble preserves the shape. *)
+  let params = { params with Common.n_cps = min params.Common.n_cps 150 } in
+  let cps = Common.ensemble params in
+  let sat = Po_workload.Ensemble.saturation_nu cps in
+  let nu = 0.85 *. sat in
+  let po_shares = [| 0.05; 0.1; 0.2; 0.3; 0.4; 0.5 |] in
+  let eff =
+    Po_sizing.effectiveness ~levels:2 ~points:7 ~nu ~po_shares cps
+  in
+  let xs = po_shares in
+  let of_field f = Array.map f eff.Po_sizing.sweep in
+  let const label value =
+    Po_report.Series.make ~label ~xs ~ys:(Array.map (fun _ -> value) xs)
+  in
+  let phi_panel =
+    [ Po_report.Series.make ~label:"Phi(public option)" ~xs
+        ~ys:(of_field (fun p -> p.Po_sizing.phi));
+      const "Phi(neutral regulation)" eff.Po_sizing.phi_neutral;
+      const "Phi(unregulated)" eff.Po_sizing.phi_unregulated ]
+  in
+  let market_panel =
+    [ Po_report.Series.make ~label:"commercial_share" ~xs
+        ~ys:(of_field (fun p -> p.Po_sizing.commercial_share));
+      Po_report.Series.make ~label:"commercial_psi" ~xs
+        ~ys:(of_field (fun p -> p.Po_sizing.psi_commercial)) ]
+  in
+  let note_min =
+    match eff.Po_sizing.minimum_effective_share with
+    | Some share ->
+        Printf.sprintf
+          "smallest swept PO share already beating neutral regulation: %g"
+          share
+    | None -> "no swept PO share beats neutral regulation (unexpected)"
+  in
+  { Common.id = "posize";
+    title = "Sizing the Public Option (abundant capacity, 0.85 saturation)";
+    x_label = "po_share";
+    panels = [ ("Phi", phi_panel); ("commercial", market_panel) ];
+    notes =
+      [ note_min;
+        "the paper's Sec. VI conjecture: a small safety-net slice already \
+         disciplines the commercial ISP" ] }

@@ -1,0 +1,6 @@
+(** Extension experiment [posize]: how much capacity does the Public
+    Option need?  (Sec. VI discussion: the paper conjectures a slice
+    comparable to the market share the monopolist cannot afford to lose —
+    e.g. 10% — is already effective.) *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

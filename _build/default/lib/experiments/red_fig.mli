@@ -1,0 +1,8 @@
+(** Ablation [red]: does active queue management change how well AIMD
+    approximates max-min?  RED desynchronises flows before the buffer
+    fills; droptail relies on the ack-jitter to break phase locking.  The
+    experiment sweeps capacity on the three-CP scenario under both
+    policies and reports the max per-CP relative error against the
+    analytical equilibrium, plus the early-drop fraction. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

@@ -1,0 +1,18 @@
+(** Index of every reproducible experiment, keyed by the paper's figure
+    ids (plus the [tcp] extension).  Used by the CLI and the bench
+    harness. *)
+
+type entry = {
+  id : string;
+  description : string;
+  generate : ?params:Common.params -> unit -> Common.figure;
+}
+
+val entries : entry list
+(** In paper order — fig2, fig3, fig4, fig5, fig7, fig8, fig9, fig10,
+    fig11, fig12 (figures 1 and 6 are schematic diagrams with no data
+    series) — followed by the extensions and ablations: tcp, posize,
+    welfare, invest, mm1, pmp, red. *)
+
+val find : string -> entry option
+val ids : unit -> string list

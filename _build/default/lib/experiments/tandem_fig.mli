@@ -1,0 +1,9 @@
+(** Extension experiment [tandem]: is the single-bottleneck model
+    justified?  (Sec. II: "the bottleneck of the Internet is often at the
+    last-mile connection".)
+
+    Runs the three-CP scenario over a backbone-plus-last-mile tandem and
+    compares per-CP delivered rates against the last-mile-only
+    simulation, across backbone headroom ratios. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

@@ -1,0 +1,63 @@
+let generate ?(params = Common.default_params) () =
+  let cps = Po_workload.Scenario.three_cp () in
+  let points = max 5 (params.Common.sweep_points / 2) in
+  let nus = Po_num.Grid.linspace 0.5 5.5 points in
+  let reports =
+    Array.map (fun nu -> Po_netsim.Validate.compare ~nu cps) nus
+  in
+  let rate_series which label =
+    Po_report.Series.make ~label ~xs:nus
+      ~ys:
+        (Array.map
+           (fun (r : Po_netsim.Validate.report) ->
+             which r.Po_netsim.Validate.per_cp)
+           reports)
+  in
+  let per_cp_series proj suffix =
+    List.init 3 (fun i ->
+        rate_series
+          (fun per_cp -> proj per_cp.(i))
+          (Printf.sprintf "%s-%s"
+             (Po_workload.Scenario.three_cp ()).(i).Po_model.Cp.label
+             suffix))
+  in
+  let sim =
+    per_cp_series
+      (fun (c : Po_netsim.Validate.cp_comparison) ->
+        c.Po_netsim.Validate.simulated_rate)
+      "sim"
+  in
+  let model =
+    per_cp_series
+      (fun (c : Po_netsim.Validate.cp_comparison) ->
+        c.Po_netsim.Validate.predicted_rate)
+      "model"
+  in
+  let error =
+    [ Po_report.Series.make ~label:"max_rel_error" ~xs:nus
+        ~ys:
+          (Array.map
+             (fun (r : Po_netsim.Validate.report) ->
+               r.Po_netsim.Validate.max_relative_error)
+             reports) ]
+  in
+  let ratios = [| 1.; 2.; 4.; 8. |] in
+  let bias =
+    Po_netsim.Validate.rtt_bias_experiment ~nu:2.5 ~rtt_ratios:ratios cps
+  in
+  let bias_series =
+    [ Po_report.Series.make ~label:"max_rel_error_vs_rtt_spread"
+        ~xs:(Array.map fst bias) ~ys:(Array.map snd bias) ]
+  in
+  { Common.id = "tcp";
+    title = "AIMD packet simulation vs max-min model (3-CP scenario)";
+    x_label = "nu";
+    panels =
+      [ ("rates", sim @ model); ("relative_error", error);
+        ("rtt_bias", bias_series) ];
+    notes =
+      [ "with homogeneous RTTs, AIMD shares track the max-min equilibrium \
+         (paper's Sec. II-D.2 justification)";
+        "the rtt_bias panel's x-axis is the RTT spread ratio, not nu; \
+         widening RTT heterogeneity degrades the max-min approximation" ]
+  }

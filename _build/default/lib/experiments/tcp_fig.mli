@@ -1,0 +1,9 @@
+(** Extension experiment: microfoundation of the max-min assumption.
+
+    Not a paper figure — it validates the modelling choice of
+    Sec. II-D.2 by running the packet-level AIMD simulator on the
+    three-CP scenario and comparing per-CP rates with the analytical
+    max-min equilibrium across capacities, plus an RTT-heterogeneity
+    ablation showing where the abstraction degrades. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

@@ -1,0 +1,6 @@
+(** Extension experiment [welfare]: the three-party welfare decomposition
+    of each regulatory regime — who pays for each regime's consumer
+    gains.  Complements the paper's consumer-surplus focus with the
+    Sidak-style total-welfare view it debates in Sec. V. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

@@ -1,0 +1,1 @@
+lib/model/alloc.ml: Array Cp Equilibrium Float Printf

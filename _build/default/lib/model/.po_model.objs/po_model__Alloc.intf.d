@@ -1,0 +1,1 @@
+lib/model/alloc.mli: Cp Equilibrium

@@ -1,0 +1,1 @@
+lib/model/alphafair.ml: Alloc Array Equilibrium Float Printf

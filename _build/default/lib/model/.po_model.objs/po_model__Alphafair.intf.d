@@ -1,0 +1,1 @@
+lib/model/alphafair.mli: Alloc Cp Equilibrium

@@ -1,0 +1,1 @@
+lib/model/cp.ml: Demand Float Format Printf

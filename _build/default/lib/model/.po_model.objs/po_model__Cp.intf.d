@@ -1,0 +1,1 @@
+lib/model/cp.mli: Demand Format

@@ -1,0 +1,1 @@
+lib/model/equilibrium.ml: Array Cp Float Po_num Seq

@@ -1,0 +1,1 @@
+lib/model/equilibrium.mli: Cp

@@ -1,0 +1,1 @@
+lib/model/maxmin.ml: Alloc Array Equilibrium

@@ -1,0 +1,1 @@
+lib/model/maxmin.mli: Alloc Cp Equilibrium

@@ -1,0 +1,1 @@
+lib/model/mm1.ml: Array Cp Demand Float Po_num

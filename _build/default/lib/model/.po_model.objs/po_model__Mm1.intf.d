@@ -1,0 +1,1 @@
+lib/model/mm1.mli: Cp

@@ -1,0 +1,1 @@
+lib/model/priority.ml: Alloc Array Cp Equilibrium Float Po_num

@@ -1,0 +1,1 @@
+lib/model/surplus.ml: Alloc Array Cp Equilibrium Float Maxmin

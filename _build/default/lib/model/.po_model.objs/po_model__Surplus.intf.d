@@ -1,0 +1,1 @@
+lib/model/surplus.mli: Alloc Cp Equilibrium

@@ -1,0 +1,108 @@
+type t = {
+  name : string;
+  solve : nu:float -> Cp.t array -> Equilibrium.solution;
+}
+
+let solve_absolute t ~m ~mu cps =
+  if m <= 0. then invalid_arg "Alloc.solve_absolute: m <= 0";
+  if mu < 0. then invalid_arg "Alloc.solve_absolute: mu < 0";
+  t.solve ~nu:(mu /. m) cps
+
+let errf t fmt = Printf.ksprintf (fun s -> Error (t.name ^ ": " ^ s)) fmt
+
+let check_axiom1 ?(tol = 1e-9) t ~nu cps =
+  let sol = t.solve ~nu cps in
+  let violation = ref None in
+  Array.iteri
+    (fun i (cp : Cp.t) ->
+      if !violation = None && sol.Equilibrium.theta.(i) > cp.Cp.theta_hat +. tol
+      then violation := Some (i, sol.Equilibrium.theta.(i), cp.Cp.theta_hat))
+    cps;
+  match !violation with
+  | None -> Ok ()
+  | Some (i, theta, theta_hat) ->
+      errf t "axiom 1 violated at nu=%g: theta_%d=%g > theta_hat=%g" nu i
+        theta theta_hat
+
+let check_axiom2 ?(tol = 1e-6) t ~nu cps =
+  let sol = t.solve ~nu cps in
+  let unconstrained =
+    Array.fold_left (fun acc cp -> acc +. Cp.lambda_hat_per_capita cp) 0. cps
+  in
+  let expected = Float.min nu unconstrained in
+  let scale = Float.max expected 1. in
+  if Float.abs (sol.Equilibrium.per_capita_rate -. expected) > tol *. scale
+  then
+    errf t "axiom 2 violated at nu=%g: aggregate=%g expected=%g" nu
+      sol.Equilibrium.per_capita_rate expected
+  else Ok ()
+
+let check_axiom3 ?(tol = 1e-9) t ~nus cps =
+  let n = Array.length nus in
+  let rec scan i prev =
+    if i >= n then Ok ()
+    else begin
+      let sol = t.solve ~nu:nus.(i) cps in
+      match prev with
+      | None -> scan (i + 1) (Some sol)
+      | Some prev_sol ->
+          if nus.(i) < nus.(i - 1) then
+            invalid_arg "Alloc.check_axiom3: capacities must be increasing";
+          let bad = ref None in
+          Array.iteri
+            (fun j th ->
+              if !bad = None && th < prev_sol.Equilibrium.theta.(j) -. tol then
+                bad := Some (j, prev_sol.Equilibrium.theta.(j), th))
+            sol.Equilibrium.theta;
+          (match !bad with
+          | Some (j, before, after) ->
+              errf t
+                "axiom 3 violated: theta_%d drops from %g to %g as nu rises \
+                 %g -> %g"
+                j before after nus.(i - 1) nus.(i)
+          | None -> scan (i + 1) (Some sol))
+    end
+  in
+  scan 0 None
+
+let check_axiom4 ?(tol = 1e-9) t ~m ~mu ~scales cps =
+  let reference = solve_absolute t ~m ~mu cps in
+  let rec scan i =
+    if i >= Array.length scales then Ok ()
+    else begin
+      let xi = scales.(i) in
+      if xi <= 0. then invalid_arg "Alloc.check_axiom4: scale <= 0";
+      let scaled = solve_absolute t ~m:(xi *. m) ~mu:(xi *. mu) cps in
+      let bad = ref None in
+      Array.iteri
+        (fun j th ->
+          if
+            !bad = None
+            && Float.abs (th -. reference.Equilibrium.theta.(j)) > tol
+          then bad := Some (j, reference.Equilibrium.theta.(j), th))
+        scaled.Equilibrium.theta;
+      match !bad with
+      | Some (j, base, other) ->
+          errf t "axiom 4 violated at scale %g: theta_%d %g <> %g" xi j base
+            other
+      | None -> scan (i + 1)
+    end
+  in
+  scan 0
+
+let check_all ?tol t ~nus cps =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let rec per_point i =
+    if i >= Array.length nus then Ok ()
+    else
+      let* () = check_axiom1 ?tol t ~nu:nus.(i) cps in
+      let* () = check_axiom2 ?tol:None t ~nu:nus.(i) cps in
+      per_point (i + 1)
+  in
+  let* () = per_point 0 in
+  let* () = check_axiom3 ?tol t ~nus cps in
+  if Array.length nus = 0 then Ok ()
+  else
+    let median = nus.(Array.length nus / 2) in
+    check_axiom4 ?tol t ~m:1000. ~mu:(median *. 1000.)
+      ~scales:[| 0.1; 0.5; 2.; 10. |] cps

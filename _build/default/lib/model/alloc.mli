@@ -1,0 +1,45 @@
+(** Rate-allocation mechanisms and the paper's axioms (Sec. II-B).
+
+    A mechanism maps a per-capita system [(nu, cps)] to a rate equilibrium.
+    The paper requires (Assumption 2) that mechanisms satisfy:
+
+    - {b Axiom 1} (demand feasibility): [theta_i <= theta_hat_i];
+    - {b Axiom 2} (work conservation):
+      [lambda_N = min (mu, sum lambda_hat_i)];
+    - {b Axiom 3} (monotonicity): more capacity never lowers any CP's
+      achievable throughput;
+    - {b Axiom 4} (independence of scale): only [nu = mu / M] matters.
+
+    This module defines the mechanism abstraction and numerical auditors
+    for each axiom, used both in tests and to vet custom mechanisms. *)
+
+type t = {
+  name : string;
+  solve : nu:float -> Cp.t array -> Equilibrium.solution;
+}
+
+val solve_absolute : t -> m:float -> mu:float -> Cp.t array -> Equilibrium.solution
+(** Absolute-system entry point: [solve ~nu:(mu /. m)].  [m > 0]. *)
+
+val check_axiom1 : ?tol:float -> t -> nu:float -> Cp.t array -> (unit, string) result
+(** Audits [theta_i <= theta_hat_i] at one capacity point. *)
+
+val check_axiom2 : ?tol:float -> t -> nu:float -> Cp.t array -> (unit, string) result
+(** Audits work conservation at one capacity point.  [tol] is relative to
+    the constraint level. *)
+
+val check_axiom3 :
+  ?tol:float -> t -> nus:float array -> Cp.t array -> (unit, string) result
+(** Audits componentwise monotonicity of achievable throughput across an
+    increasing array of capacities. *)
+
+val check_axiom4 :
+  ?tol:float -> t -> m:float -> mu:float -> scales:float array ->
+  Cp.t array -> (unit, string) result
+(** Audits scale independence: the profile of [(scale*m, scale*mu)] matches
+    that of [(m, mu)] for every scale factor. *)
+
+val check_all :
+  ?tol:float -> t -> nus:float array -> Cp.t array -> (unit, string) result
+(** Runs axioms 1-3 over the capacity grid and axiom 4 at its median,
+    stopping at the first violation. *)

@@ -1,0 +1,22 @@
+let effective_weights ~alpha weights =
+  if alpha <= 0. then invalid_arg "Alphafair.effective_weights: alpha <= 0";
+  Array.map
+    (fun w ->
+      if w <= 0. then invalid_arg "Alphafair.effective_weights: weight <= 0";
+      if alpha = Float.infinity then 1. else w ** (1. /. alpha))
+    weights
+
+let solve ?weights ~alpha ~nu cps =
+  let weights =
+    match weights with
+    | None -> None
+    | Some w -> Some (effective_weights ~alpha w)
+  in
+  Equilibrium.solve ?weights ~nu cps
+
+let mechanism ?weights ~alpha () =
+  let name =
+    if alpha = Float.infinity then "alpha-fair(max-min)"
+    else Printf.sprintf "alpha-fair(%g)" alpha
+  in
+  { Alloc.name; solve = (fun ~nu cps -> solve ?weights ~alpha ~nu cps) }

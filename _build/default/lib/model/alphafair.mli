@@ -1,0 +1,21 @@
+(** Weighted alpha-proportional fair allocation [Mo & Walrand 2000].
+
+    A flow with weight [w] maximising [w * U_alpha(theta)] against a common
+    shadow price [p] receives [theta = min (theta_hat, (w / p)^(1/alpha))],
+    i.e. a common-cap allocation with effective weight [w^(1/alpha)].
+    [alpha = 1] is proportional fairness, [alpha -> infinity] max-min.
+    With unit weights every finite [alpha] coincides with max-min for
+    homogeneous flows; weights model RTT or implementation asymmetries
+    between CPs and are how the family becomes observably distinct. *)
+
+val effective_weights : alpha:float -> float array -> float array
+(** [w_i^(1/alpha)]; [alpha > 0.] (pass [infinity] for max-min). *)
+
+val mechanism : ?weights:float array -> alpha:float -> unit -> Alloc.t
+(** Weighted alpha-fair mechanism.  [weights] must be positive and, when
+    supplied, are positionally matched to the CP array given to [solve];
+    a length mismatch at solve time raises.  Default weights are all 1. *)
+
+val solve :
+  ?weights:float array -> alpha:float -> nu:float -> Cp.t array ->
+  Equilibrium.solution

@@ -1,0 +1,53 @@
+(** Content providers (Sec. II).
+
+    A CP [i] is described by its popularity [alpha_i in (0, 1]] (fraction
+    of consumers that ever access it), its unconstrained per-user
+    throughput [theta_hat_i > 0], a demand function, its per-unit-traffic
+    revenue [v_i >= 0] (advertising, sales, subscriptions) and the per-unit
+    utility [phi_i >= 0] its traffic yields to consumers. *)
+
+type t = private {
+  id : int;
+  label : string;
+  alpha : float;
+  theta_hat : float;
+  demand : Demand.t;
+  v : float;
+  phi : float;
+}
+
+val make :
+  ?label:string -> ?v:float -> ?phi:float -> id:int -> alpha:float ->
+  theta_hat:float -> demand:Demand.t -> unit -> t
+(** Validates ranges: [alpha in (0, 1]], [theta_hat > 0], [v, phi >= 0].
+    [v] and [phi] default to [0.]. *)
+
+val with_v : t -> float -> t
+val with_phi : t -> float -> t
+
+val demand_at : t -> float -> float
+(** [demand_at cp theta] is [d_i theta] with [theta] capped at
+    [theta_hat]. *)
+
+val rho : t -> theta:float -> float
+(** Per-capita throughput over the CP's own user base (Eq. 5):
+    [d_i(theta) * theta] with [theta] capped at [theta_hat]. *)
+
+val lambda_per_capita : t -> theta:float -> float
+(** Contribution to system per-capita throughput: [alpha_i * rho]. *)
+
+val lambda_hat_per_capita : t -> float
+(** Unconstrained per-capita throughput [alpha_i * theta_hat_i]
+    (i.e. [lambda_hat_i / M]). *)
+
+val google : int -> t
+(** Sec. II-D archetype: extensively accessed, throughput-insensitive
+    [(alpha, theta_hat, beta) = (1, 1, 0.1)]. *)
+
+val netflix : int -> t
+(** Archetype [(0.3, 10, 3)]: high-rate, throughput-sensitive video. *)
+
+val skype : int -> t
+(** Archetype [(0.5, 3, 5)]: medium-rate, extremely sensitive real-time. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+type t = { name : string; f : float -> float; beta : float option }
+
+let name t = t.name
+let beta t = t.beta
+
+let clamp01 x = if x < 0. then 0. else if x > 1. then 1. else x
+
+let eval t omega = t.f (clamp01 omega)
+
+let eval_throughput t ~theta_hat theta =
+  if theta_hat <= 0. then invalid_arg "Demand.eval_throughput: theta_hat <= 0";
+  eval t (theta /. theta_hat)
+
+let exponential ~beta =
+  if beta < 0. then invalid_arg "Demand.exponential: beta < 0";
+  let f omega =
+    if omega <= 0. then if beta = 0. then 1. else 0.
+    else
+      let exponent = -.beta *. ((1. /. omega) -. 1.) in
+      (* exp of a large negative argument is both negligible (< 1e-26) and
+         slow to evaluate once it reaches the denormal range; cut it off. *)
+      if exponent < -60. then 0. else exp exponent
+  in
+  { name = Printf.sprintf "exp(beta=%g)" beta; f; beta = Some beta }
+
+let inelastic =
+  { name = "inelastic"; f = (fun omega -> if omega > 0. then 1. else 0.);
+    beta = None }
+
+let linear = { name = "linear"; f = (fun omega -> omega); beta = None }
+
+let power ~gamma =
+  if gamma < 0. then invalid_arg "Demand.power: gamma < 0";
+  { name = Printf.sprintf "power(gamma=%g)" gamma;
+    f = (fun omega -> omega ** gamma); beta = None }
+
+let affine_floor ~floor =
+  if floor < 0. || floor > 1. then
+    invalid_arg "Demand.affine_floor: floor outside [0,1]";
+  { name = Printf.sprintf "affine_floor(%g)" floor;
+    f =
+      (fun omega ->
+        if omega <= 0. then 0. else floor +. ((1. -. floor) *. omega));
+    beta = None }
+
+let step ~threshold =
+  if threshold < 0. || threshold > 1. then
+    invalid_arg "Demand.step: threshold outside [0,1]";
+  { name = Printf.sprintf "step(%g)" threshold;
+    f = (fun omega -> if omega >= threshold then 1. else 0.); beta = None }
+
+let of_fun ~name f = { name; f = (fun omega -> f (clamp01 omega)); beta = None }
+
+let check_assumption1 ?(samples = 400) t =
+  if samples < 3 then invalid_arg "Demand.check_assumption1: samples < 3";
+  let err fmt = Printf.ksprintf (fun s -> Error (t.name ^ ": " ^ s)) fmt in
+  let n = samples in
+  let omega i = float_of_int i /. float_of_int (n - 1) in
+  let values = Array.init n (fun i -> eval t (omega i)) in
+  let rec scan i =
+    if i >= n then Ok ()
+    else if not (Float.is_finite values.(i)) then
+      err "non-finite demand at omega=%g" (omega i)
+    else if values.(i) < 0. then err "negative demand at omega=%g" (omega i)
+    else if i > 0 && values.(i) < values.(i - 1) -. 1e-12 then
+      err "demand decreases between omega=%g and omega=%g" (omega (i - 1))
+        (omega i)
+    else if i > 1 && values.(i) -. values.(i - 1) > 0.25 then
+      (* Over a 1/(n-1)-wide step, a continuous monotone function bounded by
+         1 cannot jump by a macroscopic amount once n is large.  The first
+         step (away from omega = 0) is exempt: the value at exactly zero
+         throughput never matters, since lambda = d * theta vanishes there
+         regardless. *)
+      err "suspected discontinuity near omega=%g (jump %.3f)" (omega i)
+        (values.(i) -. values.(i - 1))
+    else scan (i + 1)
+  in
+  match scan 0 with
+  | Error _ as e -> e
+  | Ok () ->
+      if Float.abs (values.(n - 1) -. 1.) > 1e-9 then
+        err "d(1) = %g, expected 1" values.(n - 1)
+      else Ok ()

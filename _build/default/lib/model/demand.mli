@@ -1,0 +1,67 @@
+(** User demand as a function of achieved throughput (Sec. II-A).
+
+    A demand function gives the fraction of a CP's user base that still
+    requests content when each user achieves throughput [theta] out of the
+    unconstrained [theta_hat].  We represent demand in normalised form
+    [d(omega)] with [omega = theta / theta_hat in [0, 1]]; Assumption 1 of
+    the paper requires [d] non-negative, continuous, non-decreasing and
+    [d 1. = 1.].
+
+    The paper's working family (Eq. 3) is the exponential-sensitivity law
+
+    {v d(omega) = exp (-beta (1/omega - 1)) v}
+
+    where larger [beta] models more throughput-sensitive content
+    (Netflix-like) and smaller [beta] less sensitive content (a search
+    query).  Additional families are provided for robustness studies, plus
+    a deliberately discontinuous step family that violates Assumption 1
+    (useful as a negative control for the checker and for stress-testing
+    solvers). *)
+
+type t
+
+val name : t -> string
+
+val beta : t -> float option
+(** The sensitivity parameter when the family is {!exponential} (Eq. 3);
+    [None] for every other family.  Lets serialisers recognise the
+    paper's demand model. *)
+
+val eval : t -> float -> float
+(** [eval d omega] evaluates the demand at normalised throughput [omega].
+    The argument is clamped to [[0, 1]]; [eval d 0. = 0.] unless the family
+    explicitly admits demand at zero throughput. *)
+
+val eval_throughput : t -> theta_hat:float -> float -> float
+(** [eval_throughput d ~theta_hat theta] is [eval d (theta /. theta_hat)].
+    Requires [theta_hat > 0.]. *)
+
+val exponential : beta:float -> t
+(** Eq. (3): [exp (-beta (1/omega - 1))]; requires [beta >= 0.].
+    [beta = 0.] degenerates to fully inelastic demand. *)
+
+val inelastic : t
+(** [d omega = 1] for all [omega > 0]: users never give up. *)
+
+val linear : t
+(** [d omega = omega]: demand proportional to delivered quality. *)
+
+val power : gamma:float -> t
+(** [d omega = omega ** gamma], [gamma >= 0.]. *)
+
+val affine_floor : floor:float -> t
+(** [d omega = floor + (1 - floor) * omega] for [omega > 0], keeping a
+    residual captive audience; [floor in [0, 1]]. *)
+
+val step : threshold:float -> t
+(** Hard quality cutoff: 1 above [threshold], 0 below.  Discontinuous —
+    violates Assumption 1; provided as a negative control. *)
+
+val of_fun : name:string -> (float -> float) -> t
+(** Custom family; the function receives a clamped [omega in [0, 1]]. *)
+
+val check_assumption1 : ?samples:int -> t -> (unit, string) result
+(** Numerically audits Assumption 1 on a grid of [samples] points
+    (default 400): non-negativity, monotonicity, [d 1. = 1.], and
+    approximate continuity (no jump larger than a grid-scaled bound).
+    Returns a human-readable violation on failure. *)

@@ -1,0 +1,101 @@
+type solution = {
+  theta : float array;
+  demand : float array;
+  rho : float array;
+  per_capita_rate : float;
+  congested : bool;
+  cap : float;
+}
+
+let empty =
+  { theta = [||]; demand = [||]; rho = [||]; per_capita_rate = 0.;
+    congested = false; cap = Float.infinity }
+
+let unit_weights n = Array.make n 1.
+
+let check_weights cps weights =
+  if Array.length weights <> Array.length cps then
+    invalid_arg "Equilibrium: weights length mismatch";
+  Array.iter
+    (fun w -> if w <= 0. then invalid_arg "Equilibrium: weight <= 0")
+    weights
+
+let theta_at_cap (cp : Cp.t) w cap =
+  if cap = Float.infinity then cp.Cp.theta_hat
+  else Float.min cp.Cp.theta_hat (w *. cap)
+
+let aggregate_at_cap ?weights ~cap cps =
+  let weights =
+    match weights with
+    | Some w ->
+        check_weights cps w;
+        w
+    | None -> unit_weights (Array.length cps)
+  in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i cp ->
+      let theta = theta_at_cap cp weights.(i) cap in
+      acc := !acc +. Cp.lambda_per_capita cp ~theta)
+    cps;
+  !acc
+
+let of_cap cps weights ~congested cap =
+  let n = Array.length cps in
+  let theta = Array.init n (fun i -> theta_at_cap cps.(i) weights.(i) cap) in
+  let demand = Array.init n (fun i -> Cp.demand_at cps.(i) theta.(i)) in
+  let rho = Array.init n (fun i -> demand.(i) *. theta.(i)) in
+  let per_capita_rate =
+    let acc = ref 0. in
+    Array.iteri (fun i cp -> acc := !acc +. (cp.Cp.alpha *. rho.(i))) cps;
+    !acc
+  in
+  { theta; demand; rho; per_capita_rate; congested; cap }
+
+let solve ?weights ?(tol = 1e-12) ~nu cps =
+  if nu < 0. then invalid_arg "Equilibrium.solve: nu < 0";
+  let n = Array.length cps in
+  if n = 0 then empty
+  else begin
+    let weights =
+      match weights with
+      | Some w ->
+          check_weights cps w;
+          w
+      | None -> unit_weights n
+    in
+    let unconstrained =
+      Array.fold_left (fun acc cp -> acc +. Cp.lambda_hat_per_capita cp) 0. cps
+    in
+    if nu >= unconstrained then
+      of_cap cps weights ~congested:false Float.infinity
+    else begin
+      (* Water level that saturates every cap: above it the aggregate is
+         flat at [unconstrained]. *)
+      let cap_max =
+        Array.to_seq cps
+        |> Seq.mapi (fun i cp -> cp.Cp.theta_hat /. weights.(i))
+        |> Seq.fold_left Float.max 0.
+      in
+      let g cap = aggregate_at_cap ~weights ~cap cps -. nu in
+      (* g is continuous, non-decreasing, g(0) <= 0 < g(cap_max); Brent
+         converges superlinearly where bisection would need ~40 evals. *)
+      let outcome =
+        if g 0. >= 0. then
+          { Po_num.Roots.root = 0.; value = 0.; iterations = 0;
+            converged = true }
+        else Po_num.Roots.brent ~tol ~max_iter:200 ~f:g ~lo:0. ~hi:cap_max ()
+      in
+      of_cap cps weights ~congested:true outcome.Po_num.Roots.root
+    end
+  end
+
+let solve_absolute ?weights ?tol ~m ~mu cps =
+  if m <= 0. then invalid_arg "Equilibrium.solve_absolute: m <= 0";
+  if mu < 0. then invalid_arg "Equilibrium.solve_absolute: mu < 0";
+  solve ?weights ?tol ~nu:(mu /. m) cps
+
+let theta_for sol i =
+  if i < 0 || i >= Array.length sol.theta then
+    invalid_arg "Equilibrium.theta_for: index out of bounds";
+  sol.theta.(i)

@@ -1,0 +1,56 @@
+(** The system rate equilibrium (Theorem 1).
+
+    The interplay between a rate-allocation mechanism and the demand
+    functions pins down a unique throughput profile.  For the whole family
+    of mechanisms used in this repository — max-min fair and weighted
+    alpha-fair with homogeneous flows — the allocation has the
+    {e common-cap} form
+
+    {v theta_i = min (theta_hat_i, w_i * cap) v}
+
+    for a scalar [cap >= 0] and per-CP weights [w_i > 0]: every flow is
+    throttled at the same (weighted) water level, and flows whose
+    unconstrained throughput lies below the level are unconstrained.  The
+    equilibrium cap solves the work-conservation equation (Axiom 2)
+
+    {v sum_i alpha_i d_i(theta_i(cap)) theta_i(cap) = min (nu, sum_i alpha_i theta_hat_i) v}
+
+    whose left side is continuous and non-decreasing in [cap] under
+    Assumption 1, so bisection converges to the unique solution.
+
+    All quantities are per-capita ([nu = mu / M]); Lemma 1 (independence of
+    scale) is then true by construction, and absolute systems [(M, mu)] are
+    handled by dividing. *)
+
+type solution = {
+  theta : float array;  (** achievable throughput per CP *)
+  demand : float array;  (** [d_i theta_i] *)
+  rho : float array;  (** per-user per-capita throughput [d_i theta_i * theta_i] (Eq. 5) *)
+  per_capita_rate : float;  (** [lambda_N / M = sum_i alpha_i rho_i] *)
+  congested : bool;  (** whether [nu < sum_i alpha_i theta_hat_i] *)
+  cap : float;  (** the water level; [infinity] when unconstrained *)
+}
+
+val empty : solution
+(** Equilibrium of a system with no CPs. *)
+
+val aggregate_at_cap :
+  ?weights:float array -> cap:float -> Cp.t array -> float
+(** Per-capita aggregate throughput [sum_i alpha_i d_i(theta_i) theta_i]
+    when every CP is throttled at [min (theta_hat_i, w_i * cap)]. *)
+
+val solve :
+  ?weights:float array -> ?tol:float -> nu:float -> Cp.t array -> solution
+(** Compute the rate equilibrium of the per-capita system [(nu, cps)].
+    [weights] defaults to all ones (max-min fairness); entries must be
+    [> 0].  [nu >= 0].  [tol] (default [1e-12]) is the absolute tolerance
+    on the water level. *)
+
+val solve_absolute :
+  ?weights:float array -> ?tol:float -> m:float -> mu:float -> Cp.t array ->
+  solution
+(** Equilibrium of an absolute system of [m > 0] consumers and capacity
+    [mu >= 0]; equals [solve ~nu:(mu /. m)] by Axiom 4. *)
+
+val theta_for : solution -> int -> float
+(** Bounds-checked accessor. *)

@@ -1,0 +1,74 @@
+type solution = {
+  lambda : float;
+  delay : float;
+  quality : float;
+  demand : float array;
+  collapse : bool;
+}
+
+let quality_of_delay ~delay_ref delay =
+  if delay = Float.infinity then 0. else 1. /. (1. +. (delay /. delay_ref))
+
+let offered_load cps q =
+  Array.fold_left
+    (fun acc (cp : Cp.t) ->
+      acc
+      +. (cp.Cp.alpha
+         *. Demand.eval cp.Cp.demand q
+         *. cp.Cp.theta_hat))
+    0. cps
+
+let solution_at ~delay_ref cps lambda ~nu ~collapse =
+  let delay =
+    if collapse || lambda >= nu then Float.infinity else 1. /. (nu -. lambda)
+  in
+  let quality = quality_of_delay ~delay_ref delay in
+  let demand =
+    Array.map (fun (cp : Cp.t) -> Demand.eval cp.Cp.demand quality) cps
+  in
+  { lambda; delay; quality; demand; collapse }
+
+let solve ?(delay_ref = 1.0) ?(tol = 1e-12) ~nu cps =
+  if nu <= 0. then invalid_arg "Mm1.solve: nu <= 0";
+  if delay_ref <= 0. then invalid_arg "Mm1.solve: delay_ref <= 0";
+  let n = Array.length cps in
+  if n = 0 then
+    { lambda = 0.; delay = 1. /. nu; quality = quality_of_delay ~delay_ref (1. /. nu);
+      demand = [||]; collapse = false }
+  else begin
+    (* Excess demand h(lambda) = offered(q(D(lambda))) - lambda is
+       decreasing; a root below capacity is the stable operating point. *)
+    let h lambda =
+      let q = quality_of_delay ~delay_ref (1. /. (nu -. lambda)) in
+      offered_load cps q -. lambda
+    in
+    let hi = nu *. (1. -. 1e-9) in
+    if h 0. <= 0. then solution_at ~delay_ref cps 0. ~nu ~collapse:false
+    else if h hi > 0. then
+      (* Even at (numerically) infinite delay the offered load exceeds
+         capacity: open-loop congestion collapse. *)
+      solution_at ~delay_ref cps nu ~nu ~collapse:true
+    else begin
+      let outcome =
+        Po_num.Roots.bisect ~tol ~max_iter:200 ~f:h ~lo:0. ~hi ()
+      in
+      solution_at ~delay_ref cps outcome.Po_num.Roots.root ~nu
+        ~collapse:false
+    end
+  end
+
+let consumer_surplus cps sol =
+  if Array.length cps <> Array.length sol.demand then
+    invalid_arg "Mm1.consumer_surplus: CP array mismatch";
+  let acc = ref 0. in
+  Array.iteri
+    (fun i (cp : Cp.t) ->
+      acc :=
+        !acc
+        +. (cp.Cp.phi *. cp.Cp.alpha *. sol.demand.(i) *. cp.Cp.theta_hat
+           *. sol.quality))
+    cps;
+  !acc
+
+let phi_curve ?delay_ref ~nus cps =
+  Array.map (fun nu -> consumer_surplus cps (solve ?delay_ref ~nu cps)) nus

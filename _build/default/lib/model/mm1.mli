@@ -1,0 +1,43 @@
+(** M/M/1 congestion abstraction — an ablation, not part of the paper's
+    model.
+
+    Prior economic analyses of network neutrality (e.g. Choi-Kim, which
+    the paper cites) abstract congestion with the classical M/M/1 delay
+    formula [D = 1 / (mu - lambda)] instead of modelling closed-loop
+    protocols; the paper argues (Sec. V) that faithfully modelling
+    TCP-like allocation matters.  This module implements the M/M/1
+    alternative so the claim can be tested: active users transmit at
+    their full unconstrained rate (open loop), suffer the M/M/1 delay of
+    the aggregate, and abandon according to their demand function applied
+    to a delay-quality index
+
+    {v q(D) = 1 / (1 + D / delay_ref)  in (0, 1] v}
+
+    The coupled fixed point [lambda = sum_i alpha_i d_i(q(D(lambda)))
+    theta_hat_i] has a decreasing right side in [lambda], hence a unique
+    solution, found by bisection. *)
+
+type solution = {
+  lambda : float;  (** per-capita carried load at the fixed point *)
+  delay : float;  (** [1 / (nu - lambda)]; [infinity] under collapse *)
+  quality : float;  (** the delay-quality index [q] at the fixed point *)
+  demand : float array;  (** per-CP active fraction [d_i(q)] *)
+  collapse : bool;
+  (** demand exceeds capacity even at infinite delay (possible only with
+      demand families that keep a captive audience at zero quality) *)
+}
+
+val solve :
+  ?delay_ref:float -> ?tol:float -> nu:float -> Cp.t array -> solution
+(** [delay_ref] (default 1.0, in units of [1/throughput]) sets the delay
+    at which quality halves.  [nu > 0]. *)
+
+val consumer_surplus : Cp.t array -> solution -> float
+(** Delay-discounted welfare proxy
+    [sum_i phi_i alpha_i d_i theta_hat_i * q] — the analogue of Eq. (2)
+    in the open-loop abstraction. *)
+
+val phi_curve :
+  ?delay_ref:float -> nus:float array -> Cp.t array -> float array
+(** Consumer surplus across a capacity sweep (the ablation curve compared
+    against the max-min model's {!Surplus.consumer_at}). *)

@@ -1,0 +1,71 @@
+let validate_order n order =
+  if Array.length order <> n then
+    invalid_arg "Priority: order length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Priority: order index out of range";
+      if seen.(i) then invalid_arg "Priority: duplicate order index";
+      seen.(i) <- true)
+    order
+
+(* Throughput that makes CP's per-capita contribution equal [budget]. *)
+let throttle (cp : Cp.t) budget =
+  let contribution theta = Cp.lambda_per_capita cp ~theta in
+  if contribution cp.Cp.theta_hat <= budget then cp.Cp.theta_hat
+  else
+    let outcome =
+      Po_num.Roots.find_monotone_level ~tol:1e-12 ~f:contribution
+        ~level:budget ~lo:0. ~hi:cp.Cp.theta_hat ()
+    in
+    outcome.Po_num.Roots.root
+
+let solve ?order ~nu cps =
+  if nu < 0. then invalid_arg "Priority.solve: nu < 0";
+  let n = Array.length cps in
+  if n = 0 then Equilibrium.empty
+  else begin
+    let order =
+      match order with
+      | Some o ->
+          validate_order n o;
+          o
+      | None -> Array.init n (fun i -> i)
+    in
+    let theta = Array.make n 0. in
+    let remaining = ref nu in
+    let marginal_cap = ref Float.infinity in
+    Array.iter
+      (fun i ->
+        let cp = cps.(i) in
+        let full = Cp.lambda_hat_per_capita cp in
+        if full <= !remaining then begin
+          theta.(i) <- cp.Cp.theta_hat;
+          remaining := !remaining -. full
+        end
+        else begin
+          let th = throttle cp !remaining in
+          theta.(i) <- th;
+          if !remaining > 0. && !marginal_cap = Float.infinity then
+            marginal_cap := th;
+          remaining := 0.
+        end)
+      order;
+    let demand = Array.init n (fun i -> Cp.demand_at cps.(i) theta.(i)) in
+    let rho = Array.init n (fun i -> demand.(i) *. theta.(i)) in
+    let per_capita_rate =
+      let acc = ref 0. in
+      Array.iteri (fun i cp -> acc := !acc +. (cp.Cp.alpha *. rho.(i))) cps;
+      !acc
+    in
+    let unconstrained =
+      Array.fold_left (fun acc cp -> acc +. Cp.lambda_hat_per_capita cp) 0. cps
+    in
+    { Equilibrium.theta; demand; rho; per_capita_rate;
+      congested = nu < unconstrained;
+      cap = (if nu < unconstrained then !marginal_cap else Float.infinity) }
+  end
+
+let mechanism ?order () =
+  { Alloc.name = "strict-priority";
+    solve = (fun ~nu cps -> solve ?order ~nu cps) }

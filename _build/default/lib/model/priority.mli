@@ -1,0 +1,19 @@
+(** Strict-priority allocation.
+
+    A centralised alternative to fair sharing (Sec. II-B mentions CBR/VBR
+    flow control decided at the link): CPs are served in a fixed priority
+    order, each receiving its unconstrained throughput while capacity
+    remains; the first CP that does not fit is throttled to exactly fill
+    the link and everyone behind it gets nothing.  Satisfies Axioms 1-4
+    but is maximally unfair — a useful contrast mechanism for the
+    regulatory ablations. *)
+
+val mechanism : ?order:int array -> unit -> Alloc.t
+(** [order] lists CP indices from highest to lowest priority; it must be a
+    permutation of [0 .. n-1] of the CP array handed to [solve] (checked at
+    solve time).  Default is index order. *)
+
+val solve : ?order:int array -> nu:float -> Cp.t array -> Equilibrium.solution
+(** Note: the [cap] field of the returned solution is the throughput of the
+    marginal (partially served) CP, or [infinity] when everyone is fully
+    served. *)

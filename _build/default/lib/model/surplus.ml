@@ -1,0 +1,47 @@
+let check_aligned cps (sol : Equilibrium.solution) =
+  if Array.length cps <> Array.length sol.Equilibrium.theta then
+    invalid_arg "Surplus: solution does not match CP array"
+
+let consumer cps sol =
+  check_aligned cps sol;
+  let acc = ref 0. in
+  Array.iteri
+    (fun i (cp : Cp.t) ->
+      acc := !acc +. (cp.Cp.phi *. cp.Cp.alpha *. sol.Equilibrium.rho.(i)))
+    cps;
+  !acc
+
+let consumer_at ?(mechanism = Maxmin.mechanism) ~nu cps =
+  consumer cps (mechanism.Alloc.solve ~nu cps)
+
+let isp ~c cps sol =
+  if c < 0. then invalid_arg "Surplus.isp: c < 0";
+  check_aligned cps sol;
+  let acc = ref 0. in
+  Array.iteri
+    (fun i (cp : Cp.t) ->
+      acc := !acc +. (cp.Cp.alpha *. sol.Equilibrium.rho.(i)))
+    cps;
+  c *. !acc
+
+let cp_utilities ~c cps sol =
+  if c < 0. then invalid_arg "Surplus.cp_utilities: c < 0";
+  check_aligned cps sol;
+  Array.mapi
+    (fun i (cp : Cp.t) ->
+      (cp.Cp.v -. c) *. cp.Cp.alpha *. sol.Equilibrium.rho.(i))
+    cps
+
+let utilization ~nu sol =
+  if nu < 0. then invalid_arg "Surplus.utilization: nu < 0";
+  if nu = 0. then 1.
+  else Float.min 1. (Float.max 0. (sol.Equilibrium.per_capita_rate /. nu))
+
+let aggregate_rate cps sol =
+  check_aligned cps sol;
+  let acc = ref 0. in
+  Array.iteri
+    (fun i (cp : Cp.t) ->
+      acc := !acc +. (cp.Cp.alpha *. sol.Equilibrium.rho.(i)))
+    cps;
+  !acc

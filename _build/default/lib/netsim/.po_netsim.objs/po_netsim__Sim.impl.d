@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Array Dist Eventq Float Flow Link List Po_model Po_prng Splitmix

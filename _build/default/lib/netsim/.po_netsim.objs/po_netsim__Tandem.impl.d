@@ -1,0 +1,1 @@
+lib/netsim/tandem.ml: Array Eventq Float Flow Link List Po_model Po_prng Sim Splitmix

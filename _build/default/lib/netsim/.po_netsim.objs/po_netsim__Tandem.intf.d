@@ -1,0 +1,1 @@
+lib/netsim/tandem.mli: Po_model Sim

@@ -1,0 +1,1 @@
+lib/netsim/validate.ml: Array Cp Demand Equilibrium Float Link Po_model Po_num Sim

@@ -1,0 +1,1 @@
+lib/netsim/validate.mli: Link Po_model

@@ -1,0 +1,22 @@
+(** Discrete-event calendar: a binary min-heap of timestamped events.
+
+    The simulator core.  Ties in timestamps are broken by insertion order
+    (FIFO), which keeps runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Schedule an event; [time] must be finite and non-negative. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the next event without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event (FIFO among equal times). *)
+
+val drain_until : 'a t -> time:float -> (float * 'a) list
+(** Pop every event with timestamp [<= time], in order. *)

@@ -1,0 +1,47 @@
+type t = {
+  id : int;
+  cp_index : int;
+  rtt : float;
+  pacing_interval : float;
+  window_cap : float;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable in_flight : int;
+  mutable next_send : float;
+  mutable wake_at : float;
+  mutable recovery_until : float;
+  mutable acked : int;
+  mutable active : bool;
+}
+
+let create ~id ~cp_index ~rtt ~rate_cap =
+  if rtt <= 0. then invalid_arg "Flow.create: rtt <= 0";
+  if rate_cap <= 0. then invalid_arg "Flow.create: rate_cap <= 0";
+  { id; cp_index; rtt;
+    pacing_interval = 1. /. rate_cap;
+    window_cap = Float.max 4. (2. *. rate_cap *. rtt);
+    cwnd = 1.; ssthresh = Float.max 2. (rate_cap *. rtt);
+    in_flight = 0; next_send = 0.; wake_at = Float.infinity;
+    recovery_until = 0.; acked = 0; active = true }
+
+let effective_window t = Float.max 1. (Float.min t.cwnd t.window_cap)
+
+let can_send t =
+  t.active && float_of_int t.in_flight < effective_window t
+
+let on_ack t =
+  t.acked <- t.acked + 1;
+  if t.in_flight > 0 then t.in_flight <- t.in_flight - 1;
+  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.
+  else t.cwnd <- t.cwnd +. (1. /. Float.max 1. t.cwnd);
+  if t.cwnd > t.window_cap then t.cwnd <- t.window_cap
+
+let on_loss t ~now =
+  if t.in_flight > 0 then t.in_flight <- t.in_flight - 1;
+  if now >= t.recovery_until then begin
+    t.cwnd <- Float.max 1. (t.cwnd /. 2.);
+    t.ssthresh <- Float.max 2. t.cwnd;
+    t.recovery_until <- now +. t.rtt
+  end
+
+let reset_counters t = t.acked <- 0

@@ -1,0 +1,49 @@
+(** One AIMD (TCP-Reno-like) flow.
+
+    A flow keeps a congestion window [cwnd] (in packets): slow start
+    doubles it every RTT until [ssthresh], congestion avoidance adds one
+    packet per RTT, and a loss halves it (at most once per RTT — losses
+    within one round trip count as a single congestion event, as in
+    fast-recovery).  An application-limited cap bounds the window at the
+    bandwidth-delay product of the flow's unconstrained rate, modelling a
+    source that never wants more than [theta_hat]. *)
+
+type t = {
+  id : int;
+  cp_index : int;  (** which CP this flow belongs to *)
+  rtt : float;  (** propagation round-trip time, seconds *)
+  pacing_interval : float;  (** [1 / rate_cap]: minimum packet spacing *)
+  window_cap : float;  (** window headroom bound, packets *)
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable in_flight : int;
+  mutable next_send : float;  (** pacing gate: no packet before this time *)
+  mutable wake_at : float;
+  (** earliest pending Wake event, [infinity] when none — dedups timers *)
+  mutable recovery_until : float;  (** losses before this time are ignored *)
+  mutable acked : int;  (** packets acknowledged since the last counter reset *)
+  mutable active : bool;  (** inactive flows stop sending (demand churn) *)
+}
+
+val create : id:int -> cp_index:int -> rtt:float -> rate_cap:float -> t
+(** [rate_cap] is the flow's unconstrained rate in packets/s, enforced by
+    packet pacing (one packet per [1/rate_cap] seconds) — a window bound
+    against the base RTT would under-shoot the application limit whenever
+    queueing inflates the effective RTT.  The window cap is set at twice
+    the bandwidth-delay product of [rate_cap] as headroom.  [rtt > 0],
+    [rate_cap > 0]. *)
+
+val effective_window : t -> float
+(** [min cwnd window_cap]; never below 1. *)
+
+val can_send : t -> bool
+(** Active and window not yet filled by in-flight packets. *)
+
+val on_ack : t -> unit
+(** Account one delivered packet and grow the window. *)
+
+val on_loss : t -> now:float -> unit
+(** Multiplicative decrease, once per RTT. *)
+
+val reset_counters : t -> unit
+(** Zero the ack counter (start of a measurement window). *)

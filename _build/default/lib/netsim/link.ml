@@ -1,0 +1,92 @@
+type policy =
+  | Droptail
+  | Red of { min_th : float; max_th : float; max_p : float; weight : float }
+
+type t = {
+  capacity : float;
+  buffer : int;
+  policy : policy;
+  queue : int Queue.t;  (* flow ids, head is in service *)
+  mutable busy : bool;
+  mutable dropped : int;
+  mutable early_dropped : int;
+  mutable avg : float;  (* RED's EWMA occupancy *)
+}
+
+type offer_result =
+  | Accepted of float option
+  | Dropped
+
+let validate_policy = function
+  | Droptail -> ()
+  | Red { min_th; max_th; max_p; weight } ->
+      if not (min_th > 0. && max_th > min_th) then
+        invalid_arg "Link.create: RED thresholds must satisfy 0 < min < max";
+      if not (max_p > 0. && max_p <= 1.) then
+        invalid_arg "Link.create: RED max_p outside (0, 1]";
+      if not (weight > 0. && weight <= 1.) then
+        invalid_arg "Link.create: RED weight outside (0, 1]"
+
+let create ?(policy = Droptail) ~capacity ~buffer () =
+  if capacity <= 0. then invalid_arg "Link.create: capacity <= 0";
+  if buffer < 1 then invalid_arg "Link.create: buffer < 1";
+  validate_policy policy;
+  { capacity; buffer; policy; queue = Queue.create (); busy = false;
+    dropped = 0; early_dropped = 0; avg = 0. }
+
+let service_time t = 1. /. t.capacity
+
+let occupancy t = Queue.length t.queue
+
+let avg_occupancy t =
+  match t.policy with
+  | Droptail -> float_of_int (occupancy t)
+  | Red _ -> t.avg
+
+let drops t = t.dropped
+let early_drops t = t.early_dropped
+
+let update_avg t =
+  match t.policy with
+  | Droptail -> ()
+  | Red { weight; _ } ->
+      t.avg <- ((1. -. weight) *. t.avg)
+               +. (weight *. float_of_int (occupancy t))
+
+let red_drop_probability t =
+  match t.policy with
+  | Droptail -> 0.
+  | Red { min_th; max_th; max_p; _ } ->
+      if t.avg < min_th then 0.
+      else if t.avg >= max_th then 1.
+      else max_p *. (t.avg -. min_th) /. (max_th -. min_th)
+
+let offer ?(drop_roll = 1.) t ~now ~flow_id =
+  update_avg t;
+  if Queue.length t.queue >= t.buffer then begin
+    t.dropped <- t.dropped + 1;
+    Dropped
+  end
+  else if drop_roll < red_drop_probability t then begin
+    t.dropped <- t.dropped + 1;
+    t.early_dropped <- t.early_dropped + 1;
+    Dropped
+  end
+  else begin
+    Queue.add flow_id t.queue;
+    if t.busy then Accepted None
+    else begin
+      t.busy <- true;
+      Accepted (Some (now +. service_time t))
+    end
+  end
+
+let complete_service t ~now =
+  match Queue.take_opt t.queue with
+  | None -> invalid_arg "Link.complete_service: idle link"
+  | Some flow_id ->
+      if Queue.is_empty t.queue then begin
+        t.busy <- false;
+        (flow_id, None)
+      end
+      else (flow_id, Some (now +. service_time t))

@@ -1,0 +1,56 @@
+(** The bottleneck link: a fixed-rate server with a finite FIFO and a
+    configurable drop policy.
+
+    Packets have unit size; the link serves [capacity] packets per second.
+    [offer] either accepts a packet (returning the scheduled departure
+    instant when the link was idle) or reports a drop — a forced tail
+    drop when the buffer is full, or an early RED drop.
+
+    RED (random early detection) keeps an exponentially weighted moving
+    average of the queue occupancy and drops incoming packets with a
+    probability that ramps linearly from 0 at [min_th] to [max_p] at
+    [max_th] (and 1 beyond) — desynchronising AIMD flows before the
+    buffer overflows. *)
+
+type policy =
+  | Droptail
+  | Red of { min_th : float; max_th : float; max_p : float; weight : float }
+      (** thresholds in packets, [0 < min_th < max_th],
+          [max_p in (0, 1]], EWMA [weight in (0, 1]] *)
+
+type t
+
+type offer_result =
+  | Accepted of float option
+      (** [Some departure_time] when the link was idle and service starts
+          immediately; [None] when the packet joined the queue. *)
+  | Dropped
+
+val create : ?policy:policy -> capacity:float -> buffer:int -> unit -> t
+(** [capacity > 0] packets/s; [buffer >= 1] packets of queue space
+    (including the one in service).  Policy defaults to [Droptail]. *)
+
+val offer : ?drop_roll:float -> t -> now:float -> flow_id:int -> offer_result
+(** [drop_roll] is a uniform [[0, 1)] sample consumed by RED's
+    probabilistic drop (ignored under droptail; defaults to [1.], i.e.
+    never early-drop — pass a PRNG draw to enable RED behaviour). *)
+
+val complete_service : t -> now:float -> int * float option
+(** Called at a departure instant: returns the flow id of the departed
+    packet and, if the queue is non-empty, the departure time of the next
+    packet (which the caller must schedule). *)
+
+val occupancy : t -> int
+(** Packets currently held (queued + in service). *)
+
+val avg_occupancy : t -> float
+(** RED's EWMA of the occupancy (equals the instantaneous occupancy under
+    droptail). *)
+
+val drops : t -> int
+(** Total drops (tail + early). *)
+
+val early_drops : t -> int
+(** RED early drops only. *)
+
+val service_time : t -> float

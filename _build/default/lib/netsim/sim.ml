@@ -1,0 +1,271 @@
+open Po_prng
+
+type cp_spec = {
+  flows : int;
+  rate_cap : float;
+  rtt : float;
+  demand : Po_model.Demand.t option;
+}
+
+type config = {
+  capacity : float;
+  buffer : int;
+  queue_policy : Link.policy;
+  specs : cp_spec array;
+  seed : int;
+  warmup : float;
+  measure : float;
+  churn_interval : float option;
+}
+
+let default_config ~capacity ~specs =
+  let mean_rtt =
+    if Array.length specs = 0 then 0.05
+    else
+      Array.fold_left (fun acc s -> acc +. s.rtt) 0. specs
+      /. float_of_int (Array.length specs)
+  in
+  (* A quarter of the bandwidth-delay product: big enough to keep the link
+     busy, small enough that queueing delay does not dominate the RTT (a
+     full-BDP buffer would starve application-limited flows of window). *)
+  { capacity; buffer = max 32 (int_of_float (0.25 *. capacity *. mean_rtt));
+    queue_policy = Link.Droptail; specs; seed = 1; warmup = 8.; measure = 24.;
+    churn_interval = None }
+
+type cp_result = {
+  spec_flows : int;
+  active_flows : int;
+  rate : float;
+  per_flow : float;
+}
+
+type result = {
+  per_cp : cp_result array;
+  total_rate : float;
+  utilization : float;
+  drops : int;
+  events : int;
+}
+
+type event =
+  | Depart
+  | Ack of int  (** flow id *)
+  | Wake of int  (** retry after a loss / activation *)
+  | Churn
+
+let run config =
+  if config.capacity <= 0. then invalid_arg "Sim.run: capacity <= 0";
+  if config.warmup < 0. || config.measure <= 0. then
+    invalid_arg "Sim.run: bad warmup/measure";
+  Array.iter
+    (fun s ->
+      if s.flows < 1 then invalid_arg "Sim.run: cp with no flows";
+      if s.rate_cap <= 0. then invalid_arg "Sim.run: rate_cap <= 0";
+      if s.rtt <= 0. then invalid_arg "Sim.run: rtt <= 0")
+    config.specs;
+  let rng = Splitmix.of_int config.seed in
+  let link =
+    Link.create ~policy:config.queue_policy ~capacity:config.capacity
+      ~buffer:config.buffer ()
+  in
+  (* RED consumes one uniform draw per offered packet; droptail stays off
+     the random stream so its runs are unchanged by the policy knob. *)
+  let drop_roll () =
+    match config.queue_policy with
+    | Link.Droptail -> 1.
+    | Link.Red _ -> Splitmix.float rng
+  in
+  let calendar : event Eventq.t = Eventq.create () in
+  (* Build flows: contiguous id ranges per CP. *)
+  let flows =
+    let acc = ref [] and id = ref 0 in
+    Array.iteri
+      (fun cp_index spec ->
+        for _ = 1 to spec.flows do
+          acc :=
+            Flow.create ~id:!id ~cp_index ~rtt:spec.rtt
+              ~rate_cap:spec.rate_cap
+            :: !acc;
+          incr id
+        done)
+      config.specs;
+    Array.of_list (List.rev !acc)
+  in
+  let events_processed = ref 0 in
+  let measuring = ref false in
+  (* Per-CP ack counters for the churn controller's running estimate. *)
+  let churn_acks = Array.make (Array.length config.specs) 0 in
+  (* Schedule a Wake for [flow] at [time] unless an earlier-or-equal one is
+     already pending — without this guard every ack would enqueue a fresh
+     pacing timer and stale timers would re-arm themselves, multiplying
+     events without bound. *)
+  let schedule_wake flow time =
+    if time < flow.Flow.wake_at then begin
+      flow.Flow.wake_at <- time;
+      Eventq.add calendar ~time (Wake flow.Flow.id)
+    end
+  in
+  let pump flow now =
+    let continue = ref true in
+    while !continue && Flow.can_send flow do
+      if now < flow.Flow.next_send then begin
+        (* Pacing gate closed: resume exactly when it opens. *)
+        schedule_wake flow flow.Flow.next_send;
+        continue := false
+      end
+      else begin
+        flow.Flow.next_send <-
+          Float.max (flow.Flow.next_send +. flow.Flow.pacing_interval) now;
+        match Link.offer ~drop_roll:(drop_roll ()) link ~now ~flow_id:flow.Flow.id with
+        | Link.Accepted depart_opt ->
+            flow.Flow.in_flight <- flow.Flow.in_flight + 1;
+            (match depart_opt with
+            | Some t -> Eventq.add calendar ~time:t Depart
+            | None -> ())
+        | Link.Dropped ->
+            (* The loss halves the window; pause until a retry timer so a
+               closed window cannot spin at the same instant. *)
+            flow.Flow.in_flight <- flow.Flow.in_flight + 1;
+            Flow.on_loss flow ~now;
+            schedule_wake flow (now +. flow.Flow.rtt);
+            continue := false
+      end
+    done
+  in
+  (* Desynchronised starts. *)
+  Array.iter
+    (fun flow ->
+      let jitter = Splitmix.uniform rng ~lo:0. ~hi:flow.Flow.rtt in
+      schedule_wake flow jitter)
+    flows;
+  (match config.churn_interval with
+  | Some dt when dt > 0. -> Eventq.add calendar ~time:dt Churn
+  | Some _ -> invalid_arg "Sim.run: churn_interval <= 0"
+  | None -> ());
+  let horizon = config.warmup +. config.measure in
+  let last_churn = ref 0. in
+  (* EWMA per-CP estimate of achievable per-flow throughput.  Without
+     smoothing an idle CP that probes at full optimism re-activates every
+     flow each tick, overshoots, collapses, and oscillates at a ~50% duty
+     cycle regardless of actual demand. *)
+  let churn_estimate =
+    Array.map (fun spec -> ref spec.rate_cap) config.specs
+  in
+  let apply_churn now =
+    Array.iteri
+      (fun cp_index spec ->
+        match spec.demand with
+        | None -> ()
+        | Some demand ->
+            let interval = now -. !last_churn in
+            if interval > 0. then begin
+              let active =
+                Array.fold_left
+                  (fun acc (f : Flow.t) ->
+                    if f.Flow.cp_index = cp_index && f.Flow.active then
+                      acc + 1
+                    else acc)
+                  0 flows
+              in
+              let estimate = churn_estimate.(cp_index) in
+              (if active = 0 then
+                 (* Users retry occasionally: drift the estimate slowly
+                    towards the unconstrained rate so demand can recover
+                    if congestion has cleared. *)
+                 estimate := (0.95 *. !estimate) +. (0.05 *. spec.rate_cap)
+               else begin
+                 let measured =
+                   float_of_int churn_acks.(cp_index)
+                   /. interval /. float_of_int active
+                 in
+                 estimate := (0.7 *. !estimate) +. (0.3 *. measured)
+               end);
+              let d =
+                Po_model.Demand.eval_throughput demand
+                  ~theta_hat:spec.rate_cap
+                  (Float.min !estimate spec.rate_cap)
+              in
+              (* Bernoulli per-flow activation: the expected number of
+                 active flows is d * flows even when that is below one,
+                 which an integral flow count cannot represent. *)
+              Array.iter
+                (fun (f : Flow.t) ->
+                  if f.Flow.cp_index = cp_index then begin
+                    let keep = Dist.bernoulli rng ~p:d in
+                    if keep && not f.Flow.active then begin
+                      f.Flow.active <- true;
+                      schedule_wake f now
+                    end
+                    else if not keep then f.Flow.active <- false
+                  end)
+                flows
+            end)
+      config.specs;
+    Array.fill churn_acks 0 (Array.length churn_acks) 0;
+    last_churn := now
+  in
+  let rec loop () =
+    match Eventq.pop calendar with
+    | None -> ()
+    | Some (now, _) when now > horizon -> ()
+    | Some (now, event) ->
+        incr events_processed;
+        if (not !measuring) && now >= config.warmup then begin
+          measuring := true;
+          Array.iter Flow.reset_counters flows
+        end;
+        (match event with
+        | Depart ->
+            let flow_id, next = Link.complete_service link ~now in
+            (match next with
+            | Some t -> Eventq.add calendar ~time:t Depart
+            | None -> ());
+            let flow = flows.(flow_id) in
+            (* +-2% ack jitter breaks the phase locking a fully
+               deterministic droptail otherwise develops between
+               identical-RTT AIMD flows (which silently biases long-run
+               shares). *)
+            let jitter = Splitmix.uniform rng ~lo:0.98 ~hi:1.02 in
+            Eventq.add calendar
+              ~time:(now +. (flow.Flow.rtt *. jitter))
+              (Ack flow_id)
+        | Ack flow_id ->
+            let flow = flows.(flow_id) in
+            Flow.on_ack flow;
+            churn_acks.(flow.Flow.cp_index) <-
+              churn_acks.(flow.Flow.cp_index) + 1;
+            pump flow now
+        | Wake flow_id ->
+            let flow = flows.(flow_id) in
+            if now >= flow.Flow.wake_at then flow.Flow.wake_at <- Float.infinity;
+            pump flow now
+        | Churn ->
+            apply_churn now;
+            (match config.churn_interval with
+            | Some dt -> Eventq.add calendar ~time:(now +. dt) Churn
+            | None -> ()));
+        loop ()
+  in
+  loop ();
+  let per_cp =
+    Array.mapi
+      (fun cp_index spec ->
+        let acked = ref 0 and active = ref 0 in
+        Array.iter
+          (fun (f : Flow.t) ->
+            if f.Flow.cp_index = cp_index then begin
+              acked := !acked + f.Flow.acked;
+              if f.Flow.active then incr active
+            end)
+          flows;
+        let rate = float_of_int !acked /. config.measure in
+        { spec_flows = spec.flows; active_flows = !active; rate;
+          per_flow =
+            (if !active = 0 then 0. else rate /. float_of_int !active) })
+      config.specs
+  in
+  let total_rate = Array.fold_left (fun acc r -> acc +. r.rate) 0. per_cp in
+  { per_cp; total_rate;
+    utilization = total_rate /. config.capacity;
+    drops = Link.drops link;
+    events = !events_processed }

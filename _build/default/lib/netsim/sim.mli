@@ -1,0 +1,54 @@
+(** Packet-level discrete-event simulation of AIMD flows over one
+    bottleneck (the microfoundation for the paper's max-min assumption,
+    Sec. II-D.2).
+
+    Each CP contributes a set of flows; every flow runs the AIMD dynamics
+    of {!Flow} over the shared droptail {!Link}.  Optionally, a periodic
+    {e demand churn} step applies the CP's demand function to the measured
+    per-flow throughput and adjusts the number of active flows — the
+    simulated counterpart of [d_i(theta_i)] in the analytical model.
+
+    Determinism: all randomness (start jitter) comes from the seeded
+    generator; equal configs give equal results. *)
+
+type cp_spec = {
+  flows : int;  (** number of flows (users) of this CP, [>= 1] *)
+  rate_cap : float;  (** per-flow unconstrained rate, packets/s *)
+  rtt : float;  (** propagation RTT, seconds *)
+  demand : Po_model.Demand.t option;
+  (** when set and churn is enabled, governs how many flows stay active *)
+}
+
+type config = {
+  capacity : float;  (** bottleneck rate, packets/s *)
+  buffer : int;  (** queue size, packets *)
+  queue_policy : Link.policy;  (** droptail (default) or RED *)
+  specs : cp_spec array;
+  seed : int;
+  warmup : float;  (** seconds before measurement starts *)
+  measure : float;  (** measurement duration, seconds *)
+  churn_interval : float option;
+  (** demand-churn period; [None] disables churn (all flows always on) *)
+}
+
+val default_config : capacity:float -> specs:cp_spec array -> config
+(** Buffer = a quarter of the bandwidth-delay product against the mean
+    RTT (min 32), droptail, seed 1, warmup 8 s, measure 24 s, no
+    churn. *)
+
+type cp_result = {
+  spec_flows : int;
+  active_flows : int;  (** active at the end of the run *)
+  rate : float;  (** measured aggregate packets/s over the window *)
+  per_flow : float;  (** [rate / active_flows] (0 when none active) *)
+}
+
+type result = {
+  per_cp : cp_result array;
+  total_rate : float;
+  utilization : float;  (** [total_rate / capacity] *)
+  drops : int;  (** tail drops over the whole run *)
+  events : int;  (** events processed (diagnostic) *)
+}
+
+val run : config -> result

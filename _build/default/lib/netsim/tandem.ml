@@ -1,0 +1,236 @@
+open Po_prng
+
+type config = {
+  capacity_a : float;
+  buffer_a : int;
+  capacity_b : float;
+  buffer_b : int;
+  specs : Sim.cp_spec array;
+  seed : int;
+  warmup : float;
+  measure : float;
+}
+
+let default_config ?(headroom = 4.) ~capacity_b ~specs () =
+  if headroom < 1. then invalid_arg "Tandem.default_config: headroom < 1";
+  let mean_rtt =
+    if Array.length specs = 0 then 0.05
+    else
+      Array.fold_left (fun acc (s : Sim.cp_spec) -> acc +. s.Sim.rtt) 0. specs
+      /. float_of_int (Array.length specs)
+  in
+  let capacity_a = headroom *. capacity_b in
+  let buffer c = max 32 (int_of_float (0.25 *. c *. mean_rtt)) in
+  { capacity_a; buffer_a = buffer capacity_a; capacity_b;
+    buffer_b = buffer capacity_b; specs; seed = 1; warmup = 8.;
+    measure = 24. }
+
+type result = {
+  per_cp : Sim.cp_result array;
+  total_rate : float;
+  utilization_a : float;
+  utilization_b : float;
+  drops_a : int;
+  drops_b : int;
+  events : int;
+}
+
+type event =
+  | Depart_a
+  | Depart_b
+  | Ack of int
+  | Wake of int
+
+let run config =
+  if config.capacity_a <= 0. || config.capacity_b <= 0. then
+    invalid_arg "Tandem.run: capacity <= 0";
+  if config.warmup < 0. || config.measure <= 0. then
+    invalid_arg "Tandem.run: bad warmup/measure";
+  Array.iter
+    (fun (s : Sim.cp_spec) ->
+      if s.Sim.flows < 1 then invalid_arg "Tandem.run: cp with no flows";
+      if s.Sim.rate_cap <= 0. then invalid_arg "Tandem.run: rate_cap <= 0";
+      if s.Sim.rtt <= 0. then invalid_arg "Tandem.run: rtt <= 0")
+    config.specs;
+  let rng = Splitmix.of_int config.seed in
+  let link_a = Link.create ~capacity:config.capacity_a ~buffer:config.buffer_a () in
+  let link_b = Link.create ~capacity:config.capacity_b ~buffer:config.buffer_b () in
+  let calendar : event Eventq.t = Eventq.create () in
+  let flows =
+    let acc = ref [] and id = ref 0 in
+    Array.iteri
+      (fun cp_index (spec : Sim.cp_spec) ->
+        for _ = 1 to spec.Sim.flows do
+          acc :=
+            Flow.create ~id:!id ~cp_index ~rtt:spec.Sim.rtt
+              ~rate_cap:spec.Sim.rate_cap
+            :: !acc;
+          incr id
+        done)
+      config.specs;
+    Array.of_list (List.rev !acc)
+  in
+  let events_processed = ref 0 in
+  let measuring = ref false in
+  let delivered_a = ref 0 in
+  let schedule_wake flow time =
+    if time < flow.Flow.wake_at then begin
+      flow.Flow.wake_at <- time;
+      Eventq.add calendar ~time (Wake flow.Flow.id)
+    end
+  in
+  let pump flow now =
+    let continue = ref true in
+    while !continue && Flow.can_send flow do
+      if now < flow.Flow.next_send then begin
+        schedule_wake flow flow.Flow.next_send;
+        continue := false
+      end
+      else begin
+        flow.Flow.next_send <-
+          Float.max (flow.Flow.next_send +. flow.Flow.pacing_interval) now;
+        match Link.offer link_a ~now ~flow_id:flow.Flow.id with
+        | Link.Accepted depart_opt ->
+            flow.Flow.in_flight <- flow.Flow.in_flight + 1;
+            (match depart_opt with
+            | Some t -> Eventq.add calendar ~time:t Depart_a
+            | None -> ())
+        | Link.Dropped ->
+            flow.Flow.in_flight <- flow.Flow.in_flight + 1;
+            Flow.on_loss flow ~now;
+            schedule_wake flow (now +. flow.Flow.rtt);
+            continue := false
+      end
+    done
+  in
+  Array.iter
+    (fun flow ->
+      let jitter = Splitmix.uniform rng ~lo:0. ~hi:flow.Flow.rtt in
+      schedule_wake flow jitter)
+    flows;
+  let horizon = config.warmup +. config.measure in
+  let rec loop () =
+    match Eventq.pop calendar with
+    | None -> ()
+    | Some (now, _) when now > horizon -> ()
+    | Some (now, event) ->
+        incr events_processed;
+        if (not !measuring) && now >= config.warmup then begin
+          measuring := true;
+          delivered_a := 0;
+          Array.iter Flow.reset_counters flows
+        end;
+        (match event with
+        | Depart_a -> (
+            let flow_id, next = Link.complete_service link_a ~now in
+            (match next with
+            | Some t -> Eventq.add calendar ~time:t Depart_a
+            | None -> ());
+            incr delivered_a;
+            (* Hand the packet to the downstream link; a drop there is a
+               loss the source attributes to the path as a whole. *)
+            match Link.offer link_b ~now ~flow_id with
+            | Link.Accepted (Some t) -> Eventq.add calendar ~time:t Depart_b
+            | Link.Accepted None -> ()
+            | Link.Dropped ->
+                let flow = flows.(flow_id) in
+                Flow.on_loss flow ~now;
+                schedule_wake flow (now +. flow.Flow.rtt))
+        | Depart_b ->
+            let flow_id, next = Link.complete_service link_b ~now in
+            (match next with
+            | Some t -> Eventq.add calendar ~time:t Depart_b
+            | None -> ());
+            let flow = flows.(flow_id) in
+            let jitter = Splitmix.uniform rng ~lo:0.98 ~hi:1.02 in
+            Eventq.add calendar
+              ~time:(now +. (flow.Flow.rtt *. jitter))
+              (Ack flow_id)
+        | Ack flow_id ->
+            let flow = flows.(flow_id) in
+            Flow.on_ack flow;
+            pump flow now
+        | Wake flow_id ->
+            let flow = flows.(flow_id) in
+            if now >= flow.Flow.wake_at then
+              flow.Flow.wake_at <- Float.infinity;
+            pump flow now);
+        loop ()
+  in
+  loop ();
+  let per_cp =
+    Array.mapi
+      (fun cp_index (spec : Sim.cp_spec) ->
+        let acked = ref 0 and active = ref 0 in
+        Array.iter
+          (fun (f : Flow.t) ->
+            if f.Flow.cp_index = cp_index then begin
+              acked := !acked + f.Flow.acked;
+              if f.Flow.active then incr active
+            end)
+          flows;
+        let rate = float_of_int !acked /. config.measure in
+        { Sim.spec_flows = spec.Sim.flows; active_flows = !active; rate;
+          per_flow =
+            (if !active = 0 then 0. else rate /. float_of_int !active) })
+      config.specs
+  in
+  let total_rate =
+    Array.fold_left (fun acc (r : Sim.cp_result) -> acc +. r.Sim.rate) 0. per_cp
+  in
+  { per_cp; total_rate;
+    utilization_a =
+      float_of_int !delivered_a /. config.measure /. config.capacity_a;
+    utilization_b = total_rate /. config.capacity_b;
+    drops_a = Link.drops link_a;
+    drops_b = Link.drops link_b;
+    events = !events_processed }
+
+type equivalence = {
+  headroom : float;
+  tandem_rates : float array;
+  single_rates : float array;
+  max_relative_diff : float;
+}
+
+let single_bottleneck_equivalence ?(m_sim = 12) ?(rate_scale = 400.)
+    ?(rtt = 0.04) ?(seed = 1) ~nu ~headrooms cps =
+  let specs =
+    Array.map
+      (fun (cp : Po_model.Cp.t) ->
+        { Sim.flows =
+            max 1
+              (int_of_float
+                 (Float.round (cp.Po_model.Cp.alpha *. float_of_int m_sim)));
+          rate_cap = cp.Po_model.Cp.theta_hat *. rate_scale;
+          rtt;
+          demand = None })
+      cps
+  in
+  let capacity = nu *. float_of_int m_sim *. rate_scale in
+  let single =
+    Sim.run { (Sim.default_config ~capacity ~specs) with seed }
+  in
+  let single_rates =
+    Array.map (fun (r : Sim.cp_result) -> r.Sim.rate) single.Sim.per_cp
+  in
+  Array.map
+    (fun headroom ->
+      let cfg =
+        { (default_config ~headroom ~capacity_b:capacity ~specs ()) with seed }
+      in
+      let tandem = run cfg in
+      let tandem_rates =
+        Array.map (fun (r : Sim.cp_result) -> r.Sim.rate) tandem.per_cp
+      in
+      let max_relative_diff =
+        let worst = ref 0. in
+        Array.iteri
+          (fun i s ->
+            let denom = Float.max s (0.01 *. capacity) in
+            worst := Float.max !worst (Float.abs (tandem_rates.(i) -. s) /. denom))
+          single_rates;
+        !worst
+      in
+      { headroom; tandem_rates; single_rates; max_relative_diff })
+    headrooms

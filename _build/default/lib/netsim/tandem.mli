@@ -1,0 +1,58 @@
+(** Two bottlenecks in series: a backbone/peering link feeding the
+    last-mile access link.
+
+    The paper's model keeps a single bottleneck and justifies it with
+    "the bottleneck of the Internet is often at the last-mile connection"
+    (Sec. II).  This topology module quantifies that assumption: flows
+    traverse link A (backbone) and then link B (last mile); when A has
+    headroom over B, the system should behave exactly like the
+    single-bottleneck simulation on B alone, and the approximation should
+    degrade as A's headroom vanishes.
+
+    Losses can occur at either queue; the AIMD sources cannot tell which
+    link dropped, exactly as real TCP cannot. *)
+
+type config = {
+  capacity_a : float;  (** upstream (backbone) rate, packets/s *)
+  buffer_a : int;
+  capacity_b : float;  (** downstream (last-mile) rate, packets/s *)
+  buffer_b : int;
+  specs : Sim.cp_spec array;  (** demand fields are ignored (no churn) *)
+  seed : int;
+  warmup : float;
+  measure : float;
+}
+
+val default_config :
+  ?headroom:float -> capacity_b:float -> specs:Sim.cp_spec array -> unit ->
+  config
+(** Last-mile capacity [capacity_b]; the backbone gets
+    [headroom x capacity_b] (default 4).  Buffers at a quarter BDP each,
+    as in {!Sim.default_config}. *)
+
+type result = {
+  per_cp : Sim.cp_result array;
+  total_rate : float;  (** delivered (through both links), packets/s *)
+  utilization_a : float;
+  utilization_b : float;
+  drops_a : int;
+  drops_b : int;
+  events : int;
+}
+
+val run : config -> result
+
+type equivalence = {
+  headroom : float;
+  tandem_rates : float array;  (** per-CP delivered rates, two links *)
+  single_rates : float array;  (** same scenario, last-mile link only *)
+  max_relative_diff : float;
+}
+
+val single_bottleneck_equivalence :
+  ?m_sim:int -> ?rate_scale:float -> ?rtt:float -> ?seed:int ->
+  nu:float -> headrooms:float array -> Po_model.Cp.t array ->
+  equivalence array
+(** For each backbone headroom ratio, compare per-CP delivered rates of
+    the tandem topology against the single-bottleneck run — the
+    experimental backing for the paper's last-mile-only model. *)

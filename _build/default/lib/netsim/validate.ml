@@ -1,0 +1,130 @@
+open Po_model
+
+type cp_comparison = {
+  label : string;
+  flows : int;
+  simulated_rate : float;
+  predicted_rate : float;
+  relative_error : float;
+}
+
+type report = {
+  per_cp : cp_comparison array;
+  capacity : float;
+  utilization : float;
+  max_relative_error : float;
+  mean_relative_error : float;
+}
+
+let flows_of_cp ~m_sim (cp : Cp.t) =
+  max 1 (int_of_float (Float.round (cp.Cp.alpha *. float_of_int m_sim)))
+
+(* The analytical prediction is computed on the discretised population the
+   simulator actually runs: alpha_i = flows_i / m_sim. *)
+let discretised ~m_sim ~inelastic cps =
+  Array.mapi
+    (fun id (cp : Cp.t) ->
+      let flows = flows_of_cp ~m_sim cp in
+      let alpha =
+        Float.min 1. (float_of_int flows /. float_of_int m_sim)
+      in
+      Cp.make ~label:cp.Cp.label ~id ~alpha ~theta_hat:cp.Cp.theta_hat
+        ~demand:(if inelastic then Demand.inelastic else cp.Cp.demand)
+        ~v:cp.Cp.v ~phi:cp.Cp.phi ())
+    cps
+
+let compare ?(m_sim = 12) ?(rate_scale = 400.) ?(rtt = 0.04) ?(seed = 1)
+    ?(with_churn = false) ?(queue_policy = Link.Droptail) ~nu cps =
+  if m_sim <= 0 then invalid_arg "Validate.compare: m_sim <= 0";
+  if rate_scale <= 0. then invalid_arg "Validate.compare: rate_scale <= 0";
+  let n = Array.length cps in
+  if n = 0 then invalid_arg "Validate.compare: no CPs";
+  let specs =
+    Array.map
+      (fun (cp : Cp.t) ->
+        { Sim.flows = flows_of_cp ~m_sim cp;
+          rate_cap = cp.Cp.theta_hat *. rate_scale;
+          rtt;
+          demand = (if with_churn then Some cp.Cp.demand else None) })
+      cps
+  in
+  let capacity = nu *. float_of_int m_sim *. rate_scale in
+  let config =
+    { (Sim.default_config ~capacity ~specs) with
+      seed;
+      queue_policy;
+      (* Churn adds sampling noise (Bernoulli flow activation), so average
+         over a longer window. *)
+      measure = (if with_churn then 48. else 24.);
+      churn_interval = (if with_churn then Some (8. *. rtt) else None) }
+  in
+  let sim = Sim.run config in
+  let model_cps = discretised ~m_sim ~inelastic:(not with_churn) cps in
+  let model = Equilibrium.solve ~nu model_cps in
+  let per_cp =
+    Array.mapi
+      (fun i (cp : Cp.t) ->
+        let flows = specs.(i).Sim.flows in
+        (* Model per-capita rate alpha*rho scaled back into packets/s of
+           the simulated population. *)
+        let predicted_rate =
+          model_cps.(i).Cp.alpha
+          *. model.Equilibrium.rho.(i)
+          *. float_of_int m_sim *. rate_scale
+        in
+        let simulated_rate = sim.Sim.per_cp.(i).Sim.rate in
+        let denom = Float.max predicted_rate (0.01 *. capacity) in
+        { label = cp.Cp.label; flows; simulated_rate; predicted_rate;
+          relative_error = Float.abs (simulated_rate -. predicted_rate) /. denom })
+      cps
+  in
+  let errors = Array.map (fun c -> c.relative_error) per_cp in
+  { per_cp; capacity;
+    utilization = sim.Sim.utilization;
+    max_relative_error = Array.fold_left Float.max 0. errors;
+    mean_relative_error = Po_num.Stats.mean errors }
+
+let rtt_bias_experiment ?(m_sim = 12) ?(rate_scale = 400.) ?(seed = 1) ~nu
+    ~rtt_ratios cps =
+  Array.map
+    (fun ratio ->
+      if ratio < 1. then
+        invalid_arg "Validate.rtt_bias_experiment: ratio < 1";
+      let n = Array.length cps in
+      let base = 0.04 in
+      let specs =
+        Array.mapi
+          (fun i (cp : Cp.t) ->
+            (* Spread RTTs geometrically from base to base*ratio. *)
+            let expo =
+              if n <= 1 then 0. else float_of_int i /. float_of_int (n - 1)
+            in
+            { Sim.flows = flows_of_cp ~m_sim cp;
+              rate_cap = cp.Cp.theta_hat *. rate_scale;
+              rtt = base *. (ratio ** expo);
+              demand = None })
+          cps
+      in
+      let capacity = nu *. float_of_int m_sim *. rate_scale in
+      let config =
+        { (Sim.default_config ~capacity ~specs) with seed }
+      in
+      let sim = Sim.run config in
+      let model_cps = discretised ~m_sim ~inelastic:true cps in
+      let model = Equilibrium.solve ~nu model_cps in
+      let max_err = ref 0. in
+      Array.iteri
+        (fun i _ ->
+          let predicted =
+            model_cps.(i).Cp.alpha
+            *. model.Equilibrium.rho.(i)
+            *. float_of_int m_sim *. rate_scale
+          in
+          let denom = Float.max predicted (0.01 *. capacity) in
+          let err =
+            Float.abs (sim.Sim.per_cp.(i).Sim.rate -. predicted) /. denom
+          in
+          max_err := Float.max !max_err err)
+        cps;
+      (ratio, !max_err))
+    rtt_ratios

@@ -1,0 +1,44 @@
+(** Simulator-versus-model validation (the paper's Sec. II-D.2 claim that
+    AIMD yields approximately max-min fair shares).
+
+    Given a CP population and a per-capita capacity [nu], build the
+    packet-level scenario (one flow per simulated user), run the AIMD
+    simulation, solve the analytical max-min rate equilibrium on the
+    {e discretised} population (the same integral flow counts), and report
+    per-CP relative errors. *)
+
+type cp_comparison = {
+  label : string;
+  flows : int;
+  simulated_rate : float;  (** packets/s from the simulation *)
+  predicted_rate : float;  (** packets/s from the max-min equilibrium *)
+  relative_error : float;  (** |sim - model| / max(model, tiny) *)
+}
+
+type report = {
+  per_cp : cp_comparison array;
+  capacity : float;
+  utilization : float;
+  max_relative_error : float;
+  mean_relative_error : float;
+}
+
+val compare :
+  ?m_sim:int -> ?rate_scale:float -> ?rtt:float -> ?seed:int ->
+  ?with_churn:bool -> ?queue_policy:Link.policy -> nu:float ->
+  Po_model.Cp.t array -> report
+(** [m_sim] simulated consumers (default 12); each CP gets
+    [max 1 (round (alpha * m_sim))] flows.  [rate_scale] converts model
+    throughput units into packets/s (default 400).  [rtt] (default 0.04 s)
+    is shared by all flows — max-min emerges from AIMD only for comparable
+    RTTs.  [with_churn] (default false) enables demand churn and compares
+    against the full demand-coupled rate equilibrium; otherwise demand is
+    treated as inelastic on both sides.  [queue_policy] selects the
+    bottleneck's drop discipline (default droptail). *)
+
+val rtt_bias_experiment :
+  ?m_sim:int -> ?rate_scale:float -> ?seed:int -> nu:float ->
+  rtt_ratios:float array -> Po_model.Cp.t array -> (float * float) array
+(** Ablation: scale the RTT spread across CPs (ratio of largest to
+    smallest) and report [(ratio, max_relative_error)] — quantifying when
+    the paper's max-min abstraction starts to crack. *)

@@ -1,0 +1,1 @@
+lib/num/grid.mli:

@@ -1,0 +1,1 @@
+lib/num/optimize.ml: Array Float Grid

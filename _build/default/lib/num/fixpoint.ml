@@ -1,0 +1,70 @@
+type 'a outcome = {
+  point : 'a;
+  residual : float;
+  iterations : int;
+  converged : bool;
+}
+
+let iterate ?(tol = 1e-10) ?(max_iter = 1000) ?(damping = 1.) ~f ~init () =
+  if damping <= 0. || damping > 1. then
+    invalid_arg "Fixpoint.iterate: damping must be in (0, 1]";
+  let rec loop x n =
+    let fx = f x in
+    let x' = ((1. -. damping) *. x) +. (damping *. fx) in
+    let residual = Float.abs (x' -. x) in
+    if residual <= tol then
+      { point = x'; residual; iterations = n + 1; converged = true }
+    else if n + 1 >= max_iter then
+      { point = x'; residual; iterations = n + 1; converged = false }
+    else loop x' (n + 1)
+  in
+  loop init 0
+
+let sup_dist a b =
+  let d = ref 0. in
+  Array.iteri (fun i ai -> d := Float.max !d (Float.abs (ai -. b.(i)))) a;
+  !d
+
+let iterate_vec ?(tol = 1e-10) ?(max_iter = 1000) ?(damping = 1.) ~f ~init () =
+  if damping <= 0. || damping > 1. then
+    invalid_arg "Fixpoint.iterate_vec: damping must be in (0, 1]";
+  let blend x fx =
+    Array.mapi (fun i xi -> ((1. -. damping) *. xi) +. (damping *. fx.(i))) x
+  in
+  let rec loop x n =
+    let fx = f x in
+    if Array.length fx <> Array.length x then
+      invalid_arg "Fixpoint.iterate_vec: map changed dimension";
+    let x' = blend x fx in
+    let residual = sup_dist x' x in
+    if residual <= tol then
+      { point = x'; residual; iterations = n + 1; converged = true }
+    else if n + 1 >= max_iter then
+      { point = x'; residual; iterations = n + 1; converged = false }
+    else loop x' (n + 1)
+  in
+  loop init 0
+
+let iterate_until_stable ?(max_iter = 1000) ~equal ~f ~init () =
+  let rec loop x n =
+    let x' = f x in
+    if equal x x' then
+      { point = x'; residual = 0.; iterations = n + 1; converged = true }
+    else if n + 1 >= max_iter then
+      { point = x'; residual = 1.; iterations = n + 1; converged = false }
+    else loop x' (n + 1)
+  in
+  loop init 0
+
+let detect_cycle ?(max_len = 8) ~equal history =
+  match history with
+  | [] -> None
+  | latest :: rest ->
+      let rec scan k = function
+        | [] -> None
+        | x :: tl ->
+            if k > max_len then None
+            else if equal x latest then Some k
+            else scan (k + 1) tl
+      in
+      scan 1 rest

@@ -1,0 +1,39 @@
+(** Damped fixed-point iteration for scalar and vector maps.
+
+    Used for the best-response dynamics of the CP game and for the
+    consumer-migration dynamics of the multi-ISP game, where the underlying
+    maps are monotone but not contractive; damping avoids limit cycles. *)
+
+type 'a outcome = {
+  point : 'a;  (** the final iterate *)
+  residual : float;  (** distance between the last two iterates *)
+  iterations : int;
+  converged : bool;
+}
+
+val iterate :
+  ?tol:float -> ?max_iter:int -> ?damping:float ->
+  f:(float -> float) -> init:float -> unit -> float outcome
+(** [iterate ~f ~init ()] iterates [x <- (1-damping) * x + damping * f x]
+    until successive iterates differ by at most [tol] (default [1e-10]).
+    [damping] defaults to [1.] (undamped). *)
+
+val iterate_vec :
+  ?tol:float -> ?max_iter:int -> ?damping:float ->
+  f:(float array -> float array) -> init:float array -> unit ->
+  float array outcome
+(** Vector version; the residual is the sup-norm of the step.  The map must
+    preserve the vector length. *)
+
+val iterate_until_stable :
+  ?max_iter:int -> equal:('a -> 'a -> bool) -> f:('a -> 'a) -> init:'a ->
+  unit -> 'a outcome
+(** Discrete fixed point: iterate [f] until [equal x (f x)] or the cap is
+    reached.  The residual is [0.] when converged, [1.] otherwise.  Used
+    for set-valued best-response dynamics (class partitions). *)
+
+val detect_cycle : ?max_len:int -> equal:('a -> 'a -> bool) -> 'a list -> int option
+(** [detect_cycle ~equal history] inspects a most-recent-first history of
+    iterates and returns the length of a terminal cycle if one of length
+    [<= max_len] (default 8) is present: the most recent element recurs at
+    that distance. *)

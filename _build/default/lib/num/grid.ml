@@ -1,0 +1,37 @@
+let linspace a b n =
+  if n <= 0 then invalid_arg "Grid.linspace: n <= 0"
+  else if n = 1 then [| a |]
+  else
+    let step = (b -. a) /. float_of_int (n - 1) in
+    Array.init n (fun i ->
+        if i = n - 1 then b else a +. (float_of_int i *. step))
+
+let logspace a b n =
+  if a <= 0. || b <= 0. then invalid_arg "Grid.logspace: bounds must be > 0";
+  Array.map exp (linspace (log a) (log b) n)
+
+let arange start stop step =
+  if step = 0. then invalid_arg "Grid.arange: step = 0";
+  let n =
+    let raw = (stop -. start) /. step in
+    if raw <= 0. then 0 else int_of_float (ceil (raw -. 1e-9))
+  in
+  Array.init n (fun i -> start +. (float_of_int i *. step))
+
+let midpoints xs =
+  let n = Array.length xs in
+  if n < 2 then [||]
+  else Array.init (n - 1) (fun i -> 0.5 *. (xs.(i) +. xs.(i + 1)))
+
+let index_of_nearest xs x =
+  if Array.length xs = 0 then invalid_arg "Grid.index_of_nearest: empty";
+  let best = ref 0 and best_d = ref (Float.abs (xs.(0) -. x)) in
+  Array.iteri
+    (fun i xi ->
+      let d = Float.abs (xi -. x) in
+      if d < !best_d then begin
+        best := i;
+        best_d := d
+      end)
+    xs;
+  !best

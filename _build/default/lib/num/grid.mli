@@ -1,0 +1,20 @@
+(** One-dimensional sampling grids for parameter sweeps. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] returns [n] evenly spaced points from [a] to [b]
+    inclusive.  [n >= 2] unless [n = 1], in which case [[|a|]]. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace a b n] returns [n] logarithmically spaced points from [a] to
+    [b] inclusive; requires [a > 0.] and [b > 0.]. *)
+
+val arange : float -> float -> float -> float array
+(** [arange start stop step] returns [start, start+step, ...] up to but not
+    including [stop] (within a half-step tolerance).  [step <> 0.]. *)
+
+val midpoints : float array -> float array
+(** Midpoints of consecutive entries; length is [n-1]. *)
+
+val index_of_nearest : float array -> float -> int
+(** Index of the grid point closest to the query (ties go to the lower
+    index).  The array must be non-empty. *)

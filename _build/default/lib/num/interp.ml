@@ -1,0 +1,76 @@
+type t = { xs : float array; ys : float array }
+
+let of_points ~xs ~ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Interp.of_points: empty";
+  if n <> Array.length ys then invalid_arg "Interp.of_points: length mismatch";
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then
+      invalid_arg "Interp.of_points: abscissae not strictly increasing"
+  done;
+  { xs = Array.copy xs; ys = Array.copy ys }
+
+(* Index of the segment [xs.(i), xs.(i+1)] containing x (clamped). *)
+let segment t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then 0
+  else if x >= t.xs.(n - 1) then Stdlib.max 0 (n - 2)
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval t x =
+  let n = Array.length t.xs in
+  if n = 1 then t.ys.(0)
+  else if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else
+    let i = segment t x in
+    let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+    let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+
+let eval_array t xs = Array.map (eval t) xs
+
+let derivative t x =
+  let n = Array.length t.xs in
+  if n < 2 || x < t.xs.(0) || x > t.xs.(n - 1) then 0.
+  else
+    let i = segment t x in
+    (t.ys.(i + 1) -. t.ys.(i)) /. (t.xs.(i + 1) -. t.xs.(i))
+
+let inverse_monotone t y =
+  let n = Array.length t.ys in
+  if n = 1 then (if t.ys.(0) = y then Some t.xs.(0) else None)
+  else begin
+    let increasing = t.ys.(n - 1) >= t.ys.(0) in
+    let ylo = if increasing then t.ys.(0) else t.ys.(n - 1) in
+    let yhi = if increasing then t.ys.(n - 1) else t.ys.(0) in
+    if y < ylo || y > yhi then None
+    else begin
+      (* Scan for the first segment whose ordinate range covers y. *)
+      let found = ref None in
+      let i = ref 0 in
+      while !found = None && !i < n - 1 do
+        let y0 = t.ys.(!i) and y1 = t.ys.(!i + 1) in
+        let lo = Float.min y0 y1 and hi = Float.max y0 y1 in
+        if y >= lo && y <= hi then
+          if y1 = y0 then found := Some t.xs.(!i)
+          else
+            found :=
+              Some
+                (t.xs.(!i)
+                +. ((t.xs.(!i + 1) -. t.xs.(!i)) *. (y -. y0) /. (y1 -. y0)));
+        incr i
+      done;
+      !found
+    end
+  end
+
+let xs t = Array.copy t.xs
+let ys t = Array.copy t.ys

@@ -1,0 +1,29 @@
+(** Piecewise interpolation over sampled curves.
+
+    Used to invert sampled monotone curves (e.g. consumer surplus as a
+    function of market share) and to resample figure series onto common
+    grids. *)
+
+type t
+(** An interpolant over strictly increasing abscissae. *)
+
+val of_points : xs:float array -> ys:float array -> t
+(** Build a linear interpolant.  [xs] must be strictly increasing and the
+    arrays of equal length [>= 1]; raises [Invalid_argument] otherwise. *)
+
+val eval : t -> float -> float
+(** Piecewise-linear evaluation; clamps outside the abscissa range. *)
+
+val eval_array : t -> float array -> float array
+
+val derivative : t -> float -> float
+(** Slope of the segment containing the query (one-sided at knots; [0.] for
+    a single-point interpolant or outside the range). *)
+
+val inverse_monotone : t -> float -> float option
+(** [inverse_monotone t y] solves [eval t x = y] assuming the ordinates are
+    monotone (either direction); returns [None] when [y] lies outside their
+    range. *)
+
+val xs : t -> float array
+val ys : t -> float array

@@ -1,0 +1,50 @@
+let check_dim y dy =
+  if Array.length dy <> Array.length y then
+    invalid_arg "Ode: derivative changed dimension"
+
+let axpy a x y = Array.mapi (fun i yi -> yi +. (a *. x.(i))) y
+
+let rk4_step ~f ~t ~dt y =
+  let k1 = f ~t y in
+  check_dim y k1;
+  let k2 = f ~t:(t +. (dt /. 2.)) (axpy (dt /. 2.) k1 y) in
+  check_dim y k2;
+  let k3 = f ~t:(t +. (dt /. 2.)) (axpy (dt /. 2.) k2 y) in
+  check_dim y k3;
+  let k4 = f ~t:(t +. dt) (axpy dt k3 y) in
+  check_dim y k4;
+  Array.mapi
+    (fun i yi ->
+      yi +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+    y
+
+let integrate ~f ~t0 ~t1 ~steps ~y0 =
+  if steps < 1 then invalid_arg "Ode.integrate: steps < 1";
+  let dt = (t1 -. t0) /. float_of_int steps in
+  let trajectory = Array.make (steps + 1) (t0, Array.copy y0) in
+  let y = ref (Array.copy y0) in
+  for k = 1 to steps do
+    let t = t0 +. (float_of_int (k - 1) *. dt) in
+    y := rk4_step ~f ~t ~dt !y;
+    trajectory.(k) <- (t +. dt, Array.copy !y)
+  done;
+  trajectory
+
+let integrate_to ?(post = Fun.id) ~f ~t0 ~t1 ~steps y0 =
+  if steps < 1 then invalid_arg "Ode.integrate_to: steps < 1";
+  let dt = (t1 -. t0) /. float_of_int steps in
+  let y = ref (Array.copy y0) in
+  for k = 0 to steps - 1 do
+    let t = t0 +. (float_of_int k *. dt) in
+    y := post (rk4_step ~f ~t ~dt !y)
+  done;
+  !y
+
+let integrate_until ?(post = Fun.id) ?(max_steps = 10000) ~f ~dt ~stop y0 =
+  if dt <= 0. then invalid_arg "Ode.integrate_until: dt <= 0";
+  let rec loop y t k =
+    if stop y then (y, true)
+    else if k >= max_steps then (y, false)
+    else loop (post (rk4_step ~f ~t ~dt y)) (t +. dt) (k + 1)
+  in
+  loop (Array.copy y0) 0. 0

@@ -1,0 +1,53 @@
+let trapezoid ~f ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Quadrature.trapezoid: n < 1";
+  let h = (hi -. lo) /. float_of_int n in
+  let sum = ref (0.5 *. (f lo +. f hi)) in
+  for i = 1 to n - 1 do
+    sum := !sum +. f (lo +. (float_of_int i *. h))
+  done;
+  !sum *. h
+
+let simpson ~f ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Quadrature.simpson: n < 1";
+  let n = if n mod 2 = 1 then n + 1 else n in
+  let h = (hi -. lo) /. float_of_int n in
+  let sum = ref (f lo +. f hi) in
+  for i = 1 to n - 1 do
+    let x = lo +. (float_of_int i *. h) in
+    sum := !sum +. ((if i mod 2 = 1 then 4. else 2.) *. f x)
+  done;
+  !sum *. h /. 3.
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 30) ~f ~lo ~hi () =
+  let simpson_panel a b fa fm fb = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
+  let rec go a b fa fm fb whole tol depth =
+    let m = 0.5 *. (a +. b) in
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson_panel a m fa flm fm in
+    let right = simpson_panel m b fm frm fb in
+    let delta = left +. right -. whole in
+    if depth <= 0 || Float.abs delta <= 15. *. tol then
+      left +. right +. (delta /. 15.)
+    else
+      go a m fa flm fm left (tol /. 2.) (depth - 1)
+      +. go m b fm frm fb right (tol /. 2.) (depth - 1)
+  in
+  let fa = f lo and fb = f hi in
+  let m = 0.5 *. (lo +. hi) in
+  let fm = f m in
+  let whole = simpson_panel lo hi fa fm fb in
+  go lo hi fa fm fb whole tol max_depth
+
+let trapezoid_sampled ~xs ~ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then
+    invalid_arg "Quadrature.trapezoid_sampled: length mismatch";
+  let acc = ref 0. in
+  for i = 1 to n - 1 do
+    let dx = xs.(i) -. xs.(i - 1) in
+    if dx < 0. then
+      invalid_arg "Quadrature.trapezoid_sampled: decreasing abscissae";
+    acc := !acc +. (0.5 *. dx *. (ys.(i) +. ys.(i - 1)))
+  done;
+  !acc

@@ -1,0 +1,23 @@
+(** Numerical integration.
+
+    Used by the welfare analyses to integrate surplus densities over
+    parameter distributions and to compute areas under sampled curves
+    (e.g. aggregate surplus across a capacity sweep). *)
+
+val trapezoid : f:(float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite trapezoid rule with [n >= 1] panels. *)
+
+val simpson : f:(float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite Simpson rule; [n] is rounded up to the next even panel
+    count. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> float
+(** Adaptive Simpson quadrature with interval halving until the local error
+    estimate is below [tol] (default [1e-10]) or [max_depth] (default 30)
+    is reached. *)
+
+val trapezoid_sampled : xs:float array -> ys:float array -> float
+(** Trapezoid rule over an already-sampled curve; [xs] must be
+    non-decreasing and the arrays of equal length. *)

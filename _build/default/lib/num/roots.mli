@@ -1,0 +1,59 @@
+(** One-dimensional root finding.
+
+    The rate-equilibrium and market-share computations of the public-option
+    model all reduce to solving [f x = 0] for a monotone (possibly only
+    piecewise-continuous) [f] on a known bracket.  Bisection is therefore the
+    workhorse; Brent's method is provided for smooth problems and a secant
+    fallback for cheap refinement. *)
+
+type outcome = {
+  root : float;  (** best estimate of the root *)
+  value : float;  (** [f root] *)
+  iterations : int;  (** iterations actually performed *)
+  converged : bool;  (** whether the tolerance was met *)
+}
+
+val default_tol : float
+(** Absolute tolerance on the abscissa used when [?tol] is omitted. *)
+
+val default_max_iter : int
+(** Iteration cap used when [?max_iter] is omitted. *)
+
+exception No_bracket of string
+(** Raised when the supplied interval does not bracket a sign change and
+    bracket expansion fails. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> outcome
+(** [bisect ~f ~lo ~hi ()] finds a root of [f] in [[lo, hi]].  Requires
+    [f lo] and [f hi] to have opposite (or zero) signs; raises
+    {!No_bracket} otherwise.  Robust to discontinuities: converges to a
+    point where [f] changes sign. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float ->
+  unit -> outcome
+(** Brent's method (inverse quadratic interpolation + secant + bisection
+    safeguard).  Same bracketing contract as {!bisect}; faster on smooth
+    functions. *)
+
+val secant :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> x0:float -> x1:float ->
+  unit -> outcome
+(** Unbracketed secant iteration started from [x0], [x1].  May diverge;
+    check [converged]. *)
+
+val expand_bracket :
+  ?factor:float -> ?max_expand:int -> f:(float -> float) ->
+  lo:float -> hi:float -> unit -> float * float
+(** Geometrically expands [[lo, hi]] outward until it brackets a sign change
+    of [f].  Raises {!No_bracket} after [max_expand] doublings. *)
+
+val find_monotone_level :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> level:float ->
+  lo:float -> hi:float -> unit -> outcome
+(** [find_monotone_level ~f ~level ~lo ~hi ()] solves [f x = level] for a
+    non-decreasing [f].  If [f hi <= level] returns [hi]; if [f lo >= level]
+    returns [lo]; otherwise bisection.  This never raises and is the
+    primitive used by the rate-equilibrium solver (Theorem 1). *)

@@ -1,0 +1,90 @@
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    ss /. float_of_int (n - 1)
+
+let std xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median xs = quantile xs 0.5
+
+let min xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min: empty array";
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max: empty array";
+  Array.fold_left Float.max xs.(0) xs
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  { n; mean = mean xs; std = std xs; min = min xs; max = max xs;
+    median = median xs }
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n < 2 then invalid_arg "Stats.pearson: need at least 2 samples";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+
+let weighted_mean ~values ~weights =
+  let n = Array.length values in
+  if n <> Array.length weights then
+    invalid_arg "Stats.weighted_mean: length mismatch";
+  let sw = ref 0. and swx = ref 0. in
+  for i = 0 to n - 1 do
+    if weights.(i) < 0. then
+      invalid_arg "Stats.weighted_mean: negative weight";
+    sw := !sw +. weights.(i);
+    swx := !swx +. (weights.(i) *. values.(i))
+  done;
+  if !sw <= 0. then invalid_arg "Stats.weighted_mean: zero total weight";
+  !swx /. !sw
+
+let max_downward_gap ys =
+  let n = Array.length ys in
+  if n < 2 then 0.
+  else begin
+    let running_max = ref ys.(0) and gap = ref 0. in
+    for i = 1 to n - 1 do
+      gap := Float.max !gap (!running_max -. ys.(i));
+      running_max := Float.max !running_max ys.(i)
+    done;
+    Float.max !gap 0.
+  end

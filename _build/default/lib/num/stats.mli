@@ -1,0 +1,42 @@
+(** Descriptive statistics over float arrays. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;  (** sample standard deviation (n-1 denominator; 0 if n < 2) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; [0.] if fewer than two samples. *)
+
+val std : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [[0, 1]], linear interpolation between order
+    statistics.  Raises [Invalid_argument] on empty input or [q] outside
+    [[0,1]]. *)
+
+val median : float array -> float
+val min : float array -> float
+val max : float array -> float
+
+val summarize : float array -> summary
+(** All of the above in one pass (plus a sort for the median). *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; arrays must have equal length [>= 2].
+    Returns [0.] when either variance vanishes. *)
+
+val weighted_mean : values:float array -> weights:float array -> float
+(** Weighted mean; weights must be non-negative with positive sum. *)
+
+val max_downward_gap : float array -> float
+(** [max_downward_gap ys] is [sup { ys.(i) - ys.(j) : i < j }] clamped at
+    0 — the largest drop when scanning left to right.  This is the empirical
+    version of the discontinuity metric of Eq. (9) on a sampled curve. *)

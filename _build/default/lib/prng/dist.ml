@@ -1,0 +1,79 @@
+let uniform rng ~lo ~hi = Splitmix.uniform rng ~lo ~hi
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate <= 0";
+  (* 1 - u in (0, 1] avoids log 0. *)
+  -.log (1. -. Splitmix.float rng) /. rate
+
+let normal rng ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Dist.normal: sigma < 0";
+  let u1 = 1. -. Splitmix.float rng in
+  let u2 = Splitmix.float rng in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mu ~sigma)
+
+let pareto rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Dist.pareto: parameters must be > 0";
+  scale /. ((1. -. Splitmix.float rng) ** (1. /. shape))
+
+let zipf rng ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf: n <= 0";
+  if s < 0. then invalid_arg "Dist.zipf: s < 0";
+  let h = ref 0. in
+  for k = 1 to n do
+    h := !h +. (1. /. (float_of_int k ** s))
+  done;
+  let target = Splitmix.float rng *. !h in
+  let acc = ref 0. and rank = ref n in
+  (try
+     for k = 1 to n do
+       acc := !acc +. (1. /. (float_of_int k ** s));
+       if !acc >= target then begin
+         rank := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !rank
+
+let categorical rng ~weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.categorical: empty weights";
+  let total =
+    Array.fold_left
+      (fun acc w ->
+        if w < 0. then invalid_arg "Dist.categorical: negative weight";
+        acc +. w)
+      0. weights
+  in
+  if total <= 0. then invalid_arg "Dist.categorical: zero total weight";
+  let target = Splitmix.float rng *. total in
+  let acc = ref 0. and choice = ref (n - 1) in
+  (try
+     for i = 0 to n - 1 do
+       acc := !acc +. weights.(i);
+       if !acc >= target then begin
+         choice := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !choice
+
+let bernoulli rng ~p =
+  let p = Float.min 1. (Float.max 0. p) in
+  Splitmix.float rng < p
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Splitmix.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done
+
+let nested_uniform rng ~hi =
+  let cap = Splitmix.uniform rng ~lo:0. ~hi in
+  Splitmix.uniform rng ~lo:0. ~hi:cap

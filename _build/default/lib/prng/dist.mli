@@ -1,0 +1,39 @@
+(** Sampling from standard distributions on top of {!Splitmix}.
+
+    The paper's ensemble draws CP attributes from uniform laws
+    ([alpha, theta_hat, v ~ U[0,1]], [beta ~ U[0,10]], [phi ~ U[0,beta]] or
+    the appendix's nested [U[0, U[0,10]]]); the network simulator uses
+    exponential inter-arrivals and Pareto-ish heavy tails for sensitivity
+    studies. *)
+
+val uniform : Splitmix.t -> lo:float -> hi:float -> float
+(** Uniform on [[lo, hi)]. *)
+
+val exponential : Splitmix.t -> rate:float -> float
+(** Exponential with [rate > 0] (mean [1/rate]). *)
+
+val normal : Splitmix.t -> mu:float -> sigma:float -> float
+(** Gaussian via Box-Muller; [sigma >= 0]. *)
+
+val lognormal : Splitmix.t -> mu:float -> sigma:float -> float
+(** [exp] of a Gaussian with the given log-space parameters. *)
+
+val pareto : Splitmix.t -> shape:float -> scale:float -> float
+(** Pareto(I) with [shape > 0] and minimum value [scale > 0]. *)
+
+val zipf : Splitmix.t -> n:int -> s:float -> int
+(** Zipf rank in [{1, ..., n}] with exponent [s >= 0], by inversion of the
+    generalized-harmonic CDF.  Cost is O(n) per draw (fine at our sizes). *)
+
+val categorical : Splitmix.t -> weights:float array -> int
+(** Index drawn proportionally to non-negative [weights] with positive
+    sum. *)
+
+val bernoulli : Splitmix.t -> p:float -> bool
+(** [true] with probability [p] clamped to [[0,1]]. *)
+
+val shuffle : Splitmix.t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val nested_uniform : Splitmix.t -> hi:float -> float
+(** The appendix's two-level draw [U[0, U[0, hi]]]. *)

@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+let copy t = { state = t.state }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  (* Re-mix so the child stream is decorrelated from the parent outputs. *)
+  create (mix64 (Int64.logxor seed 0xD1B54A32D192ED03L))
+
+let float t =
+  (* 53 high bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let uniform t ~lo ~hi =
+  if lo > hi then invalid_arg "Splitmix.uniform: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Splitmix.int: n <= 0";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (next_int64 t) 1 in
+    let v = Int64.rem raw n64 in
+    (* Reject the final partial block. *)
+    if Int64.sub raw v > Int64.sub Int64.max_int (Int64.sub n64 1L) then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

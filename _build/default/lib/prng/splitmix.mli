@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic element of the reproduction — the 1000-CP ensemble,
+    packet jitter in the network simulator, randomised property tests — is
+    driven by this generator so that runs are bit-reproducible from a seed.
+
+    The generator is Steele, Lea & Flood's splitmix64: a 64-bit counter
+    advanced by the golden-ratio increment and finalised by a
+    variance-maximising mixer.  State is one int64; [split] derives an
+    independent stream, which the workload generator uses to give each CP
+    attribute its own stream (adding a CP never perturbs the draws of
+    another). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** Create a generator from a 64-bit seed.  Equal seeds give equal
+    streams. *)
+
+val of_int : int -> t
+(** Convenience wrapper around [create (Int64.of_int seed)]. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val split : t -> t
+(** Derive a statistically independent child stream; advances the parent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform draw in [[0, 1)] with 53 bits of precision. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform draw in [[lo, hi)]; requires [lo <= hi]. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [{0, ..., n-1}]; requires [n > 0].
+    Uses rejection to avoid modulo bias. *)
+
+val bool : t -> bool

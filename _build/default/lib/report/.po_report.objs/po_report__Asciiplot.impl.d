@@ -1,0 +1,1 @@
+lib/report/asciiplot.ml: Array Buffer Float List Printf Series String

@@ -1,0 +1,1 @@
+lib/report/csv.ml: Array Buffer Filename Fun List Printf Series String Sys

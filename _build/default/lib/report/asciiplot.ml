@@ -1,0 +1,76 @@
+let markers = [| '*'; '+'; 'o'; '#'; '@'; 'x'; '%'; '&' |]
+
+let finite_fold f init arr =
+  Array.fold_left (fun acc v -> if Float.is_finite v then f acc v else acc) init arr
+
+let render ?(width = 72) ?(height = 20) ?title series =
+  if width < 8 || height < 4 then invalid_arg "Asciiplot.render: too small";
+  if series = [] then invalid_arg "Asciiplot.render: no series";
+  let xmin =
+    List.fold_left (fun acc s -> finite_fold Float.min acc (Series.xs s))
+      Float.infinity series
+  in
+  let xmax =
+    List.fold_left (fun acc s -> finite_fold Float.max acc (Series.xs s))
+      Float.neg_infinity series
+  in
+  let ymin =
+    List.fold_left (fun acc s -> finite_fold Float.min acc (Series.ys s))
+      Float.infinity series
+  in
+  let ymax =
+    List.fold_left (fun acc s -> finite_fold Float.max acc (Series.ys s))
+      Float.neg_infinity series
+  in
+  let xspan = if xmax > xmin then xmax -. xmin else 1. in
+  let yspan = if ymax > ymin then ymax -. ymin else 1. in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun k s ->
+      let marker = markers.(k mod Array.length markers) in
+      let xs = Series.xs s and ys = Series.ys s in
+      Array.iteri
+        (fun i x ->
+          let y = ys.(i) in
+          if Float.is_finite x && Float.is_finite y then begin
+            let col =
+              int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+            in
+            let row =
+              height - 1
+              - int_of_float
+                  ((y -. ymin) /. yspan *. float_of_int (height - 1))
+            in
+            if col >= 0 && col < width && row >= 0 && row < height then
+              grid.(row).(col) <- marker
+          end)
+        xs)
+    series;
+  let buf = Buffer.create ((width + 8) * (height + 4)) in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf "%.4g\n" ymax);
+  Array.iter
+    (fun row ->
+      Buffer.add_char buf '|';
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%.4g%s%.4g  (y: %.4g .. %.4g)\n" xmin
+       (String.make (max 1 (width - 24)) ' ')
+       xmax ymin ymax);
+  List.iteri
+    (fun k s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %c %s\n"
+           markers.(k mod Array.length markers)
+           (Series.label s)))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Terminal line plots — a quick visual check of the reproduced figures
+    without leaving the shell. *)
+
+val render :
+  ?width:int -> ?height:int -> ?title:string -> Series.t list -> string
+(** Scatter the series onto a character grid (each series gets a marker
+    from [*+o#@x%&]; later series overwrite earlier ones on collisions).
+    Axis ranges cover all series; a legend and the y-range annotate the
+    plot.  Width/height default to 72x20 (grid interior). *)

@@ -1,0 +1,62 @@
+let escape_cell s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quote then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let row_to_string row =
+  String.concat "," (Array.to_list (Array.map escape_cell row))
+
+let to_string ~headers ~rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (row_to_string headers);
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length headers then
+        invalid_arg "Csv.to_string: ragged row";
+      Buffer.add_string buf (row_to_string row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let of_series ~x_header series =
+  match series with
+  | [] -> invalid_arg "Csv.of_series: no series"
+  | first :: _ ->
+      let n = Series.length first in
+      List.iter
+        (fun s ->
+          if Series.length s <> n then
+            invalid_arg "Csv.of_series: series length mismatch")
+        series;
+      let headers = Array.of_list (x_header :: List.map Series.label series) in
+      let xs = Series.xs first in
+      let columns = List.map Series.ys series in
+      let rows =
+        Array.init n (fun i ->
+            Array.of_list
+              (Printf.sprintf "%.17g" xs.(i)
+              :: List.map (fun ys -> Printf.sprintf "%.17g" ys.(i)) columns))
+      in
+      to_string ~headers ~rows
+
+let write_file ~path content =
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then
+    Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)

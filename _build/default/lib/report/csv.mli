@@ -1,0 +1,13 @@
+(** Minimal CSV output for the figure series (RFC 4180-style quoting). *)
+
+val escape_cell : string -> string
+(** Quote a cell when it contains a comma, quote or newline. *)
+
+val to_string : headers:string array -> rows:string array array -> string
+
+val of_series : x_header:string -> Series.t list -> string
+(** Same column layout as {!Table.of_series}, full float precision. *)
+
+val write_file : path:string -> string -> unit
+(** Write content to [path], creating parent directories as needed (one
+    level deep). *)

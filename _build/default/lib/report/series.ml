@@ -1,0 +1,44 @@
+type t = {
+  label : string;
+  xs : float array;
+  ys : float array;
+}
+
+let make ~label ~xs ~ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Series.make: length mismatch";
+  { label; xs = Array.copy xs; ys = Array.copy ys }
+
+let of_fn ~label ~xs f = make ~label ~xs ~ys:(Array.map f xs)
+
+let length t = Array.length t.xs
+let label t = t.label
+let xs t = Array.copy t.xs
+let ys t = Array.copy t.ys
+let map_ys t ~f = { t with ys = Array.map f t.ys }
+let relabel t label = { t with label }
+
+let y_at t x =
+  let n = Array.length t.xs in
+  if n = 0 then invalid_arg "Series.y_at: empty series";
+  if n = 1 || x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else begin
+    let i = ref 0 in
+    while t.xs.(!i + 1) < x do
+      incr i
+    done;
+    let x0 = t.xs.(!i) and x1 = t.xs.(!i + 1) in
+    if x1 <= x0 then invalid_arg "Series.y_at: xs not strictly increasing";
+    let w = (x -. x0) /. (x1 -. x0) in
+    ((1. -. w) *. t.ys.(!i)) +. (w *. t.ys.(!i + 1))
+  end
+
+let argmax t =
+  let n = Array.length t.xs in
+  if n = 0 then invalid_arg "Series.argmax: empty series";
+  let best = ref 0 in
+  for i = 1 to n - 1 do
+    if t.ys.(i) > t.ys.(!best) then best := i
+  done;
+  (t.xs.(!best), t.ys.(!best))

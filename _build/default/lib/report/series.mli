@@ -1,0 +1,27 @@
+(** Labelled data series — the common currency between the experiment
+    generators, the CSV writers, the ASCII plots and the benches. *)
+
+type t = private {
+  label : string;
+  xs : float array;
+  ys : float array;
+}
+
+val make : label:string -> xs:float array -> ys:float array -> t
+(** Arrays must have equal length. *)
+
+val of_fn : label:string -> xs:float array -> (float -> float) -> t
+val length : t -> int
+val label : t -> string
+val xs : t -> float array
+val ys : t -> float array
+val map_ys : t -> f:(float -> float) -> t
+val relabel : t -> string -> t
+
+val y_at : t -> float -> float
+(** Linear interpolation of the series at an x query (clamped); requires
+    strictly increasing [xs]. *)
+
+val argmax : t -> float * float
+(** [(x, y)] of the maximal ordinate (first on ties); series must be
+    non-empty. *)

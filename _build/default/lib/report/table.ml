@@ -1,0 +1,67 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = Right) ~headers ~rows () =
+  let cols = Array.length headers in
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg "Table.render: ragged row")
+    rows;
+  let width j =
+    Array.fold_left
+      (fun acc row -> max acc (String.length row.(j)))
+      (String.length headers.(j))
+      rows
+  in
+  let widths = Array.init cols width in
+  let line cells =
+    String.concat "  "
+      (Array.to_list (Array.mapi (fun j cell -> pad align widths.(j) cell) cells))
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let render_floats ?(precision = 5) ~headers ~rows () =
+  let fmt x = Printf.sprintf "%.*g" precision x in
+  render ~headers ~rows:(Array.map (Array.map fmt) rows) ()
+
+let of_series ?(precision = 5) ~x_header series =
+  match series with
+  | [] -> invalid_arg "Table.of_series: no series"
+  | first :: _ ->
+      let n = Series.length first in
+      List.iter
+        (fun s ->
+          if Series.length s <> n then
+            invalid_arg "Table.of_series: series length mismatch")
+        series;
+      let headers =
+        Array.of_list (x_header :: List.map Series.label series)
+      in
+      let xs = Series.xs first in
+      let columns = List.map Series.ys series in
+      let rows =
+        Array.init n (fun i ->
+            Array.of_list (xs.(i) :: List.map (fun ys -> ys.(i)) columns))
+      in
+      render_floats ~precision ~headers ~rows ()

@@ -1,0 +1,22 @@
+(** Plain-text tables for harness output. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align -> headers:string array -> rows:string array array -> unit ->
+  string
+(** Render a table with a header rule; every row must have the header
+    width.  Numeric-looking output usually reads best [Right]-aligned
+    (the default). *)
+
+val render_floats :
+  ?precision:int -> headers:string array -> rows:float array array -> unit ->
+  string
+(** Convenience wrapper formatting every cell with [%.*g]
+    (default precision 5). *)
+
+val of_series :
+  ?precision:int -> x_header:string -> Series.t list -> string
+(** Tabulate several series sharing the same abscissae: one [x] column and
+    one column per series label.  Raises if the series disagree on [xs]
+    length. *)

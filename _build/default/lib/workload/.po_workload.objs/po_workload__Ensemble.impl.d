@@ -1,0 +1,1 @@
+lib/workload/ensemble.ml: Array Cp Demand Dist Float Po_model Po_prng Splitmix

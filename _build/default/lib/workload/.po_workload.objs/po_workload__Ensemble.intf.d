@@ -1,0 +1,1 @@
+lib/workload/ensemble.mli: Po_model

@@ -1,0 +1,1 @@
+lib/workload/io.ml: Array Buffer Cp Demand List Po_model Po_report Printf Result String

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Cp Demand Float List Po_model Po_prng Splitmix

@@ -1,0 +1,66 @@
+open Po_model
+open Po_prng
+
+type phi_setting = Coupled_to_beta | Independent
+
+(* A uniform draw on (0, 1]: the open lower end keeps alpha and theta_hat
+   strictly positive as the model requires. *)
+let positive_unit rng = 1. -. Splitmix.float rng
+
+let paper_ensemble ?(n = 1000) ?(phi = Coupled_to_beta) ~seed () =
+  if n <= 0 then invalid_arg "Ensemble.paper_ensemble: n <= 0";
+  let root = Splitmix.of_int seed in
+  let alpha_rng = Splitmix.split root in
+  let theta_rng = Splitmix.split root in
+  let beta_rng = Splitmix.split root in
+  let v_rng = Splitmix.split root in
+  let phi_rng = Splitmix.split root in
+  Array.init n (fun id ->
+      let alpha = positive_unit alpha_rng in
+      let theta_hat = positive_unit theta_rng in
+      let beta = Splitmix.uniform beta_rng ~lo:0. ~hi:10. in
+      let v = Splitmix.float v_rng in
+      let phi_value =
+        match phi with
+        | Coupled_to_beta -> Splitmix.uniform phi_rng ~lo:0. ~hi:beta
+        | Independent -> Dist.nested_uniform phi_rng ~hi:10.
+      in
+      Cp.make ~id ~alpha ~theta_hat
+        ~demand:(Demand.exponential ~beta)
+        ~v ~phi:phi_value ())
+
+let heavy_tailed_ensemble ?(n = 1000) ?(zipf_exponent = 1.0)
+    ?(pareto_shape = 1.5) ~seed () =
+  if n <= 0 then invalid_arg "Ensemble.heavy_tailed_ensemble: n <= 0";
+  let root = Splitmix.of_int (seed lxor 0x5eed) in
+  let rank_rng = Splitmix.split root in
+  let theta_rng = Splitmix.split root in
+  let beta_rng = Splitmix.split root in
+  let v_rng = Splitmix.split root in
+  let phi_rng = Splitmix.split root in
+  let ranks = Array.init n (fun i -> i + 1) in
+  Dist.shuffle rank_rng ranks;
+  Array.init n (fun id ->
+      (* Zipf popularity over a shuffled rank (so id order is not rank
+         order), normalised into (0, 1]. *)
+      let alpha = 1. /. (float_of_int ranks.(id) ** zipf_exponent) in
+      let theta_hat =
+        Float.min 20. (Dist.pareto theta_rng ~shape:pareto_shape ~scale:0.2)
+      in
+      let beta =
+        Float.min 10. (Dist.lognormal beta_rng ~mu:0.5 ~sigma:1.0)
+      in
+      let v = Splitmix.float v_rng in
+      let phi_value = Splitmix.uniform phi_rng ~lo:0. ~hi:beta in
+      Cp.make ~id ~alpha ~theta_hat
+        ~demand:(Demand.exponential ~beta)
+        ~v ~phi:phi_value ())
+
+let saturation_nu cps =
+  Array.fold_left (fun acc cp -> acc +. Cp.lambda_hat_per_capita cp) 0. cps
+
+let total_value cps =
+  Array.fold_left
+    (fun acc (cp : Cp.t) ->
+      acc +. (cp.Cp.phi *. cp.Cp.alpha *. cp.Cp.theta_hat))
+    0. cps

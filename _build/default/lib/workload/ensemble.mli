@@ -1,0 +1,36 @@
+(** CP population generators.
+
+    The paper's evaluation (Sec. III-E) uses 1000 CPs with
+    [alpha, theta_hat, v ~ U[0,1]], [beta ~ U[0,10]] and consumer utility
+    either [phi ~ U[0, beta]] (main text: utility biased towards
+    throughput-sensitive content) or [phi ~ U[0, U[0,10]]] (appendix:
+    same scale, independent of beta).  Saturation capacity is
+    [E sum alpha_i theta_hat_i = n/4] per capita (250 for n = 1000).
+
+    All draws are deterministic in the seed; each attribute uses its own
+    split stream, so changing [n] only extends the population. *)
+
+type phi_setting =
+  | Coupled_to_beta  (** main text: [phi_i ~ U[0, beta_i]] *)
+  | Independent  (** appendix: [phi_i ~ U[0, U[0, 10]]] *)
+
+val paper_ensemble :
+  ?n:int -> ?phi:phi_setting -> seed:int -> unit -> Po_model.Cp.t array
+(** The paper's random population; [n] defaults to 1000, [phi] to
+    [Coupled_to_beta]. *)
+
+val heavy_tailed_ensemble :
+  ?n:int -> ?zipf_exponent:float -> ?pareto_shape:float -> seed:int -> unit ->
+  Po_model.Cp.t array
+(** A robustness-extension population: popularity follows a Zipf law over
+    ranks, unconstrained throughput a Pareto law (capped), [beta]
+    log-normal — a more Internet-like skew than the paper's uniform
+    draws.  Used by the ablation benches. *)
+
+val saturation_nu : Po_model.Cp.t array -> float
+(** Per-capita capacity that serves every CP's unconstrained throughput:
+    [sum_i alpha_i theta_hat_i]. *)
+
+val total_value : Po_model.Cp.t array -> float
+(** Upper bound on per-capita consumer surplus:
+    [sum_i phi_i alpha_i theta_hat_i] (attained when unconstrained). *)

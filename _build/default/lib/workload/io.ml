@@ -1,0 +1,86 @@
+open Po_model
+
+let header = "id,label,alpha,theta_hat,beta,v,phi"
+
+let to_csv cps =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  let rec emit i =
+    if i >= Array.length cps then Ok (Buffer.contents buf)
+    else
+      let cp = cps.(i) in
+      match Demand.beta cp.Cp.demand with
+      | None ->
+          Error
+            (Printf.sprintf
+               "Io.to_csv: CP %d (%s) has non-exponential demand %s" i
+               cp.Cp.label
+               (Demand.name cp.Cp.demand))
+      | Some beta ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%s,%.17g,%.17g,%.17g,%.17g,%.17g\n" cp.Cp.id
+               cp.Cp.label cp.Cp.alpha cp.Cp.theta_hat beta cp.Cp.v cp.Cp.phi);
+          emit (i + 1)
+  in
+  emit 0
+
+let parse_line ~line_no ~id line =
+  match String.split_on_char ',' (String.trim line) with
+  | [ _id; label; alpha; theta_hat; beta; v; phi ] -> (
+      let num name s =
+        match float_of_string_opt (String.trim s) with
+        | Some x -> Ok x
+        | None ->
+            Error (Printf.sprintf "line %d: bad %s %S" line_no name s)
+      in
+      let ( let* ) = Result.bind in
+      let* alpha = num "alpha" alpha in
+      let* theta_hat = num "theta_hat" theta_hat in
+      let* beta = num "beta" beta in
+      let* v = num "v" v in
+      let* phi = num "phi" phi in
+      try
+        Ok
+          (Cp.make ~label:(String.trim label) ~id ~alpha ~theta_hat
+             ~demand:(Demand.exponential ~beta)
+             ~v ~phi ())
+      with Invalid_argument msg ->
+        Error (Printf.sprintf "line %d: %s" line_no msg))
+  | _ -> Error (Printf.sprintf "line %d: expected 7 columns" line_no)
+
+let of_csv doc =
+  match String.split_on_char '\n' doc with
+  | [] -> Error "Io.of_csv: empty document"
+  | first :: rest ->
+      if String.trim first <> header then
+        Error (Printf.sprintf "Io.of_csv: expected header %S" header)
+      else begin
+        let rec parse acc line_no id = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | line :: tl when String.trim line = "" -> parse acc (line_no + 1) id tl
+          | line :: tl -> (
+              match parse_line ~line_no ~id line with
+              | Ok cp -> parse (cp :: acc) (line_no + 1) (id + 1) tl
+              | Error _ as e -> e)
+        in
+        parse [] 2 0 rest
+      end
+
+let write_file ~path cps =
+  match to_csv cps with
+  | Error _ as e -> e
+  | Ok doc -> (
+      try
+        Po_report.Csv.write_file ~path doc;
+        Ok ()
+      with Sys_error msg -> Error msg)
+
+let read_file ~path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let doc = really_input_string ic n in
+    close_in ic;
+    of_csv doc
+  with Sys_error msg -> Error msg

@@ -1,0 +1,23 @@
+(** CSV import/export of CP populations.
+
+    Lets a drawn ensemble be archived next to experiment outputs and
+    reloaded bit-for-bit, and lets externally curated populations (e.g.
+    fitted to real traffic data) be run through every solver.  Columns:
+
+    {v id,label,alpha,theta_hat,beta,v,phi v}
+
+    [beta] is the exponential-sensitivity parameter of Eq. (3); only
+    exponential demand families are serialisable (they are the paper's
+    model — richer families live in code, not data). *)
+
+val to_csv : Po_model.Cp.t array -> (string, string) result
+(** Fails (with the offending CP) when a demand function is not of the
+    exponential family. *)
+
+val of_csv : string -> (Po_model.Cp.t array, string) result
+(** Parse a document produced by {!to_csv} (or hand-written with the same
+    header).  Returns a descriptive error on malformed input; CP ids are
+    re-assigned sequentially so the result is always solver-ready. *)
+
+val write_file : path:string -> Po_model.Cp.t array -> (unit, string) result
+val read_file : path:string -> (Po_model.Cp.t array, string) result

@@ -1,0 +1,43 @@
+open Po_model
+open Po_prng
+
+let three_cp () = [| Cp.google 0; Cp.netflix 1; Cp.skype 2 |]
+
+let three_cp_priced () =
+  [| Cp.with_phi (Cp.with_v (Cp.google 0) 0.8) 0.5;
+     Cp.with_phi (Cp.with_v (Cp.netflix 1) 0.5) 3.0;
+     Cp.with_phi (Cp.with_v (Cp.skype 2) 0.2) 5.0 |]
+
+type archetype = {
+  alpha : float;
+  theta_hat : float;
+  beta : float;
+  v : float;
+  phi : float;
+  label : string;
+}
+
+let google_arch = { alpha = 1.; theta_hat = 1.; beta = 0.1; v = 0.8; phi = 0.5; label = "google" }
+let netflix_arch = { alpha = 0.3; theta_hat = 10.; beta = 3.; v = 0.5; phi = 3.0; label = "netflix" }
+let skype_arch = { alpha = 0.5; theta_hat = 3.; beta = 5.; v = 0.2; phi = 5.0; label = "skype" }
+
+let jitter rng x = x *. Splitmix.uniform rng ~lo:0.8 ~hi:1.2
+
+let archetype_mix ?(google = 4) ?(netflix = 3) ?(skype = 3) ~seed () =
+  if google < 0 || netflix < 0 || skype < 0 then
+    invalid_arg "Scenario.archetype_mix: negative count";
+  let rng = Splitmix.of_int seed in
+  let make id arch =
+    let alpha = Float.min 1. (jitter rng arch.alpha) in
+    Cp.make ~label:arch.label ~id ~alpha
+      ~theta_hat:(jitter rng arch.theta_hat)
+      ~demand:(Demand.exponential ~beta:(jitter rng arch.beta))
+      ~v:(jitter rng arch.v) ~phi:(jitter rng arch.phi) ()
+  in
+  let specs =
+    List.concat
+      [ List.init google (fun _ -> google_arch);
+        List.init netflix (fun _ -> netflix_arch);
+        List.init skype (fun _ -> skype_arch) ]
+  in
+  Array.of_list (List.mapi make specs)

@@ -1,0 +1,22 @@
+(** Named small scenarios used by the paper's illustrations and the
+    examples. *)
+
+val three_cp : unit -> Po_model.Cp.t array
+(** The Sec. II-D illustration: a Google-type, a Netflix-type and a
+    Skype-type CP ([(alpha, theta_hat, beta)] = (1,1,0.1), (0.3,10,3),
+    (0.5,3,5)), ids 0..2.  [v] and [phi] are left at 0. *)
+
+val three_cp_priced : unit -> Po_model.Cp.t array
+(** The same three CPs with plausible business parameters attached
+    ([v], [phi]) so they can be run through the strategic games:
+    Google (v=0.8, phi=0.5), Netflix (v=0.5, phi=3.0),
+    Skype (v=0.2, phi=5.0) — utility biased towards throughput-sensitive
+    content, as in the paper's ensembles. *)
+
+val archetype_mix :
+  ?google:int -> ?netflix:int -> ?skype:int -> seed:int -> unit ->
+  Po_model.Cp.t array
+(** A population of jittered archetypes: counts of each type with +-20%
+    multiplicative jitter on [alpha], [theta_hat] and [beta], and [v],
+    [phi] drawn as in {!three_cp_priced} with the same jitter.  Useful for
+    mid-sized, interpretable experiments. *)

@@ -1,0 +1,1 @@
+test/test_competition.ml: Alcotest Array Cp_game Duopoly Float List Metrics Migration Oligopoly Po_core Po_num Po_workload Printf Public_option QCheck QCheck_alcotest Strategy

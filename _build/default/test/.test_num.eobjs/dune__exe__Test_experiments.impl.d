@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Filename Float List Po_experiments Po_report String Sys

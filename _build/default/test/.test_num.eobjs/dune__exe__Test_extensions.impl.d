@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cp_game Duopoly Float Investment List Oligopoly Po_core Po_model Po_netsim Po_sizing Po_workload Printf Strategy Welfare

@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Cp Cp_game Equilibrium Float List Monopoly Partition Po_core Po_model Po_num Po_workload Printf QCheck QCheck_alcotest Strategy

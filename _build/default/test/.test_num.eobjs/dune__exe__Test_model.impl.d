@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Alloc Alphafair Array Cp Demand Equilibrium Float List Maxmin Po_model Po_num Po_workload Printf Priority QCheck QCheck_alcotest Surplus

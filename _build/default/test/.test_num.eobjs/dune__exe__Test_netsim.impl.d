@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Eventq Float Flow Gen Link List Option Po_model Po_netsim Po_workload Printf QCheck QCheck_alcotest Sim Tandem Validate

@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Array Fixpoint Float Gen Grid Interp Ode Optimize Po_num Printf QCheck QCheck_alcotest Quadrature Roots Stats

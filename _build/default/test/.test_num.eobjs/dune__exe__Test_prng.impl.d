@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dist Po_num Po_prng QCheck QCheck_alcotest Splitmix

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Asciiplot Csv Filename List Po_num Po_report Series String Sys Table

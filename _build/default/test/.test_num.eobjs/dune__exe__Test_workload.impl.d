@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cp Demand Ensemble Filename Float Io List Po_model Po_num Po_workload Printf QCheck QCheck_alcotest Scenario Sys

@@ -1,0 +1,198 @@
+(* Integration tests: every figure experiment generates well-formed
+   series at quick parameters, the registry is complete, and the claim
+   audits pass. *)
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+let params = Po_experiments.Common.quick_params
+
+let check_figure (figure : Po_experiments.Common.figure) =
+  Alcotest.(check bool) "has panels" true (figure.Po_experiments.Common.panels <> []);
+  List.iter
+    (fun (panel_name, series) ->
+      if series = [] then Alcotest.failf "panel %s is empty" panel_name;
+      List.iter
+        (fun s ->
+          if Po_report.Series.length s = 0 then
+            Alcotest.failf "panel %s has an empty series" panel_name;
+          Array.iter
+            (fun y ->
+              if not (Float.is_finite y) then
+                Alcotest.failf "panel %s has a non-finite value" panel_name)
+            (Po_report.Series.ys s))
+        series)
+    figure.Po_experiments.Common.panels
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_complete () =
+  Alcotest.(check (list string)) "paper order then extensions"
+    [ "fig2"; "fig3"; "fig4"; "fig5"; "fig7"; "fig8"; "fig9"; "fig10";
+      "fig11"; "fig12"; "tcp"; "posize"; "welfare"; "invest"; "mm1";
+      "pmp"; "red"; "hetero"; "nisp"; "tandem" ]
+    (Po_experiments.Registry.ids ())
+
+let test_registry_find () =
+  Alcotest.(check bool) "find known" true
+    (Po_experiments.Registry.find "fig4" <> None);
+  Alcotest.(check bool) "missing id" true
+    (Po_experiments.Registry.find "fig6" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Individual figures                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2 () =
+  let f = Po_experiments.Fig02.generate ~params () in
+  check_figure f;
+  (* Six beta curves in one panel. *)
+  Alcotest.(check int) "six curves" 6
+    (List.length (List.assoc "demand" f.Po_experiments.Common.panels))
+
+let test_fig3 () =
+  let f = Po_experiments.Fig03.generate ~params () in
+  check_figure f;
+  Alcotest.(check int) "two panels" 2
+    (List.length f.Po_experiments.Common.panels);
+  (* Throughput curves end at the archetype caps. *)
+  let throughput = List.assoc "throughput" f.Po_experiments.Common.panels in
+  let last s =
+    let ys = Po_report.Series.ys s in
+    ys.(Array.length ys - 1)
+  in
+  Alcotest.(check (float 1e-3)) "google saturates at 1" 1.
+    (last (List.nth throughput 0));
+  Alcotest.(check (float 0.05)) "netflix saturates at 10" 10.
+    (last (List.nth throughput 1))
+
+let test_fig4 () =
+  let f = Po_experiments.Fig04.generate ~params () in
+  check_figure f;
+  (* The Psi curve starts in the linear regime: Psi(c_1) = c_1 * nu for
+     the scarcest capacity. *)
+  let psi = List.assoc "Psi" f.Po_experiments.Common.panels in
+  let scarce = List.nth psi 0 in
+  let xs = Po_report.Series.xs scarce and ys = Po_report.Series.ys scarce in
+  Alcotest.(check (float 0.4)) "linear start (nu=20)" (xs.(1) *. 20.) ys.(1)
+
+let test_fig5 () =
+  let f = Po_experiments.Fig05.generate ~params () in
+  check_figure f;
+  Alcotest.(check int) "nine strategy curves" 9
+    (List.length (List.assoc "Psi" f.Po_experiments.Common.panels))
+
+let slow_test_fig7 () =
+  let f = Po_experiments.Fig07.generate ~params () in
+  check_figure f;
+  let shares = List.assoc "market_share" f.Po_experiments.Common.panels in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun m ->
+          if m < -1e-9 || m > 1. +. 1e-9 then
+            Alcotest.failf "market share %g outside [0,1]" m)
+        (Po_report.Series.ys s))
+    shares
+
+let slow_test_fig8 () = check_figure (Po_experiments.Fig08.generate ~params ())
+
+let test_fig9_fig10_phi_only () =
+  let f9 = Po_experiments.Appendix.fig9 ~params () in
+  check_figure f9;
+  Alcotest.(check (list string)) "only Phi" [ "Phi" ]
+    (List.map fst f9.Po_experiments.Common.panels);
+  let f10 = Po_experiments.Appendix.fig10 ~params () in
+  Alcotest.(check (list string)) "only Phi" [ "Phi" ]
+    (List.map fst f10.Po_experiments.Common.panels)
+
+let slow_test_fig11_fig12 () =
+  check_figure (Po_experiments.Appendix.fig11 ~params ());
+  check_figure (Po_experiments.Appendix.fig12 ~params ())
+
+let slow_test_tcp_fig () = check_figure (Po_experiments.Tcp_fig.generate ~params ())
+
+let slow_test_extension_figs () =
+  check_figure (Po_experiments.Mm1_fig.generate ~params ());
+  check_figure (Po_experiments.Hetero_fig.generate ~params ())
+
+let slow_test_welfare_fig () =
+  let f = Po_experiments.Welfare_fig.generate ~params () in
+  check_figure f;
+  (* total = consumer + isp + cp pointwise *)
+  let panel = List.assoc "decomposition" f.Po_experiments.Common.panels in
+  let by label =
+    Po_report.Series.ys
+      (List.find (fun s -> Po_report.Series.label s = label) panel)
+  in
+  let consumer = by "consumer" and isp = by "isp" and cp = by "cp"
+  and total = by "total" in
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (float 1e-6)) "components sum"
+        (consumer.(i) +. isp.(i) +. cp.(i))
+        t)
+    total
+
+(* ------------------------------------------------------------------ *)
+(* Rendering / CSV round trips                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_render_and_csv () =
+  let f = Po_experiments.Fig02.generate ~params () in
+  let text = Po_experiments.Common.render ~plots:true f in
+  Alcotest.(check bool) "render mentions id" true
+    (String.length text > 0
+    &&
+    let rec find i =
+      i + 4 <= String.length text
+      && (String.sub text i 4 = "fig2" || find (i + 1))
+    in
+    find 0);
+  let dir = Filename.temp_file "po_fig" "" in
+  Sys.remove dir;
+  let written = Po_experiments.Common.csv_files ~dir f in
+  Alcotest.(check int) "one csv per panel" 1 (List.length written);
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) "file exists" true (Sys.file_exists path))
+    written
+
+(* ------------------------------------------------------------------ *)
+(* Claim audits                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let claim (check : unit -> Po_experiments.Claims.check) () =
+  let c = check () in
+  if not c.Po_experiments.Claims.passed then
+    Alcotest.failf "%s: %s" c.Po_experiments.Claims.claim
+      c.Po_experiments.Claims.detail
+
+let () =
+  Alcotest.run "po_experiments"
+    [ ( "registry",
+        [ quick "complete" test_registry_complete;
+          quick "find" test_registry_find ] );
+      ( "figures",
+        [ quick "fig2" test_fig2;
+          quick "fig3" test_fig3;
+          quick "fig4" test_fig4;
+          quick "fig5" test_fig5;
+          slow "fig7" slow_test_fig7;
+          slow "fig8" slow_test_fig8;
+          quick "fig9/fig10" test_fig9_fig10_phi_only;
+          slow "fig11/fig12" slow_test_fig11_fig12;
+          slow "tcp" slow_test_tcp_fig;
+          slow "mm1/hetero" slow_test_extension_figs;
+          slow "welfare" slow_test_welfare_fig ] );
+      ( "output",
+        [ quick "render and csv" test_render_and_csv ] );
+      ( "claims",
+        [ slow "theorem 4" (claim (fun () -> Po_experiments.Claims.theorem4 ~params ()));
+          slow "theorem 5" (claim (fun () -> Po_experiments.Claims.theorem5 ~params ()));
+          slow "lemma 4" (claim (fun () -> Po_experiments.Claims.lemma4 ~params ()));
+          slow "theorem 6" (claim (fun () -> Po_experiments.Claims.theorem6 ~params ()));
+          slow "regime ordering" (claim (fun () -> Po_experiments.Claims.regime_ordering ~params ()));
+          slow "tcp vs max-min" (claim (fun () -> Po_experiments.Claims.tcp_maxmin ~params ())) ] ) ]

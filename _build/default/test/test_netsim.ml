@@ -1,0 +1,422 @@
+(* Tests for the packet-level simulator substrate (lib/netsim): event
+   queue, AIMD flow state, droptail link, end-to-end simulation and the
+   max-min validation harness. *)
+
+open Po_netsim
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+let prop t = QCheck_alcotest.to_alcotest t
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Eventq                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_eventq_ordering () =
+  let q = Eventq.create () in
+  Eventq.add q ~time:3. "c";
+  Eventq.add q ~time:1. "a";
+  Eventq.add q ~time:2. "b";
+  let order =
+    List.filter_map (fun () -> Option.map snd (Eventq.pop q)) [ (); (); () ]
+  in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
+
+let test_eventq_fifo_ties () =
+  let q = Eventq.create () in
+  Eventq.add q ~time:1. "first";
+  Eventq.add q ~time:1. "second";
+  Eventq.add q ~time:1. "third";
+  let order =
+    List.filter_map (fun () -> Option.map snd (Eventq.pop q)) [ (); (); () ]
+  in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] order
+
+let test_eventq_empty () =
+  let q : int Eventq.t = Eventq.create () in
+  Alcotest.(check bool) "empty" true (Eventq.is_empty q);
+  Alcotest.(check (option (float 0.))) "no peek" None (Eventq.peek_time q);
+  Alcotest.(check bool) "no pop" true (Eventq.pop q = None)
+
+let test_eventq_peek () =
+  let q = Eventq.create () in
+  Eventq.add q ~time:5. 0;
+  Eventq.add q ~time:2. 1;
+  Alcotest.(check (option (float 1e-12))) "peek earliest" (Some 2.)
+    (Eventq.peek_time q);
+  Alcotest.(check int) "size" 2 (Eventq.size q)
+
+let test_eventq_drain_until () =
+  let q = Eventq.create () in
+  List.iter
+    (fun t -> Eventq.add q ~time:t (int_of_float t))
+    [ 1.; 2.; 3.; 4. ];
+  let drained = Eventq.drain_until q ~time:2.5 in
+  Alcotest.(check int) "drained two" 2 (List.length drained);
+  Alcotest.(check int) "two remain" 2 (Eventq.size q)
+
+let test_eventq_rejects_bad_time () =
+  let q = Eventq.create () in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Eventq.add: bad time") (fun () ->
+      Eventq.add q ~time:(-1.) 0);
+  Alcotest.check_raises "nan time" (Invalid_argument "Eventq.add: bad time")
+    (fun () -> Eventq.add q ~time:Float.nan 0)
+
+let prop_eventq_sorted =
+  QCheck.Test.make ~name:"eventq pops in non-decreasing time order"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 50) (float_range 0. 1000.))
+    (fun times ->
+      let q = Eventq.create () in
+      List.iter (fun t -> Eventq.add q ~time:t ()) times;
+      let rec check prev =
+        match Eventq.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= prev && check t
+      in
+      check neg_infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_flow () = Flow.create ~id:0 ~cp_index:0 ~rtt:0.05 ~rate_cap:1000.
+
+let test_flow_slow_start_growth () =
+  let f = make_flow () in
+  let before = f.Flow.cwnd in
+  Flow.on_ack f;
+  Alcotest.(check (float 1e-9)) "slow start adds 1" (before +. 1.) f.Flow.cwnd
+
+let test_flow_congestion_avoidance () =
+  let f = make_flow () in
+  f.Flow.cwnd <- 10.;
+  f.Flow.ssthresh <- 5.;
+  Flow.on_ack f;
+  Alcotest.(check (float 1e-9)) "CA adds 1/cwnd"
+    (10. +. (1. /. 10.))
+    f.Flow.cwnd
+
+let test_flow_loss_halves_once_per_rtt () =
+  let f = make_flow () in
+  f.Flow.cwnd <- 16.;
+  f.Flow.ssthresh <- 16.;
+  Flow.on_loss f ~now:1.;
+  Alcotest.(check (float 1e-9)) "halved" 8. f.Flow.cwnd;
+  (* A second loss within the same RTT is part of the same event. *)
+  Flow.on_loss f ~now:1.01;
+  Alcotest.(check (float 1e-9)) "not halved again" 8. f.Flow.cwnd;
+  Flow.on_loss f ~now:1.2;
+  Alcotest.(check (float 1e-9)) "halved after recovery" 4. f.Flow.cwnd
+
+let test_flow_cwnd_floor () =
+  let f = make_flow () in
+  f.Flow.cwnd <- 1.;
+  Flow.on_loss f ~now:1.;
+  Alcotest.(check bool) "floor at 1" true (f.Flow.cwnd >= 1.)
+
+let test_flow_window_cap_binds () =
+  let f = Flow.create ~id:0 ~cp_index:0 ~rtt:0.05 ~rate_cap:100. in
+  (* window_cap = 2 * 100 * 0.05 = 10. *)
+  f.Flow.cwnd <- 50.;
+  Alcotest.(check (float 1e-9)) "effective window capped" 10.
+    (Flow.effective_window f)
+
+let test_flow_can_send () =
+  let f = make_flow () in
+  Alcotest.(check bool) "fresh flow can send" true (Flow.can_send f);
+  f.Flow.in_flight <- 1000;
+  Alcotest.(check bool) "window full" false (Flow.can_send f);
+  f.Flow.in_flight <- 0;
+  f.Flow.active <- false;
+  Alcotest.(check bool) "inactive cannot send" false (Flow.can_send f)
+
+let test_flow_counters () =
+  let f = make_flow () in
+  Flow.on_ack f;
+  Flow.on_ack f;
+  Alcotest.(check int) "acked" 2 f.Flow.acked;
+  Flow.reset_counters f;
+  Alcotest.(check int) "reset" 0 f.Flow.acked
+
+let test_flow_validation () =
+  Alcotest.check_raises "rtt" (Invalid_argument "Flow.create: rtt <= 0")
+    (fun () -> ignore (Flow.create ~id:0 ~cp_index:0 ~rtt:0. ~rate_cap:1.));
+  Alcotest.check_raises "rate" (Invalid_argument "Flow.create: rate_cap <= 0")
+    (fun () -> ignore (Flow.create ~id:0 ~cp_index:0 ~rtt:1. ~rate_cap:0.))
+
+(* ------------------------------------------------------------------ *)
+(* Link                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_link_accepts_and_serves () =
+  let l = Link.create ~capacity:100. ~buffer:4 () in
+  (match Link.offer l ~now:0. ~flow_id:7 with
+  | Link.Accepted (Some t) -> check_float "service time" 0.01 t
+  | _ -> Alcotest.fail "idle link should start service");
+  let flow_id, next = Link.complete_service l ~now:0.01 in
+  Alcotest.(check int) "served flow" 7 flow_id;
+  Alcotest.(check bool) "queue empty" true (next = None)
+
+let test_link_queues_when_busy () =
+  let l = Link.create ~capacity:100. ~buffer:4 () in
+  ignore (Link.offer l ~now:0. ~flow_id:0);
+  (match Link.offer l ~now:0.001 ~flow_id:1 with
+  | Link.Accepted None -> ()
+  | _ -> Alcotest.fail "busy link should queue");
+  Alcotest.(check int) "occupancy" 2 (Link.occupancy l);
+  let _, next = Link.complete_service l ~now:0.01 in
+  match next with
+  | Some t -> check_float "next departure" 0.02 t
+  | None -> Alcotest.fail "second packet should be scheduled"
+
+let test_link_drops_when_full () =
+  let l = Link.create ~capacity:100. ~buffer:2 () in
+  ignore (Link.offer l ~now:0. ~flow_id:0);
+  ignore (Link.offer l ~now:0. ~flow_id:1);
+  (match Link.offer l ~now:0. ~flow_id:2 with
+  | Link.Dropped -> ()
+  | _ -> Alcotest.fail "full buffer should drop");
+  Alcotest.(check int) "drop counted" 1 (Link.drops l)
+
+let test_link_fifo () =
+  let l = Link.create ~capacity:1000. ~buffer:10 () in
+  List.iter (fun id -> ignore (Link.offer l ~now:0. ~flow_id:id)) [ 3; 1; 2 ];
+  let served = ref [] in
+  for _ = 1 to 3 do
+    let id, _ = Link.complete_service l ~now:0. in
+    served := id :: !served
+  done;
+  Alcotest.(check (list int)) "FIFO order" [ 3; 1; 2 ] (List.rev !served)
+
+let test_link_validation () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Link.create: capacity <= 0") (fun () ->
+      ignore (Link.create ~capacity:0. ~buffer:1 ()));
+  Alcotest.check_raises "buffer" (Invalid_argument "Link.create: buffer < 1")
+    (fun () -> ignore (Link.create ~capacity:1. ~buffer:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let basic_specs =
+  [| { Sim.flows = 4; rate_cap = 2000.; rtt = 0.04; demand = None };
+     { Sim.flows = 2; rate_cap = 500.; rtt = 0.04; demand = None } |]
+
+let test_sim_determinism () =
+  let cfg =
+    { (Sim.default_config ~capacity:3000. ~specs:basic_specs) with
+      warmup = 1.; measure = 2. }
+  in
+  let a = Sim.run cfg and b = Sim.run cfg in
+  Alcotest.(check int) "same events" a.Sim.events b.Sim.events;
+  Array.iteri
+    (fun i (r : Sim.cp_result) ->
+      Alcotest.(check (float 1e-12)) "same rate" r.Sim.rate
+        b.Sim.per_cp.(i).Sim.rate)
+    a.Sim.per_cp
+
+let test_sim_seed_changes_results () =
+  let cfg =
+    { (Sim.default_config ~capacity:3000. ~specs:basic_specs) with
+      warmup = 1.; measure = 2. }
+  in
+  let a = Sim.run cfg and b = Sim.run { cfg with seed = 99 } in
+  Alcotest.(check bool) "different seeds differ" true
+    (Array.exists
+       (fun i -> a.Sim.per_cp.(i).Sim.rate <> b.Sim.per_cp.(i).Sim.rate)
+       [| 0; 1 |])
+
+let test_sim_full_utilization_under_congestion () =
+  let cfg =
+    { (Sim.default_config ~capacity:2000. ~specs:basic_specs) with
+      warmup = 2.; measure = 4. }
+  in
+  let r = Sim.run cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.3f > 0.9" r.Sim.utilization)
+    true (r.Sim.utilization > 0.9)
+
+let test_sim_no_overdelivery () =
+  let cfg =
+    { (Sim.default_config ~capacity:2000. ~specs:basic_specs) with
+      warmup = 2.; measure = 4. }
+  in
+  let r = Sim.run cfg in
+  Alcotest.(check bool) "total rate within capacity (2% ack slack)" true
+    (r.Sim.total_rate <= 2000. *. 1.02)
+
+let test_sim_app_limit_respected () =
+  (* Uncongested: every CP should get close to its rate cap and not
+     above. *)
+  let cfg =
+    { (Sim.default_config ~capacity:20000. ~specs:basic_specs) with
+      warmup = 2.; measure = 4. }
+  in
+  let r = Sim.run cfg in
+  Array.iteri
+    (fun i (spec : Sim.cp_spec) ->
+      let per_flow = r.Sim.per_cp.(i).Sim.per_flow in
+      Alcotest.(check bool)
+        (Printf.sprintf "cp %d per-flow %.0f near cap %.0f" i per_flow
+           spec.Sim.rate_cap)
+        true
+        (per_flow <= spec.Sim.rate_cap *. 1.02
+        && per_flow >= spec.Sim.rate_cap *. 0.9))
+    basic_specs
+
+let test_sim_rejects_bad_config () =
+  Alcotest.check_raises "no flows"
+    (Invalid_argument "Sim.run: cp with no flows") (fun () ->
+      ignore
+        (Sim.run
+           (Sim.default_config ~capacity:100.
+              ~specs:
+                [| { Sim.flows = 0; rate_cap = 1.; rtt = 0.1; demand = None } |])))
+
+let test_sim_churn_reduces_active_flows () =
+  (* Demand-sensitive flows under heavy congestion: churn should switch a
+     substantial share of them off. *)
+  let demand = Some (Po_model.Demand.exponential ~beta:5.) in
+  let specs = [| { Sim.flows = 10; rate_cap = 2000.; rtt = 0.04; demand } |] in
+  let cfg =
+    { (Sim.default_config ~capacity:2000. ~specs) with
+      warmup = 4.; measure = 8.; churn_interval = Some 0.3 }
+  in
+  let r = Sim.run cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "active flows %d < 10" r.Sim.per_cp.(0).Sim.active_flows)
+    true
+    (r.Sim.per_cp.(0).Sim.active_flows < 10)
+
+(* ------------------------------------------------------------------ *)
+(* Tandem                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tandem_specs =
+  [| { Sim.flows = 4; rate_cap = 2000.; rtt = 0.04; demand = None };
+     { Sim.flows = 2; rate_cap = 500.; rtt = 0.04; demand = None } |]
+
+let test_tandem_validation () =
+  Alcotest.check_raises "headroom < 1"
+    (Invalid_argument "Tandem.default_config: headroom < 1") (fun () ->
+      ignore (Tandem.default_config ~headroom:0.5 ~capacity_b:100. ~specs:tandem_specs ()))
+
+let test_tandem_conservation () =
+  let cfg =
+    { (Tandem.default_config ~capacity_b:2000. ~specs:tandem_specs ()) with
+      Tandem.warmup = 2.; measure = 4. }
+  in
+  let r = Tandem.run cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "last-mile utilization %.3f near 1" r.Tandem.utilization_b)
+    true
+    (r.Tandem.utilization_b > 0.9 && r.Tandem.utilization_b <= 1.02);
+  Alcotest.(check bool) "backbone under-utilised" true
+    (r.Tandem.utilization_a < 0.5)
+
+let test_tandem_deterministic () =
+  let cfg =
+    { (Tandem.default_config ~capacity_b:2000. ~specs:tandem_specs ()) with
+      Tandem.warmup = 1.; measure = 2. }
+  in
+  let a = Tandem.run cfg and b = Tandem.run cfg in
+  Alcotest.(check int) "same events" a.Tandem.events b.Tandem.events
+
+let slow_test_tandem_equivalence () =
+  let cps = Po_workload.Scenario.three_cp () in
+  let results =
+    Tandem.single_bottleneck_equivalence ~nu:2.5 ~headrooms:[| 2.0; 4.0 |] cps
+  in
+  Array.iter
+    (fun (e : Tandem.equivalence) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "headroom %.1f within 15%% (got %.3f)"
+           e.Tandem.headroom e.Tandem.max_relative_diff)
+        true
+        (e.Tandem.max_relative_diff < 0.15))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Validate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let slow_test_validate_matches_model () =
+  let cps = Po_workload.Scenario.three_cp () in
+  let r = Validate.compare ~nu:2.5 cps in
+  Alcotest.(check bool)
+    (Printf.sprintf "max rel err %.3f < 0.25" r.Validate.max_relative_error)
+    true
+    (r.Validate.max_relative_error < 0.25);
+  Alcotest.(check bool) "near-full utilization" true
+    (r.Validate.utilization > 0.95)
+
+let slow_test_validate_unconstrained () =
+  (* Far above saturation both sides deliver everyone's cap. *)
+  let cps = Po_workload.Scenario.three_cp () in
+  let r = Validate.compare ~nu:8. cps in
+  Alcotest.(check bool)
+    (Printf.sprintf "max rel err %.3f < 0.1 unconstrained"
+       r.Validate.max_relative_error)
+    true
+    (r.Validate.max_relative_error < 0.1)
+
+let slow_test_rtt_bias_grows () =
+  let cps = Po_workload.Scenario.three_cp () in
+  let results =
+    Validate.rtt_bias_experiment ~nu:2.5 ~rtt_ratios:[| 1.; 8. |] cps
+  in
+  let _, err_homogeneous = results.(0) in
+  let _, err_spread = results.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "error grows with RTT spread (%.3f -> %.3f)"
+       err_homogeneous err_spread)
+    true
+    (err_spread > err_homogeneous)
+
+let () =
+  Alcotest.run "po_netsim"
+    [ ( "eventq",
+        [ quick "ordering" test_eventq_ordering;
+          quick "fifo ties" test_eventq_fifo_ties;
+          quick "empty" test_eventq_empty;
+          quick "peek" test_eventq_peek;
+          quick "drain until" test_eventq_drain_until;
+          quick "rejects bad time" test_eventq_rejects_bad_time;
+          prop prop_eventq_sorted ] );
+      ( "flow",
+        [ quick "slow start" test_flow_slow_start_growth;
+          quick "congestion avoidance" test_flow_congestion_avoidance;
+          quick "loss halves once per rtt" test_flow_loss_halves_once_per_rtt;
+          quick "cwnd floor" test_flow_cwnd_floor;
+          quick "window cap" test_flow_window_cap_binds;
+          quick "can_send" test_flow_can_send;
+          quick "counters" test_flow_counters;
+          quick "validation" test_flow_validation ] );
+      ( "link",
+        [ quick "accepts and serves" test_link_accepts_and_serves;
+          quick "queues when busy" test_link_queues_when_busy;
+          quick "drops when full" test_link_drops_when_full;
+          quick "fifo" test_link_fifo;
+          quick "validation" test_link_validation ] );
+      ( "sim",
+        [ quick "determinism" test_sim_determinism;
+          quick "seed sensitivity" test_sim_seed_changes_results;
+          quick "full utilization" test_sim_full_utilization_under_congestion;
+          quick "no overdelivery" test_sim_no_overdelivery;
+          quick "app limit respected" test_sim_app_limit_respected;
+          quick "rejects bad config" test_sim_rejects_bad_config;
+          quick "churn reduces active flows" test_sim_churn_reduces_active_flows ] );
+      ( "tandem",
+        [ quick "validation" test_tandem_validation;
+          quick "conservation" test_tandem_conservation;
+          quick "deterministic" test_tandem_deterministic;
+          slow "single-bottleneck equivalence" slow_test_tandem_equivalence ] );
+      ( "validate",
+        [ slow "matches model congested" slow_test_validate_matches_model;
+          slow "matches model unconstrained" slow_test_validate_unconstrained;
+          slow "rtt bias grows" slow_test_rtt_bias_grows ] ) ]

@@ -1,0 +1,547 @@
+(* Unit and property tests for the numerics substrate (lib/num). *)
+
+open Po_num
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* Roots                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bisect_linear () =
+  let r = Roots.bisect ~f:(fun x -> x -. 3.) ~lo:0. ~hi:10. () in
+  Alcotest.(check bool) "converged" true r.Roots.converged;
+  check_float "root" 3. r.Roots.root
+
+let test_bisect_cubic () =
+  let r = Roots.bisect ~f:(fun x -> (x ** 3.) -. 2.) ~lo:0. ~hi:2. () in
+  check_close 1e-8 "cube root of 2" (2. ** (1. /. 3.)) r.Roots.root
+
+let test_bisect_endpoint_root () =
+  let r = Roots.bisect ~f:(fun x -> x) ~lo:0. ~hi:1. () in
+  check_float "root at endpoint" 0. r.Roots.root
+
+let test_bisect_no_bracket () =
+  Alcotest.check_raises "same sign raises"
+    (Roots.No_bracket "Roots.bisect: f(0)=1 and f(1)=2 have same sign")
+    (fun () -> ignore (Roots.bisect ~f:(fun x -> x +. 1.) ~lo:0. ~hi:1. ()))
+
+let test_bisect_discontinuous () =
+  (* Sign change across a jump: bisection still localises it. *)
+  let f x = if x < Float.pi then -1. else 1. in
+  let r = Roots.bisect ~f ~lo:0. ~hi:10. () in
+  check_close 1e-8 "jump location" Float.pi r.Roots.root
+
+let test_brent_polynomial () =
+  let f x = ((x -. 1.) *. (x -. 4.)) +. 0.5 in
+  let r = Roots.brent ~f ~lo:0. ~hi:2. () in
+  Alcotest.(check bool) "converged" true r.Roots.converged;
+  check_close 1e-8 "residual small" 0. r.Roots.value
+
+let test_brent_matches_bisect () =
+  let f x = exp x -. 5. in
+  let b = Roots.bisect ~tol:1e-12 ~f ~lo:0. ~hi:3. () in
+  let br = Roots.brent ~tol:1e-12 ~f ~lo:0. ~hi:3. () in
+  check_close 1e-9 "same root" b.Roots.root br.Roots.root
+
+let test_brent_fewer_evals () =
+  let count = ref 0 in
+  let f x =
+    incr count;
+    (x *. x) -. 2.
+  in
+  ignore (Roots.brent ~tol:1e-12 ~f ~lo:0. ~hi:2. ());
+  let brent_evals = !count in
+  count := 0;
+  ignore (Roots.bisect ~tol:1e-12 ~f ~lo:0. ~hi:2. ());
+  Alcotest.(check bool)
+    (Printf.sprintf "brent (%d) cheaper than bisect (%d)" brent_evals !count)
+    true
+    (brent_evals < !count)
+
+let test_secant () =
+  let r = Roots.secant ~f:(fun x -> (x *. x) -. 9.) ~x0:1. ~x1:5. () in
+  Alcotest.(check bool) "converged" true r.Roots.converged;
+  check_close 1e-6 "root 3" 3. r.Roots.root
+
+let test_expand_bracket () =
+  let lo, hi = Roots.expand_bracket ~f:(fun x -> x -. 50.) ~lo:0. ~hi:1. () in
+  Alcotest.(check bool) "brackets the root" true (lo <= 50. && hi >= 50.)
+
+let test_expand_bracket_fails () =
+  Alcotest.(check bool) "raises No_bracket" true
+    (try
+       ignore
+         (Roots.expand_bracket ~max_expand:5
+            ~f:(fun x -> (x *. x) +. 1.)
+            ~lo:0. ~hi:1. ());
+       false
+     with Roots.No_bracket _ -> true)
+
+let test_monotone_level_interior () =
+  let r =
+    Roots.find_monotone_level ~f:sqrt ~level:2. ~lo:0. ~hi:100. ()
+  in
+  check_close 1e-8 "sqrt x = 2" 4. r.Roots.root
+
+let test_monotone_level_clamps () =
+  let f x = x in
+  let low = Roots.find_monotone_level ~f ~level:(-1.) ~lo:0. ~hi:1. () in
+  check_float "clamps below" 0. low.Roots.root;
+  let high = Roots.find_monotone_level ~f ~level:5. ~lo:0. ~hi:1. () in
+  check_float "clamps above" 1. high.Roots.root
+
+let prop_monotone_level_solves =
+  QCheck.Test.make ~name:"find_monotone_level solves monotone equations"
+    ~count:200
+    QCheck.(pair (float_bound_exclusive 1.) (float_bound_exclusive 10.))
+    (fun (a, b) ->
+      let a = a +. 0.1 and b = b +. 0.1 in
+      let f x = (a *. x) +. (x ** 3.) in
+      let level = f b *. 0.5 in
+      let r = Roots.find_monotone_level ~f ~level ~lo:0. ~hi:b () in
+      Float.abs (f r.Roots.root -. level) < 1e-6 *. (1. +. level))
+
+(* ------------------------------------------------------------------ *)
+(* Grid                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_linspace_basic () =
+  let g = Grid.linspace 0. 1. 5 in
+  Alcotest.(check int) "length" 5 (Array.length g);
+  check_float "first" 0. g.(0);
+  check_float "last" 1. g.(4);
+  check_float "middle" 0.5 g.(2)
+
+let test_linspace_single () =
+  let g = Grid.linspace 7. 9. 1 in
+  Alcotest.(check int) "length" 1 (Array.length g);
+  check_float "value" 7. g.(0)
+
+let test_linspace_exact_endpoint () =
+  let g = Grid.linspace 0. 0.3 7 in
+  check_float "endpoint exact" 0.3 g.(6)
+
+let test_logspace () =
+  let g = Grid.logspace 1. 100. 3 in
+  check_close 1e-9 "geometric middle" 10. g.(1)
+
+let test_logspace_rejects_nonpositive () =
+  Alcotest.check_raises "rejects 0"
+    (Invalid_argument "Grid.logspace: bounds must be > 0") (fun () ->
+      ignore (Grid.logspace 0. 1. 3))
+
+let test_arange () =
+  let g = Grid.arange 0. 1. 0.25 in
+  Alcotest.(check int) "length" 4 (Array.length g);
+  check_float "last below stop" 0.75 g.(3)
+
+let test_midpoints () =
+  let m = Grid.midpoints [| 0.; 2.; 6. |] in
+  Alcotest.(check int) "length" 2 (Array.length m);
+  check_float "first" 1. m.(0);
+  check_float "second" 4. m.(1)
+
+let test_index_of_nearest () =
+  let g = [| 0.; 1.; 2.; 3. |] in
+  Alcotest.(check int) "nearest to 1.4" 1 (Grid.index_of_nearest g 1.4);
+  Alcotest.(check int) "nearest to -5" 0 (Grid.index_of_nearest g (-5.));
+  Alcotest.(check int) "tie goes low" 0 (Grid.index_of_nearest g 0.5)
+
+let prop_linspace_monotone =
+  QCheck.Test.make ~name:"linspace is strictly increasing" ~count:100
+    QCheck.(pair (float_range (-100.) 100.) (int_range 2 50))
+    (fun (a, n) ->
+      let g = Grid.linspace a (a +. 10.) n in
+      let ok = ref true in
+      for i = 1 to n - 1 do
+        if g.(i) <= g.(i - 1) then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixpoint_contraction () =
+  let r = Fixpoint.iterate ~f:(fun x -> (0.5 *. x) +. 1.) ~init:0. () in
+  Alcotest.(check bool) "converged" true r.Fixpoint.converged;
+  check_close 1e-8 "fixed point 2" 2. r.Fixpoint.point
+
+let test_fixpoint_cosine () =
+  let r = Fixpoint.iterate ~f:cos ~init:1. () in
+  check_close 1e-8 "Dottie number" 0.7390851332151607 r.Fixpoint.point
+
+let test_fixpoint_damping_stabilises () =
+  (* x -> 3.2 x (1 - x) has an oscillating 2-cycle undamped; heavy damping
+     converges to the interior fixed point 1 - 1/3.2. *)
+  let f x = 3.2 *. x *. (1. -. x) in
+  let undamped = Fixpoint.iterate ~max_iter:400 ~f ~init:0.3 () in
+  let damped = Fixpoint.iterate ~max_iter:400 ~damping:0.3 ~f ~init:0.3 () in
+  Alcotest.(check bool) "undamped cycles" false undamped.Fixpoint.converged;
+  Alcotest.(check bool) "damped converges" true damped.Fixpoint.converged;
+  check_close 1e-6 "fixed point" (1. -. (1. /. 3.2)) damped.Fixpoint.point
+
+let test_fixpoint_vec () =
+  let f v = [| (0.5 *. v.(0)) +. 1.; 0.9 *. v.(1) |] in
+  let r = Fixpoint.iterate_vec ~f ~init:[| 0.; 5. |] () in
+  Alcotest.(check bool) "converged" true r.Fixpoint.converged;
+  check_close 1e-7 "component 0" 2. r.Fixpoint.point.(0);
+  check_close 1e-7 "component 1" 0. r.Fixpoint.point.(1)
+
+let test_fixpoint_vec_dimension_guard () =
+  Alcotest.check_raises "dimension change rejected"
+    (Invalid_argument "Fixpoint.iterate_vec: map changed dimension")
+    (fun () ->
+      ignore (Fixpoint.iterate_vec ~f:(fun _ -> [| 0. |]) ~init:[| 0.; 0. |] ()))
+
+let test_iterate_until_stable () =
+  let f = function [] -> [] | _ :: tl -> tl in
+  let r =
+    Fixpoint.iterate_until_stable ~equal:( = ) ~f ~init:[ 1; 2; 3 ] ()
+  in
+  Alcotest.(check bool) "converged" true r.Fixpoint.converged;
+  Alcotest.(check (list int)) "empties the list" [] r.Fixpoint.point
+
+let test_detect_cycle () =
+  Alcotest.(check (option int))
+    "period 2" (Some 2)
+    (Fixpoint.detect_cycle ~equal:( = ) [ 1; 2; 1; 2 ]);
+  Alcotest.(check (option int))
+    "no cycle" None
+    (Fixpoint.detect_cycle ~equal:( = ) [ 1; 2; 3; 4 ]);
+  Alcotest.(check (option int)) "empty" None (Fixpoint.detect_cycle ~equal:( = ) [])
+
+(* ------------------------------------------------------------------ *)
+(* Optimize                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_golden_section () =
+  let r =
+    Optimize.golden_section_max ~f:(fun x -> -.((x -. 2.) ** 2.)) ~lo:0.
+      ~hi:5. ()
+  in
+  check_close 1e-6 "argmax" 2. r.Optimize.x;
+  check_close 1e-9 "max" 0. r.Optimize.fx
+
+let test_grid_max () =
+  let r = Optimize.grid_max ~f:(fun x -> -.Float.abs (x -. 0.5)) ~grid:(Grid.linspace 0. 1. 11) () in
+  check_float "argmax on grid" 0.5 r.Optimize.x
+
+let test_grid_max_first_tie () =
+  let r = Optimize.grid_max ~f:(fun _ -> 1.) ~grid:[| 1.; 2.; 3. |] () in
+  check_float "first maximiser wins ties" 1. r.Optimize.x
+
+let test_refine_grid_max () =
+  let f x = -.((x -. 0.137) ** 2.) in
+  let r = Optimize.refine_grid_max ~levels:5 ~f ~lo:0. ~hi:1. () in
+  check_close 1e-4 "refined argmax" 0.137 r.Optimize.x
+
+let test_refine_grid_max_discontinuous () =
+  (* A step objective: refinement still finds the top shelf. *)
+  let f x = if x > 0.8 then 2. else if x > 0.3 then 1. else 0. in
+  let r = Optimize.refine_grid_max ~f ~lo:0. ~hi:1. () in
+  check_float "top shelf value" 2. r.Optimize.fx
+
+let test_refine_grid_max2 () =
+  let f x y = -.((x -. 0.3) ** 2.) -. ((y -. 0.7) ** 2.) in
+  let r =
+    Optimize.refine_grid_max2 ~levels:4 ~f ~lo1:0. ~hi1:1. ~lo2:0. ~hi2:1. ()
+  in
+  check_close 1e-3 "x" 0.3 r.Optimize.x1;
+  check_close 1e-3 "y" 0.7 r.Optimize.x2
+
+let test_nelder_mead_rosenbrock () =
+  let f v =
+    let x = v.(0) and y = v.(1) in
+    (100. *. ((y -. (x *. x)) ** 2.)) +. ((1. -. x) ** 2.)
+  in
+  let x, value = Optimize.nelder_mead ~max_iter:5000 ~f ~init:[| -1.; 1. |] () in
+  Alcotest.(check bool)
+    (Printf.sprintf "near optimum (got %g at [%g, %g])" value x.(0) x.(1))
+    true (value < 1e-6)
+
+let test_maximize_nelder_mead () =
+  (* In 1-D a simplex can come to rest straddling the peak with equal end
+     values, so only ask for step-size accuracy on the argmax. *)
+  let f v = -.((v.(0) -. 3.) ** 2.) +. 5. in
+  let x, value = Optimize.maximize_nelder_mead ~f ~init:[| 0. |] () in
+  check_close 0.15 "argmax" 3. x.(0);
+  check_close 0.02 "max value" 5. value
+
+let prop_golden_section_quadratics =
+  QCheck.Test.make ~name:"golden section finds quadratic maxima" ~count:100
+    (QCheck.float_range 0.5 4.5) (fun peak ->
+      let f x = -.((x -. peak) ** 2.) in
+      let r = Optimize.golden_section_max ~f ~lo:0. ~hi:5. () in
+      Float.abs (r.Optimize.x -. peak) < 1e-5)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mean_variance () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5. (Stats.mean xs);
+  check_close 1e-9 "sample variance" (32. /. 7.) (Stats.variance xs)
+
+let test_variance_degenerate () =
+  check_float "single sample" 0. (Stats.variance [| 42. |]);
+  check_float "empty" 0. (Stats.variance [||])
+
+let test_quantiles () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "median interpolates" 2.5 (Stats.median xs);
+  check_float "q0" 1. (Stats.quantile xs 0.);
+  check_float "q1" 4. (Stats.quantile xs 1.);
+  check_float "q25" 1.75 (Stats.quantile xs 0.25)
+
+let test_summarize () =
+  let s = Stats.summarize [| 3.; 1.; 2. |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  check_float "min" 1. s.Stats.min;
+  check_float "max" 3. s.Stats.max;
+  check_float "median" 2. s.Stats.median
+
+let test_pearson () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_close 1e-9 "perfect correlation" 1.
+    (Stats.pearson xs (Array.map (fun x -> (2. *. x) +. 1.) xs));
+  check_close 1e-9 "perfect anticorrelation" (-1.)
+    (Stats.pearson xs (Array.map (fun x -> -.x) xs));
+  check_float "constant series" 0. (Stats.pearson xs [| 1.; 1.; 1.; 1. |])
+
+let test_weighted_mean () =
+  check_float "weighted" 2.75
+    (Stats.weighted_mean ~values:[| 2.; 5. |] ~weights:[| 3.; 1. |])
+
+let test_max_downward_gap () =
+  check_float "monotone has none" 0. (Stats.max_downward_gap [| 1.; 2.; 3. |]);
+  check_float "single drop" 2. (Stats.max_downward_gap [| 1.; 3.; 1.; 4. |]);
+  check_float "drop from running max" 4.
+    (Stats.max_downward_gap [| 5.; 2.; 1.; 6. |]);
+  check_float "short array" 0. (Stats.max_downward_gap [| 1. |])
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~name:"quantiles lie within [min, max]" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range (-50.) 50.)) (float_bound_inclusive 1.))
+    (fun (l, q) ->
+      let xs = Array.of_list l in
+      let v = Stats.quantile xs q in
+      v >= Stats.min xs -. 1e-9 && v <= Stats.max xs +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Interp                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_eval () =
+  let t = Interp.of_points ~xs:[| 0.; 1.; 2. |] ~ys:[| 0.; 10.; 0. |] in
+  check_float "knot" 10. (Interp.eval t 1.);
+  check_float "midpoint" 5. (Interp.eval t 0.5);
+  check_float "clamps left" 0. (Interp.eval t (-3.));
+  check_float "clamps right" 0. (Interp.eval t 5.)
+
+let test_interp_rejects_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Interp.of_points: abscissae not strictly increasing")
+    (fun () -> ignore (Interp.of_points ~xs:[| 1.; 1. |] ~ys:[| 0.; 0. |]))
+
+let test_interp_derivative () =
+  let t = Interp.of_points ~xs:[| 0.; 2. |] ~ys:[| 0.; 6. |] in
+  check_float "slope" 3. (Interp.derivative t 1.)
+
+let test_inverse_monotone () =
+  let t = Interp.of_points ~xs:[| 0.; 1.; 2. |] ~ys:[| 0.; 4.; 8. |] in
+  (match Interp.inverse_monotone t 2. with
+  | Some x -> check_float "inverse" 0.5 x
+  | None -> Alcotest.fail "expected Some");
+  Alcotest.(check (option (float 1e-9)))
+    "out of range" None
+    (Interp.inverse_monotone t 9.)
+
+let test_inverse_monotone_decreasing () =
+  let t = Interp.of_points ~xs:[| 0.; 1. |] ~ys:[| 10.; 0. |] in
+  match Interp.inverse_monotone t 5. with
+  | Some x -> check_float "decreasing inverse" 0.5 x
+  | None -> Alcotest.fail "expected Some"
+
+let prop_interp_agrees_at_knots =
+  QCheck.Test.make ~name:"interpolant reproduces its knots" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range (-10.) 10.))
+    (fun ys_l ->
+      let ys = Array.of_list ys_l in
+      let xs = Array.init (Array.length ys) float_of_int in
+      let t = Interp.of_points ~xs ~ys in
+      Array.for_all2 (fun x y -> Float.abs (Interp.eval t x -. y) < 1e-12) xs ys)
+
+(* ------------------------------------------------------------------ *)
+(* Ode                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ode_exponential_decay () =
+  (* y' = -y, y(0) = 1: y(1) = 1/e.  RK4 at dt = 0.1 is accurate to
+     ~1e-6. *)
+  let f ~t:_ y = [| -.y.(0) |] in
+  let y = Ode.integrate_to ~f ~t0:0. ~t1:1. ~steps:10 [| 1. |] in
+  check_close 1e-6 "1/e" (exp (-1.)) y.(0)
+
+let test_ode_harmonic_oscillator () =
+  (* (x, v)' = (v, -x): energy x^2 + v^2 is conserved; x(2pi) = x(0). *)
+  let f ~t:_ y = [| y.(1); -.y.(0) |] in
+  let y =
+    Ode.integrate_to ~f ~t0:0. ~t1:(2. *. Float.pi) ~steps:200 [| 1.; 0. |]
+  in
+  check_close 1e-4 "period closes in x" 1. y.(0);
+  check_close 1e-4 "period closes in v" 0. y.(1)
+
+let test_ode_trajectory_shape () =
+  let f ~t:_ y = [| 1. +. (0. *. y.(0)) |] in
+  let traj = Ode.integrate ~f ~t0:0. ~t1:1. ~steps:4 ~y0:[| 0. |] in
+  Alcotest.(check int) "steps + 1 samples" 5 (Array.length traj);
+  let t_last, y_last = traj.(4) in
+  check_close 1e-12 "final time" 1. t_last;
+  check_close 1e-9 "integrates dy = dt" 1. y_last.(0)
+
+let test_ode_post_applied () =
+  (* Renormalisation after every step keeps the state on the simplex even
+     though the raw dynamics drift off it. *)
+  let f ~t:_ y = Array.map (fun _ -> 1.) y in
+  let post y =
+    let total = Array.fold_left ( +. ) 0. y in
+    Array.map (fun v -> v /. total) y
+  in
+  let y = Ode.integrate_to ~post ~f ~t0:0. ~t1:1. ~steps:7 [| 0.2; 0.8 |] in
+  check_close 1e-12 "stays normalised" 1. (y.(0) +. y.(1))
+
+let test_ode_until () =
+  let f ~t:_ y = [| -.y.(0) |] in
+  let y, converged =
+    Ode.integrate_until ~f ~dt:0.1 ~stop:(fun y -> y.(0) < 0.5) [| 1. |]
+  in
+  Alcotest.(check bool) "converged" true converged;
+  Alcotest.(check bool) "crossed threshold" true (y.(0) < 0.5);
+  let _, gave_up =
+    Ode.integrate_until ~max_steps:3 ~f ~dt:0.1
+      ~stop:(fun y -> y.(0) < 0.)
+      [| 1. |]
+  in
+  Alcotest.(check bool) "cap respected" false gave_up
+
+let test_ode_dimension_guard () =
+  Alcotest.check_raises "dimension change"
+    (Invalid_argument "Ode: derivative changed dimension") (fun () ->
+      ignore (Ode.rk4_step ~f:(fun ~t:_ _ -> [| 0. |]) ~t:0. ~dt:0.1 [| 0.; 0. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Quadrature                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_trapezoid_linear_exact () =
+  check_close 1e-12 "linear exact" 0.5
+    (Quadrature.trapezoid ~f:(fun x -> x) ~lo:0. ~hi:1. ~n:4)
+
+let test_simpson_cubic_exact () =
+  check_close 1e-12 "cubic exact" 0.25
+    (Quadrature.simpson ~f:(fun x -> x ** 3.) ~lo:0. ~hi:1. ~n:4)
+
+let test_adaptive_simpson_sine () =
+  check_close 1e-8 "integral of sin on [0, pi]" 2.
+    (Quadrature.adaptive_simpson ~f:sin ~lo:0. ~hi:Float.pi ())
+
+let test_trapezoid_sampled () =
+  check_close 1e-12 "sampled triangle" 1.
+    (Quadrature.trapezoid_sampled ~xs:[| 0.; 1.; 2. |] ~ys:[| 0.; 1.; 0. |])
+
+let test_trapezoid_sampled_rejects_decreasing () =
+  Alcotest.check_raises "decreasing xs"
+    (Invalid_argument "Quadrature.trapezoid_sampled: decreasing abscissae")
+    (fun () ->
+      ignore
+        (Quadrature.trapezoid_sampled ~xs:[| 1.; 0. |] ~ys:[| 0.; 0. |]))
+
+let prop_simpson_beats_trapezoid =
+  QCheck.Test.make ~name:"simpson at least as accurate as trapezoid on exp"
+    ~count:50 (QCheck.float_range 0.5 3.) (fun hi ->
+      let exact = exp hi -. 1. in
+      let t = Quadrature.trapezoid ~f:exp ~lo:0. ~hi ~n:16 in
+      let s = Quadrature.simpson ~f:exp ~lo:0. ~hi ~n:16 in
+      Float.abs (s -. exact) <= Float.abs (t -. exact) +. 1e-12)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  let prop t = QCheck_alcotest.to_alcotest t in
+  Alcotest.run "po_num"
+    [ ( "roots",
+        [ quick "bisect linear" test_bisect_linear;
+          quick "bisect cubic" test_bisect_cubic;
+          quick "bisect endpoint" test_bisect_endpoint_root;
+          quick "bisect no bracket" test_bisect_no_bracket;
+          quick "bisect discontinuous" test_bisect_discontinuous;
+          quick "brent polynomial" test_brent_polynomial;
+          quick "brent matches bisect" test_brent_matches_bisect;
+          quick "brent fewer evals" test_brent_fewer_evals;
+          quick "secant" test_secant;
+          quick "expand bracket" test_expand_bracket;
+          quick "expand bracket fails" test_expand_bracket_fails;
+          quick "monotone level interior" test_monotone_level_interior;
+          quick "monotone level clamps" test_monotone_level_clamps;
+          prop prop_monotone_level_solves ] );
+      ( "grid",
+        [ quick "linspace basic" test_linspace_basic;
+          quick "linspace single" test_linspace_single;
+          quick "linspace endpoint" test_linspace_exact_endpoint;
+          quick "logspace" test_logspace;
+          quick "logspace rejects" test_logspace_rejects_nonpositive;
+          quick "arange" test_arange;
+          quick "midpoints" test_midpoints;
+          quick "index of nearest" test_index_of_nearest;
+          prop prop_linspace_monotone ] );
+      ( "fixpoint",
+        [ quick "contraction" test_fixpoint_contraction;
+          quick "cosine" test_fixpoint_cosine;
+          quick "damping stabilises" test_fixpoint_damping_stabilises;
+          quick "vector" test_fixpoint_vec;
+          quick "dimension guard" test_fixpoint_vec_dimension_guard;
+          quick "until stable" test_iterate_until_stable;
+          quick "detect cycle" test_detect_cycle ] );
+      ( "optimize",
+        [ quick "golden section" test_golden_section;
+          quick "grid max" test_grid_max;
+          quick "grid max ties" test_grid_max_first_tie;
+          quick "refine grid" test_refine_grid_max;
+          quick "refine grid discontinuous" test_refine_grid_max_discontinuous;
+          quick "refine grid 2d" test_refine_grid_max2;
+          quick "nelder-mead rosenbrock" test_nelder_mead_rosenbrock;
+          quick "maximize wrapper" test_maximize_nelder_mead;
+          prop prop_golden_section_quadratics ] );
+      ( "stats",
+        [ quick "mean variance" test_mean_variance;
+          quick "variance degenerate" test_variance_degenerate;
+          quick "quantiles" test_quantiles;
+          quick "summarize" test_summarize;
+          quick "pearson" test_pearson;
+          quick "weighted mean" test_weighted_mean;
+          quick "max downward gap" test_max_downward_gap;
+          prop prop_quantile_bounds ] );
+      ( "interp",
+        [ quick "eval" test_interp_eval;
+          quick "rejects unsorted" test_interp_rejects_unsorted;
+          quick "derivative" test_interp_derivative;
+          quick "inverse monotone" test_inverse_monotone;
+          quick "inverse decreasing" test_inverse_monotone_decreasing;
+          prop prop_interp_agrees_at_knots ] );
+      ( "ode",
+        [ quick "exponential decay" test_ode_exponential_decay;
+          quick "harmonic oscillator" test_ode_harmonic_oscillator;
+          quick "trajectory shape" test_ode_trajectory_shape;
+          quick "post applied" test_ode_post_applied;
+          quick "integrate until" test_ode_until;
+          quick "dimension guard" test_ode_dimension_guard ] );
+      ( "quadrature",
+        [ quick "trapezoid linear" test_trapezoid_linear_exact;
+          quick "simpson cubic" test_simpson_cubic_exact;
+          quick "adaptive sine" test_adaptive_simpson_sine;
+          quick "sampled" test_trapezoid_sampled;
+          quick "sampled rejects" test_trapezoid_sampled_rejects_decreasing;
+          prop prop_simpson_beats_trapezoid ] ) ]

@@ -1,0 +1,267 @@
+(* Tests for the deterministic PRNG substrate (lib/prng). *)
+
+open Po_prng
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop t = QCheck_alcotest.to_alcotest t
+
+(* ------------------------------------------------------------------ *)
+(* Splitmix                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism () =
+  let a = Splitmix.of_int 7 and b = Splitmix.of_int 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Splitmix.next_int64 a)
+      (Splitmix.next_int64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = Splitmix.of_int 1 and b = Splitmix.of_int 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Splitmix.next_int64 a <> Splitmix.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_copy_independent () =
+  let a = Splitmix.of_int 3 in
+  ignore (Splitmix.next_int64 a);
+  let b = Splitmix.copy a in
+  Alcotest.(check int64)
+    "copy continues identically" (Splitmix.next_int64 a)
+    (Splitmix.next_int64 b)
+
+let test_split_decorrelates () =
+  let parent = Splitmix.of_int 9 in
+  let child = Splitmix.split parent in
+  (* The child stream should not equal the parent's continuation. *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Splitmix.next_int64 parent = Splitmix.next_int64 child then incr same
+  done;
+  Alcotest.(check int) "no collisions in 50 draws" 0 !same
+
+let test_float_range () =
+  let rng = Splitmix.of_int 11 in
+  for _ = 1 to 1000 do
+    let u = Splitmix.float rng in
+    if u < 0. || u >= 1. then Alcotest.fail "float outside [0, 1)"
+  done
+
+let test_float_mean () =
+  let rng = Splitmix.of_int 13 in
+  let n = 20000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Splitmix.float rng
+  done;
+  Alcotest.(check (float 0.02)) "mean near 1/2" 0.5 (!acc /. float_of_int n)
+
+let test_int_bounds_and_coverage () =
+  let rng = Splitmix.of_int 17 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 7000 do
+    let k = Splitmix.int rng 7 in
+    if k < 0 || k >= 7 then Alcotest.fail "int out of range";
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 700 then
+        Alcotest.failf "bucket %d badly undersampled (%d/7000)" i c)
+    counts
+
+let test_int_rejects_nonpositive () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Splitmix.int: n <= 0")
+    (fun () -> ignore (Splitmix.int (Splitmix.of_int 1) 0))
+
+let test_uniform_bounds () =
+  let rng = Splitmix.of_int 19 in
+  for _ = 1 to 100 do
+    let x = Splitmix.uniform rng ~lo:(-2.) ~hi:3. in
+    if x < -2. || x >= 3. then Alcotest.fail "uniform out of range"
+  done
+
+let test_bool_mixes () =
+  let rng = Splitmix.of_int 23 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Splitmix.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 400 && !trues < 600)
+
+(* ------------------------------------------------------------------ *)
+(* Dist                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_mean n f =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. f ()
+  done;
+  !acc /. float_of_int n
+
+let test_exponential_mean () =
+  let rng = Splitmix.of_int 31 in
+  let m = sample_mean 20000 (fun () -> Dist.exponential rng ~rate:2.) in
+  Alcotest.(check (float 0.02)) "mean 1/rate" 0.5 m
+
+let test_exponential_positive () =
+  let rng = Splitmix.of_int 37 in
+  for _ = 1 to 1000 do
+    if Dist.exponential rng ~rate:1. < 0. then Alcotest.fail "negative draw"
+  done
+
+let test_normal_moments () =
+  let rng = Splitmix.of_int 41 in
+  let n = 20000 in
+  let samples = Array.init n (fun _ -> Dist.normal rng ~mu:3. ~sigma:2.) in
+  Alcotest.(check (float 0.1)) "mean" 3. (Po_num.Stats.mean samples);
+  Alcotest.(check (float 0.1)) "std" 2. (Po_num.Stats.std samples)
+
+let test_lognormal_positive () =
+  let rng = Splitmix.of_int 43 in
+  for _ = 1 to 500 do
+    if Dist.lognormal rng ~mu:0. ~sigma:1. <= 0. then
+      Alcotest.fail "non-positive lognormal"
+  done
+
+let test_pareto_support () =
+  let rng = Splitmix.of_int 47 in
+  for _ = 1 to 1000 do
+    if Dist.pareto rng ~shape:2. ~scale:1.5 < 1.5 then
+      Alcotest.fail "pareto below scale"
+  done
+
+let test_pareto_mean () =
+  let rng = Splitmix.of_int 53 in
+  (* Mean of Pareto(shape a, scale s) is a s / (a - 1) for a > 1. *)
+  let m = sample_mean 50000 (fun () -> Dist.pareto rng ~shape:3. ~scale:1.) in
+  Alcotest.(check (float 0.05)) "mean 1.5" 1.5 m
+
+let test_zipf_rank_ordering () =
+  let rng = Splitmix.of_int 59 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20000 do
+    let r = Dist.zipf rng ~n:10 ~s:1.2 in
+    counts.(r - 1) <- counts.(r - 1) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most popular" true
+    (counts.(0) > counts.(4) && counts.(4) > counts.(9))
+
+let test_zipf_s_zero_uniform () =
+  let rng = Splitmix.of_int 61 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 8000 do
+    let r = Dist.zipf rng ~n:4 ~s:0. in
+    counts.(r - 1) <- counts.(r - 1) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < 1600 || c > 2400 then Alcotest.fail "s=0 should be uniform")
+    counts
+
+let test_categorical_respects_weights () =
+  let rng = Splitmix.of_int 67 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 9000 do
+    let i = Dist.categorical rng ~weights:[| 1.; 2.; 6. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "ordering follows weights" true
+    (counts.(2) > counts.(1) && counts.(1) > counts.(0));
+  Alcotest.(check bool) "heaviest near 2/3" true
+    (counts.(2) > 5400 && counts.(2) < 6600)
+
+let test_categorical_zero_weight_excluded () =
+  let rng = Splitmix.of_int 71 in
+  for _ = 1 to 500 do
+    if Dist.categorical rng ~weights:[| 0.; 1.; 0. |] <> 1 then
+      Alcotest.fail "zero-weight bucket drawn"
+  done
+
+let test_categorical_rejects_bad_weights () =
+  let rng = Splitmix.of_int 73 in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Dist.categorical: negative weight") (fun () ->
+      ignore (Dist.categorical rng ~weights:[| 1.; -1. |]));
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Dist.categorical: zero total weight") (fun () ->
+      ignore (Dist.categorical rng ~weights:[| 0.; 0. |]))
+
+let test_bernoulli_extremes () =
+  let rng = Splitmix.of_int 79 in
+  for _ = 1 to 200 do
+    if Dist.bernoulli rng ~p:0. then Alcotest.fail "p=0 returned true";
+    if not (Dist.bernoulli rng ~p:1.) then Alcotest.fail "p=1 returned false"
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Splitmix.of_int 83 in
+  let arr = Array.init 20 (fun i -> i) in
+  Dist.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 (fun i -> i)) sorted
+
+let test_shuffle_moves_something () =
+  let rng = Splitmix.of_int 89 in
+  let arr = Array.init 50 (fun i -> i) in
+  Dist.shuffle rng arr;
+  Alcotest.(check bool) "not identity" true
+    (Array.exists (fun i -> arr.(i) <> i) (Array.init 50 (fun i -> i)))
+
+let test_nested_uniform_bounds () =
+  let rng = Splitmix.of_int 97 in
+  for _ = 1 to 1000 do
+    let x = Dist.nested_uniform rng ~hi:10. in
+    if x < 0. || x >= 10. then Alcotest.fail "nested uniform out of range"
+  done
+
+let test_nested_uniform_mean () =
+  let rng = Splitmix.of_int 101 in
+  (* E[U[0, U[0, h]]] = h / 4. *)
+  let m = sample_mean 40000 (fun () -> Dist.nested_uniform rng ~hi:10.) in
+  Alcotest.(check (float 0.1)) "mean h/4" 2.5 m
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Splitmix.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Splitmix.of_int seed in
+      let k = Splitmix.int rng n in
+      k >= 0 && k < n)
+
+let () =
+  Alcotest.run "po_prng"
+    [ ( "splitmix",
+        [ quick "determinism" test_determinism;
+          quick "seeds differ" test_different_seeds_differ;
+          quick "copy" test_copy_independent;
+          quick "split decorrelates" test_split_decorrelates;
+          quick "float range" test_float_range;
+          quick "float mean" test_float_mean;
+          quick "int bounds/coverage" test_int_bounds_and_coverage;
+          quick "int rejects" test_int_rejects_nonpositive;
+          quick "uniform bounds" test_uniform_bounds;
+          quick "bool mixes" test_bool_mixes;
+          prop prop_int_in_range ] );
+      ( "dist",
+        [ quick "exponential mean" test_exponential_mean;
+          quick "exponential positive" test_exponential_positive;
+          quick "normal moments" test_normal_moments;
+          quick "lognormal positive" test_lognormal_positive;
+          quick "pareto support" test_pareto_support;
+          quick "pareto mean" test_pareto_mean;
+          quick "zipf ordering" test_zipf_rank_ordering;
+          quick "zipf s=0 uniform" test_zipf_s_zero_uniform;
+          quick "categorical weights" test_categorical_respects_weights;
+          quick "categorical zero excluded" test_categorical_zero_weight_excluded;
+          quick "categorical rejects" test_categorical_rejects_bad_weights;
+          quick "bernoulli extremes" test_bernoulli_extremes;
+          quick "shuffle permutation" test_shuffle_is_permutation;
+          quick "shuffle moves" test_shuffle_moves_something;
+          quick "nested uniform bounds" test_nested_uniform_bounds;
+          quick "nested uniform mean" test_nested_uniform_mean ] ) ]

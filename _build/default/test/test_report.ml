@@ -1,0 +1,182 @@
+(* Tests for the reporting substrate (lib/report): series, tables, CSV
+   and ASCII plots. *)
+
+open Po_report
+
+let quick name f = Alcotest.test_case name `Quick f
+let check_float = Alcotest.(check (float 1e-9))
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_make_validates () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Series.make: length mismatch") (fun () ->
+      ignore (Series.make ~label:"x" ~xs:[| 1. |] ~ys:[| 1.; 2. |]))
+
+let test_series_of_fn () =
+  let s = Series.of_fn ~label:"sq" ~xs:[| 1.; 2.; 3. |] (fun x -> x *. x) in
+  Alcotest.(check (array (float 1e-12))) "squares" [| 1.; 4.; 9. |]
+    (Series.ys s)
+
+let test_series_copies_input () =
+  let xs = [| 1.; 2. |] and ys = [| 3.; 4. |] in
+  let s = Series.make ~label:"a" ~xs ~ys in
+  ys.(0) <- 99.;
+  check_float "insulated from mutation" 3. (Series.ys s).(0)
+
+let test_series_y_at () =
+  let s = Series.make ~label:"a" ~xs:[| 0.; 10. |] ~ys:[| 0.; 100. |] in
+  check_float "interpolates" 50. (Series.y_at s 5.);
+  check_float "clamps low" 0. (Series.y_at s (-1.));
+  check_float "clamps high" 100. (Series.y_at s 42.)
+
+let test_series_argmax () =
+  let s = Series.make ~label:"a" ~xs:[| 1.; 2.; 3. |] ~ys:[| 5.; 9.; 2. |] in
+  let x, y = Series.argmax s in
+  check_float "arg" 2. x;
+  check_float "max" 9. y
+
+let test_series_map_relabel () =
+  let s = Series.make ~label:"a" ~xs:[| 1. |] ~ys:[| 2. |] in
+  let t = Series.relabel (Series.map_ys s ~f:(fun y -> 2. *. y)) "b" in
+  Alcotest.(check string) "label" "b" (Series.label t);
+  check_float "mapped" 4. (Series.ys t).(0)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render_shape () =
+  let out =
+    Table.render ~headers:[| "a"; "b" |]
+      ~rows:[| [| "1"; "2" |]; [| "30"; "400" |] |]
+      ()
+  in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  Alcotest.(check bool) "contains 400" true
+    (List.exists (fun l -> contains_substring l "400") lines)
+
+let test_table_rejects_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged row")
+    (fun () ->
+      ignore (Table.render ~headers:[| "a"; "b" |] ~rows:[| [| "1" |] |] ()))
+
+let test_table_of_series () =
+  let s1 = Series.make ~label:"one" ~xs:[| 1.; 2. |] ~ys:[| 10.; 20. |] in
+  let s2 = Series.make ~label:"two" ~xs:[| 1.; 2. |] ~ys:[| 0.5; 0.25 |] in
+  let out = Table.of_series ~x_header:"x" [ s1; s2 ] in
+  Alcotest.(check bool) "mentions labels" true
+    (contains_substring out "one" && contains_substring out "two"
+    && contains_substring out "0.25")
+
+let test_table_of_series_mismatch () =
+  let s1 = Series.make ~label:"one" ~xs:[| 1. |] ~ys:[| 1. |] in
+  let s2 = Series.make ~label:"two" ~xs:[| 1.; 2. |] ~ys:[| 1.; 2. |] in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Table.of_series: series length mismatch") (fun () ->
+      ignore (Table.of_series ~x_header:"x" [ s1; s2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Csv                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape_cell "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape_cell "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape_cell "a\"b")
+
+let test_csv_to_string () =
+  let out =
+    Csv.to_string ~headers:[| "x"; "y" |]
+      ~rows:[| [| "1"; "2" |]; [| "3"; "4,5" |] |]
+  in
+  Alcotest.(check string) "document" "x,y\n1,2\n3,\"4,5\"\n" out
+
+let test_csv_of_series_roundtrip_precision () =
+  let v = 1. /. 3. in
+  let s = Series.make ~label:"y" ~xs:[| 0. |] ~ys:[| v |] in
+  let out = Csv.of_series ~x_header:"x" [ s ] in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  (match lines with
+  | [ _header; row ] -> (
+      match String.split_on_char ',' row with
+      | [ _x; y ] ->
+          check_float "full precision" v (float_of_string y)
+      | _ -> Alcotest.fail "bad row shape")
+  | _ -> Alcotest.fail "bad document shape")
+
+let test_csv_write_file () =
+  let dir = Filename.temp_file "po_csv" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "out.csv" in
+  Csv.write_file ~path "a,b\n1,2\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "written" "a,b" line
+
+(* ------------------------------------------------------------------ *)
+(* Asciiplot                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_asciiplot_renders () =
+  let s =
+    Series.of_fn ~label:"sin" ~xs:(Po_num.Grid.linspace 0. 6.28 60) sin
+  in
+  let out = Asciiplot.render ~title:"wave" [ s ] in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 0 && String.sub out 0 4 = "wave");
+  Alcotest.(check bool) "has marker" true (String.contains out '*');
+  Alcotest.(check bool) "has legend" true (contains_substring out "sin")
+
+let test_asciiplot_multiple_series_markers () =
+  let xs = Po_num.Grid.linspace 0. 1. 10 in
+  let a = Series.of_fn ~label:"up" ~xs (fun x -> x) in
+  let b = Series.of_fn ~label:"down" ~xs (fun x -> 1. -. x) in
+  let out = Asciiplot.render [ a; b ] in
+  Alcotest.(check bool) "two markers" true
+    (String.contains out '*' && String.contains out '+')
+
+let test_asciiplot_flat_series () =
+  let s = Series.make ~label:"flat" ~xs:[| 0.; 1. |] ~ys:[| 2.; 2. |] in
+  (* Degenerate y-range must not crash. *)
+  let out = Asciiplot.render [ s ] in
+  Alcotest.(check bool) "non-empty" true (String.length out > 0)
+
+let test_asciiplot_rejects_empty () =
+  Alcotest.check_raises "no series"
+    (Invalid_argument "Asciiplot.render: no series") (fun () ->
+      ignore (Asciiplot.render []))
+
+let () =
+  Alcotest.run "po_report"
+    [ ( "series",
+        [ quick "validates" test_series_make_validates;
+          quick "of_fn" test_series_of_fn;
+          quick "copies input" test_series_copies_input;
+          quick "y_at" test_series_y_at;
+          quick "argmax" test_series_argmax;
+          quick "map/relabel" test_series_map_relabel ] );
+      ( "table",
+        [ quick "render shape" test_table_render_shape;
+          quick "rejects ragged" test_table_rejects_ragged;
+          quick "of series" test_table_of_series;
+          quick "of series mismatch" test_table_of_series_mismatch ] );
+      ( "csv",
+        [ quick "escaping" test_csv_escaping;
+          quick "to_string" test_csv_to_string;
+          quick "precision" test_csv_of_series_roundtrip_precision;
+          quick "write file" test_csv_write_file ] );
+      ( "asciiplot",
+        [ quick "renders" test_asciiplot_renders;
+          quick "multiple markers" test_asciiplot_multiple_series_markers;
+          quick "flat series" test_asciiplot_flat_series;
+          quick "rejects empty" test_asciiplot_rejects_empty ] ) ]

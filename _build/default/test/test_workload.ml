@@ -1,0 +1,259 @@
+(* Tests for the workload generators (lib/workload). *)
+
+open Po_model
+open Po_workload
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop t = QCheck_alcotest.to_alcotest t
+let check_close tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* Paper ensemble                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_ensemble_size_and_ids () =
+  let cps = Ensemble.paper_ensemble ~n:50 ~seed:1 () in
+  Alcotest.(check int) "size" 50 (Array.length cps);
+  Array.iteri (fun i cp -> Alcotest.(check int) "sequential id" i cp.Cp.id) cps
+
+let test_ensemble_deterministic () =
+  let a = Ensemble.paper_ensemble ~n:30 ~seed:5 () in
+  let b = Ensemble.paper_ensemble ~n:30 ~seed:5 () in
+  Array.iteri
+    (fun i cp ->
+      check_close 0. "same alpha" cp.Cp.alpha b.(i).Cp.alpha;
+      check_close 0. "same v" cp.Cp.v b.(i).Cp.v;
+      check_close 0. "same phi" cp.Cp.phi b.(i).Cp.phi)
+    a
+
+let test_ensemble_seed_sensitivity () =
+  let a = Ensemble.paper_ensemble ~n:30 ~seed:5 () in
+  let b = Ensemble.paper_ensemble ~n:30 ~seed:6 () in
+  Alcotest.(check bool) "different seeds differ" true
+    (Array.exists2 (fun x y -> x.Cp.alpha <> y.Cp.alpha) a b)
+
+let test_ensemble_prefix_stability () =
+  (* Per-attribute streams: growing the population extends it without
+     disturbing earlier CPs. *)
+  let small = Ensemble.paper_ensemble ~n:20 ~seed:9 () in
+  let large = Ensemble.paper_ensemble ~n:40 ~seed:9 () in
+  Array.iteri
+    (fun i cp ->
+      check_close 0. "alpha stable" cp.Cp.alpha large.(i).Cp.alpha;
+      check_close 0. "theta stable" cp.Cp.theta_hat large.(i).Cp.theta_hat)
+    small
+
+let test_ensemble_ranges () =
+  let cps = Ensemble.paper_ensemble ~n:500 ~seed:3 () in
+  Array.iter
+    (fun (cp : Cp.t) ->
+      if not (cp.Cp.alpha > 0. && cp.Cp.alpha <= 1.) then
+        Alcotest.fail "alpha out of range";
+      if not (cp.Cp.theta_hat > 0. && cp.Cp.theta_hat <= 1.) then
+        Alcotest.fail "theta_hat out of range";
+      if not (cp.Cp.v >= 0. && cp.Cp.v <= 1.) then
+        Alcotest.fail "v out of range";
+      if cp.Cp.phi < 0. then Alcotest.fail "phi negative")
+    cps
+
+let test_ensemble_saturation_matches_paper () =
+  (* E[sum alpha theta_hat] = n/4; the paper quotes ~250 for n = 1000. *)
+  let cps = Ensemble.paper_ensemble ~n:1000 ~seed:42 () in
+  check_close 25. "saturation near 250" 250. (Ensemble.saturation_nu cps)
+
+let test_ensemble_phi_coupled_bounded_by_beta () =
+  (* In the main-text setting, phi_i <= beta_i <= 10. *)
+  let cps = Ensemble.paper_ensemble ~n:300 ~seed:7 () in
+  Array.iter
+    (fun (cp : Cp.t) ->
+      if cp.Cp.phi > 10. then Alcotest.fail "phi exceeds the beta bound")
+    cps
+
+let test_ensemble_phi_settings_differ () =
+  let a = Ensemble.paper_ensemble ~n:50 ~seed:11 () in
+  let b =
+    Ensemble.paper_ensemble ~n:50 ~phi:Ensemble.Independent ~seed:11 ()
+  in
+  (* Same CP characteristics (the appendix keeps decisions identical)... *)
+  Array.iteri
+    (fun i cp -> check_close 0. "same v" cp.Cp.v b.(i).Cp.v)
+    a;
+  (* ...but different utility draws. *)
+  Alcotest.(check bool) "phi differs" true
+    (Array.exists2 (fun x y -> x.Cp.phi <> y.Cp.phi) a b)
+
+let test_total_value_bounds_phi () =
+  let cps = Ensemble.paper_ensemble ~n:100 ~seed:13 () in
+  let bound = Ensemble.total_value cps in
+  let phi =
+    Po_model.Surplus.consumer_at ~nu:(Ensemble.saturation_nu cps) cps
+  in
+  check_close (1e-6 *. bound) "Phi at saturation equals the bound" bound phi
+
+(* ------------------------------------------------------------------ *)
+(* Heavy-tailed ensemble                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_heavy_tailed_valid () =
+  let cps = Ensemble.heavy_tailed_ensemble ~n:200 ~seed:17 () in
+  Alcotest.(check int) "size" 200 (Array.length cps);
+  Array.iter
+    (fun (cp : Cp.t) ->
+      if not (cp.Cp.alpha > 0. && cp.Cp.alpha <= 1.) then
+        Alcotest.fail "alpha out of range";
+      if cp.Cp.theta_hat <= 0. then Alcotest.fail "theta_hat <= 0")
+    cps
+
+let test_heavy_tailed_skew () =
+  (* Zipf popularity: the top CP should dominate the median by a large
+     factor. *)
+  let cps = Ensemble.heavy_tailed_ensemble ~n:200 ~seed:17 () in
+  let alphas = Array.map (fun cp -> cp.Cp.alpha) cps in
+  let top = Po_num.Stats.max alphas in
+  let med = Po_num.Stats.median alphas in
+  Alcotest.(check bool)
+    (Printf.sprintf "top %.3f >> median %.4f" top med)
+    true
+    (top > 20. *. med)
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_three_cp_labels () =
+  let cps = Scenario.three_cp () in
+  Alcotest.(check (list string)) "labels"
+    [ "google"; "netflix"; "skype" ]
+    (Array.to_list (Array.map (fun cp -> cp.Cp.label) cps))
+
+let test_three_cp_priced_has_business_params () =
+  let cps = Scenario.three_cp_priced () in
+  Array.iter
+    (fun (cp : Cp.t) ->
+      Alcotest.(check bool) "v set" true (cp.Cp.v > 0.);
+      Alcotest.(check bool) "phi set" true (cp.Cp.phi > 0.))
+    cps
+
+let test_archetype_mix_counts () =
+  let cps = Scenario.archetype_mix ~google:2 ~netflix:3 ~skype:4 ~seed:1 () in
+  Alcotest.(check int) "total" 9 (Array.length cps);
+  let count label =
+    Array.fold_left
+      (fun acc cp -> if cp.Cp.label = label then acc + 1 else acc)
+      0 cps
+  in
+  Alcotest.(check int) "google" 2 (count "google");
+  Alcotest.(check int) "netflix" 3 (count "netflix");
+  Alcotest.(check int) "skype" 4 (count "skype")
+
+let test_archetype_mix_jitters () =
+  let cps = Scenario.archetype_mix ~google:5 ~netflix:0 ~skype:0 ~seed:2 () in
+  let distinct =
+    Array.to_list (Array.map (fun cp -> cp.Cp.theta_hat) cps)
+    |> List.sort_uniq compare |> List.length
+  in
+  Alcotest.(check bool) "jitter makes CPs distinct" true (distinct > 1)
+
+let test_archetype_mix_alpha_clamped () =
+  let cps = Scenario.archetype_mix ~google:20 ~netflix:0 ~skype:0 ~seed:3 () in
+  Array.iter
+    (fun (cp : Cp.t) ->
+      Alcotest.(check bool) "alpha <= 1" true (cp.Cp.alpha <= 1.))
+    cps
+
+(* ------------------------------------------------------------------ *)
+(* Io (CSV round trip)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_io_roundtrip () =
+  let cps = Ensemble.paper_ensemble ~n:25 ~seed:3 () in
+  match Io.to_csv cps with
+  | Error e -> Alcotest.fail e
+  | Ok doc -> (
+      match Io.of_csv doc with
+      | Error e -> Alcotest.fail e
+      | Ok back ->
+          Alcotest.(check int) "same size" (Array.length cps)
+            (Array.length back);
+          Array.iteri
+            (fun i cp ->
+              check_close 0. "alpha" cp.Cp.alpha back.(i).Cp.alpha;
+              check_close 0. "theta_hat" cp.Cp.theta_hat
+                back.(i).Cp.theta_hat;
+              check_close 0. "v" cp.Cp.v back.(i).Cp.v;
+              check_close 0. "phi" cp.Cp.phi back.(i).Cp.phi;
+              Alcotest.(check string) "label" cp.Cp.label back.(i).Cp.label;
+              (* Demand behaviour preserved, not just parameters. *)
+              check_close 1e-12 "demand at 0.5"
+                (Demand.eval cp.Cp.demand 0.5)
+                (Demand.eval back.(i).Cp.demand 0.5))
+            cps)
+
+let test_io_rejects_non_exponential () =
+  let cps =
+    [| Cp.make ~id:0 ~alpha:0.5 ~theta_hat:1. ~demand:Demand.linear () |]
+  in
+  match Io.to_csv cps with
+  | Ok _ -> Alcotest.fail "linear demand should not serialise"
+  | Error _ -> ()
+
+let test_io_rejects_bad_header () =
+  match Io.of_csv "nope\n1,2,3\n" with
+  | Ok _ -> Alcotest.fail "bad header accepted"
+  | Error _ -> ()
+
+let test_io_rejects_bad_row () =
+  let doc = "id,label,alpha,theta_hat,beta,v,phi\n0,x,2.0,1,1,0,0\n" in
+  (* alpha = 2 is outside (0, 1]. *)
+  match Io.of_csv doc with
+  | Ok _ -> Alcotest.fail "invalid alpha accepted"
+  | Error _ -> ()
+
+let test_io_file_roundtrip () =
+  let cps = Ensemble.paper_ensemble ~n:10 ~seed:5 () in
+  let dir = Filename.temp_file "po_io" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "pop.csv" in
+  (match Io.write_file ~path cps with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match Io.read_file ~path with
+  | Ok back -> Alcotest.(check int) "size" 10 (Array.length back)
+  | Error e -> Alcotest.fail e
+
+let prop_ensemble_usable_in_solver =
+  QCheck.Test.make ~name:"every ensemble solves cleanly" ~count:20
+    QCheck.(pair small_int (float_range 0.5 30.))
+    (fun (seed, nu) ->
+      let cps = Ensemble.paper_ensemble ~n:40 ~seed () in
+      let sol = Po_model.Equilibrium.solve ~nu cps in
+      Array.for_all Float.is_finite sol.Po_model.Equilibrium.theta)
+
+let () =
+  Alcotest.run "po_workload"
+    [ ( "paper ensemble",
+        [ quick "size and ids" test_ensemble_size_and_ids;
+          quick "deterministic" test_ensemble_deterministic;
+          quick "seed sensitivity" test_ensemble_seed_sensitivity;
+          quick "prefix stability" test_ensemble_prefix_stability;
+          quick "attribute ranges" test_ensemble_ranges;
+          quick "saturation ~ n/4" test_ensemble_saturation_matches_paper;
+          quick "phi coupled to beta" test_ensemble_phi_coupled_bounded_by_beta;
+          quick "phi settings differ" test_ensemble_phi_settings_differ;
+          quick "total value bound" test_total_value_bounds_phi;
+          prop prop_ensemble_usable_in_solver ] );
+      ( "heavy tailed",
+        [ quick "valid" test_heavy_tailed_valid;
+          quick "skew" test_heavy_tailed_skew ] );
+      ( "io",
+        [ quick "roundtrip" test_io_roundtrip;
+          quick "rejects non-exponential" test_io_rejects_non_exponential;
+          quick "rejects bad header" test_io_rejects_bad_header;
+          quick "rejects bad row" test_io_rejects_bad_row;
+          quick "file roundtrip" test_io_file_roundtrip ] );
+      ( "scenarios",
+        [ quick "three cp labels" test_three_cp_labels;
+          quick "priced params" test_three_cp_priced_has_business_params;
+          quick "mix counts" test_archetype_mix_counts;
+          quick "mix jitters" test_archetype_mix_jitters;
+          quick "alpha clamped" test_archetype_mix_alpha_clamped ] ) ]
