@@ -14,8 +14,14 @@
       equilibrium, oligopoly equal-surplus solve, packet simulation,
       ensemble generation), one [Test.make] per kernel.
 
+   3. {b Parallel speedup} — every grid-sweep figure regenerated with
+      [jobs = 1] and [jobs = recommended_domain_count], wall-clock per
+      figure and the speedup ratio (the outputs are bit-identical by
+      po_par's determinism contract; this section measures, it does not
+      re-verify).
+
    Usage: dune exec bench/main.exe [-- --quick | --figures-only |
-   --bench-only] *)
+   --bench-only | --par-only] *)
 
 open Bechamel
 
@@ -37,6 +43,53 @@ let regenerate_figures ~params () =
         entry.Po_experiments.Registry.id dt
         (String.concat ", " written))
     Po_experiments.Registry.entries
+
+(* ------------------------------------------------------------------ *)
+(* Serial vs parallel sweep timings                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The figures whose generators evaluate a (kappa, c) / capacity / share
+   grid through the domain pool. *)
+let sweep_figure_ids =
+  [ "fig4"; "fig5"; "fig7"; "fig8"; "posize"; "welfare"; "invest" ]
+
+let time_figure ~params entry =
+  let t0 = Unix.gettimeofday () in
+  ignore (entry.Po_experiments.Registry.generate ~params ());
+  Unix.gettimeofday () -. t0
+
+let run_par_bench ~params () =
+  let jobs = Po_par.Pool.default_domains () in
+  Printf.printf
+    "== Sweep speedup: serial vs %d domains (%d CPs, %d-point sweeps) ==\n"
+    jobs params.Po_experiments.Common.n_cps
+    params.Po_experiments.Common.sweep_points;
+  if jobs <= 1 then
+    print_endline
+      "  single recommended domain on this machine; parallel timings \
+       would equal serial, skipping"
+  else begin
+    Printf.printf "  %-8s %10s %10s %9s\n" "figure" "serial(s)" "par(s)"
+      "speedup";
+    List.iter
+      (fun id ->
+        match Po_experiments.Registry.find id with
+        | None -> Printf.printf "  %-8s missing from the registry!\n" id
+        | Some entry ->
+            let serial =
+              time_figure
+                ~params:{ params with Po_experiments.Common.jobs = 1 }
+                entry
+            in
+            let parallel =
+              time_figure ~params:{ params with Po_experiments.Common.jobs }
+                entry
+            in
+            Printf.printf "  %-8s %10.2f %10.2f %8.2fx\n" id serial parallel
+              (if parallel > 0. then serial /. parallel else Float.nan))
+      sweep_figure_ids
+  end;
+  print_newline ()
 
 let run_claims ~params () =
   let checks = Po_experiments.Claims.all ~params () in
@@ -125,25 +178,39 @@ let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let figures_only = Array.exists (( = ) "--figures-only") Sys.argv in
   let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in
+  let par_only = Array.exists (( = ) "--par-only") Sys.argv in
   (* The full paper scale (n = 1000, 33-point sweeps) takes several
      minutes end to end; the default here trades sweep resolution for a
      bench that completes in about a minute while preserving every
-     qualitative shape.  Use the ponet CLI for full-resolution runs. *)
+     qualitative shape.  Use the ponet CLI for full-resolution runs.
+     Figure regeneration itself runs on every recommended domain —
+     po_par guarantees the output does not depend on the worker count. *)
   let params =
     if quick then Po_experiments.Common.quick_params
-    else { Po_experiments.Common.n_cps = 400; seed = 42; sweep_points = 17 }
+    else
+      { Po_experiments.Common.n_cps = 400; seed = 42; sweep_points = 17;
+        jobs = 1 }
+  in
+  let params =
+    { params with
+      Po_experiments.Common.jobs = Po_par.Pool.default_domains () }
   in
   let ok = ref true in
-  if not bench_only then begin
-    Printf.printf
-      "Reproduction harness: %d CPs, %d-point sweeps (%s)\n\n"
-      params.Po_experiments.Common.n_cps
-      params.Po_experiments.Common.sweep_points
-      (if quick then "quick" else "standard");
-    regenerate_figures ~params ();
-    ok := run_claims ~params ()
+  if par_only then run_par_bench ~params ()
+  else begin
+    if not bench_only then begin
+      Printf.printf
+        "Reproduction harness: %d CPs, %d-point sweeps (%s, %d domains)\n\n"
+        params.Po_experiments.Common.n_cps
+        params.Po_experiments.Common.sweep_points
+        (if quick then "quick" else "standard")
+        params.Po_experiments.Common.jobs;
+      regenerate_figures ~params ();
+      ok := run_claims ~params ()
+    end;
+    if not figures_only then run_microbenchmarks ();
+    if not (bench_only || figures_only) then run_par_bench ~params ()
   end;
-  if not figures_only then run_microbenchmarks ();
   if not !ok then begin
     prerr_endline "claim audits FAILED";
     exit 1

@@ -9,25 +9,49 @@
 
 open Cmdliner
 
+(* Every flag takes its default from [Common.default_params] (the
+   paper's scale), so the CLI and the library can never drift apart —
+   except [--jobs], whose default is the hardware parallelism: output is
+   identical for any jobs value, so there is no reason to leave cores
+   idle interactively. *)
 let params_term =
+  let default = Po_experiments.Common.default_params in
   let n_cps =
     Arg.(
       value
-      & opt int Po_experiments.Common.default_params.Po_experiments.Common.n_cps
-      & info [ "n"; "cps" ] ~docv:"N" ~doc:"Ensemble size (number of CPs).")
+      & opt int default.Po_experiments.Common.n_cps
+      & info [ "n"; "cps" ] ~docv:"N"
+          ~doc:"Ensemble size (number of CPs); the paper uses 1000.")
   in
   let seed =
-    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+    Arg.(
+      value
+      & opt int default.Po_experiments.Common.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"PRNG seed; every figure is bit-reproducible from it.")
   in
   let points =
     Arg.(
-      value & opt int 33
-      & info [ "points" ] ~docv:"P" ~doc:"Sweep resolution (points per axis).")
+      value
+      & opt int default.Po_experiments.Common.sweep_points
+      & info [ "points" ] ~docv:"P"
+          ~doc:"Sweep resolution (points per axis); the paper uses 33.")
   in
-  let make n_cps seed sweep_points =
-    { Po_experiments.Common.n_cps; seed; sweep_points }
+  let jobs =
+    Arg.(
+      value
+      & opt int (Po_par.Pool.default_domains ())
+      & info [ "j"; "jobs" ] ~docv:"JOBS"
+          ~doc:
+            "Worker domains for sweep evaluation.  $(docv)=1 runs the \
+             serial path; any value produces byte-identical output (the \
+             parallel engine is deterministic), so the default is the \
+             machine's recommended domain count.")
   in
-  Term.(const make $ n_cps $ seed $ points)
+  let make n_cps seed sweep_points jobs =
+    { Po_experiments.Common.n_cps; seed; sweep_points; jobs = max 1 jobs }
+  in
+  Term.(const make $ n_cps $ seed $ points $ jobs)
 
 let list_cmd =
   let run () =
@@ -140,7 +164,9 @@ let welfare_cmd =
         Printf.printf "%-34s %12.4f %12.4f %12.4f %12.4f\n" label
           w.Po_core.Welfare.consumer w.Po_core.Welfare.isp
           w.Po_core.Welfare.cp w.Po_core.Welfare.total)
-      (Po_core.Welfare.regime_table ~levels:2 ~points:7 ~nu cps)
+      (Po_core.Welfare.regime_table
+         ?pool:(Po_experiments.Common.pool params)
+         ~levels:2 ~points:7 ~nu cps)
   in
   Cmd.v
     (Cmd.info "welfare"
@@ -166,6 +192,7 @@ let ensemble_cmd =
       if heavy then
         Po_workload.Ensemble.heavy_tailed_ensemble
           ~n:params.Po_experiments.Common.n_cps
+          ?pool:(Po_experiments.Common.pool params)
           ~seed:params.Po_experiments.Common.seed ()
       else Po_experiments.Common.ensemble params
     in

@@ -90,15 +90,18 @@ let solve ?(tol = 1e-6) config cps =
     end
   end
 
-let price_sweep ?(kappa_i = 1.) ~config:cfg ~cs cps =
-  Array.map
+(* Each sweep point is an independent [solve] (the warm-start refs above
+   live inside a single solve), so the points can be evaluated on a pool
+   in any order without changing a single bit of the result. *)
+let price_sweep ?pool ?(kappa_i = 1.) ~config:cfg ~cs cps =
+  Po_par.Pool.maybe_map pool
     (fun c ->
       let cfg = { cfg with strategy_i = Strategy.make ~kappa:kappa_i ~c } in
       solve cfg cps)
     cs
 
-let capacity_sweep ~config:cfg ~nus cps =
-  Array.map (fun nu -> solve { cfg with nu } cps) nus
+let capacity_sweep ?pool ~config:cfg ~nus cps =
+  Po_par.Pool.maybe_map pool (fun nu -> solve { cfg with nu } cps) nus
 
 let max_revenue_price cps =
   Array.fold_left (fun acc (cp : Cp.t) -> Float.max acc cp.Cp.v) 0. cps

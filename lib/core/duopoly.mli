@@ -45,15 +45,18 @@ val solve : ?tol:float -> config -> Po_model.Cp.t array -> equilibrium
     market share. *)
 
 val price_sweep :
-  ?kappa_i:float -> config:config -> cs:float array -> Po_model.Cp.t array ->
-  equilibrium array
+  ?pool:Po_par.Pool.t -> ?kappa_i:float -> config:config -> cs:float array ->
+  Po_model.Cp.t array -> equilibrium array
 (** Sweep ISP I's premium price, re-solving the migration equilibrium at
     each point (Fig. 7 generator).  [kappa_i] (default 1) overrides the
-    kappa in [config.strategy_i]. *)
+    kappa in [config.strategy_i].  Points are independent solves, so
+    [pool] parallelises them with bit-identical results. *)
 
 val capacity_sweep :
-  config:config -> nus:float array -> Po_model.Cp.t array -> equilibrium array
-(** Sweep the total per-capita capacity (Fig. 8 generator). *)
+  ?pool:Po_par.Pool.t -> config:config -> nus:float array ->
+  Po_model.Cp.t array -> equilibrium array
+(** Sweep the total per-capita capacity (Fig. 8 generator); [pool] as in
+    {!price_sweep}. *)
 
 val best_response_market_share :
   ?levels:int -> ?points:int -> config:config -> Po_model.Cp.t array ->

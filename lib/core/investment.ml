@@ -5,8 +5,8 @@ type monopoly_point = {
   phi : float;
 }
 
-let monopoly_revenue_curve ?(levels = 3) ?(points = 25) ~nus cps =
-  Array.map
+let monopoly_revenue_curve ?pool ?(levels = 3) ?(points = 25) ~nus cps =
+  Po_par.Pool.maybe_map pool
     (fun nu ->
       let best = Monopoly.optimal_price ~levels ~points ~nu cps in
       { nu; optimal_price = best.Monopoly.c; psi = best.Monopoly.psi;
@@ -20,9 +20,9 @@ type competition_point = {
   phi : float;
 }
 
-let competition_share_curve ?(strategy = Strategy.make ~kappa:0.5 ~c:0.3) ~nu
-    ~gammas cps =
-  Array.map
+let competition_share_curve ?pool ?(strategy = Strategy.make ~kappa:0.5 ~c:0.3)
+    ~nu ~gammas cps =
+  Po_par.Pool.maybe_map pool
     (fun gamma ->
       if not (gamma > 0. && gamma < 1.) then
         invalid_arg "Investment.competition_share_curve: gamma outside (0, 1)";
@@ -51,11 +51,11 @@ type duopoly_point = {
   market_share : float;
 }
 
-let duopoly_revenue_curve ?(levels = 2) ?(points = 11) ~nus cps =
+let duopoly_revenue_curve ?pool ?(levels = 2) ?(points = 11) ~nus cps =
   let hi =
     Array.fold_left (fun acc (cp : Po_model.Cp.t) -> Float.max acc cp.Po_model.Cp.v) 0. cps
   in
-  Array.map
+  Po_par.Pool.maybe_map pool
     (fun nu ->
       let revenue c =
         let cfg =

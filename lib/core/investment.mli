@@ -24,8 +24,8 @@ type monopoly_point = {
 }
 
 val monopoly_revenue_curve :
-  ?levels:int -> ?points:int -> nus:float array -> Po_model.Cp.t array ->
-  monopoly_point array
+  ?pool:Po_par.Pool.t -> ?levels:int -> ?points:int -> nus:float array ->
+  Po_model.Cp.t array -> monopoly_point array
 (** The monopolist's optimised CP-side revenue across installed capacity.
     The optimised revenue is non-decreasing (more capacity can always be
     sold at the old price), but it {e saturates} while the optimal price
@@ -39,8 +39,8 @@ type competition_point = {
 }
 
 val competition_share_curve :
-  ?strategy:Strategy.t -> nu:float -> gammas:float array ->
-  Po_model.Cp.t array -> competition_point array
+  ?pool:Po_par.Pool.t -> ?strategy:Strategy.t -> nu:float ->
+  gammas:float array -> Po_model.Cp.t array -> competition_point array
 (** ISP I's equilibrium market share and revenue as its capacity share
     grows, against a rival with the same strategy on the remaining
     capacity (default strategy: [(0.5, 0.3)]).  Lemma 4 predicts
@@ -62,8 +62,8 @@ type duopoly_point = {
 }
 
 val duopoly_revenue_curve :
-  ?levels:int -> ?points:int -> nus:float array -> Po_model.Cp.t array ->
-  duopoly_point array
+  ?pool:Po_par.Pool.t -> ?levels:int -> ?points:int -> nus:float array ->
+  Po_model.Cp.t array -> duopoly_point array
 (** ISP I ([kappa = 1], optimised price) against an equal-capacity Public
     Option, across total capacity.  Here optimised revenue genuinely
     {e declines} past a peak — the paper's Fig. 7 observation that

@@ -6,8 +6,8 @@ type point = {
   psi_commercial : float;
 }
 
-let sweep ?(levels = 2) ?(points = 7) ~nu ~po_shares cps =
-  Array.map
+let sweep ?pool ?(levels = 2) ?(points = 7) ~nu ~po_shares cps =
+  Po_par.Pool.maybe_map pool
     (fun po_share ->
       if not (po_share > 0. && po_share < 1.) then
         invalid_arg "Po_sizing.sweep: share outside (0, 1)";
@@ -30,8 +30,8 @@ type effectiveness = {
   minimum_effective_share : float option;
 }
 
-let effectiveness ?levels ?points ?(slack = 1e-3) ~nu ~po_shares cps =
-  let swept = sweep ?levels ?points ~nu ~po_shares cps in
+let effectiveness ?pool ?levels ?points ?(slack = 1e-3) ~nu ~po_shares cps =
+  let swept = sweep ?pool ?levels ?points ~nu ~po_shares cps in
   let unregulated = Public_option.unregulated ?levels ?points ~nu cps in
   let neutral = Public_option.neutral ~nu cps in
   let phi_neutral = neutral.Public_option.phi in

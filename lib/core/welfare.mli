@@ -37,8 +37,8 @@ val of_oligopoly : Po_model.Cp.t array -> Oligopoly.equilibrium -> t
 (** Population-weighted decomposition across all ISPs. *)
 
 val regime_table :
-  ?po_share:float -> ?levels:int -> ?points:int -> nu:float ->
-  Po_model.Cp.t array -> (string * t) list
+  ?pool:Po_par.Pool.t -> ?po_share:float -> ?levels:int -> ?points:int ->
+  nu:float -> Po_model.Cp.t array -> (string * t) list
 (** The three regulatory regimes of {!Public_option.compare_regimes} with
     full three-party decompositions: who pays for each regime's consumer
     gains. *)

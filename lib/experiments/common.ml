@@ -10,14 +10,46 @@ type params = {
   n_cps : int;
   seed : int;
   sweep_points : int;
+  jobs : int;
 }
 
-let default_params = { n_cps = 1000; seed = 42; sweep_points = 33 }
-let quick_params = { n_cps = 120; seed = 42; sweep_points = 9 }
+let default_params = { n_cps = 1000; seed = 42; sweep_points = 33; jobs = 1 }
+let quick_params = { n_cps = 120; seed = 42; sweep_points = 9; jobs = 1 }
+
+(* One pool per process, resized only when [jobs] changes.  Worker
+   domains park on a condition variable between sweeps, so keeping the
+   pool alive across figures costs nothing; the at_exit handler joins
+   them so the process never exits with domains mid-flight. *)
+let cached_pool : (int * Po_par.Pool.t) option ref = ref None
+
+let shutdown_pool () =
+  match !cached_pool with
+  | None -> ()
+  | Some (_, pool) ->
+      cached_pool := None;
+      Po_par.Pool.shutdown pool
+
+let () = at_exit shutdown_pool
+
+let pool params =
+  if params.jobs <= 1 then None
+  else
+    match !cached_pool with
+    | Some (jobs, pool) when jobs = params.jobs -> Some pool
+    | _ ->
+        shutdown_pool ();
+        let pool = Po_par.Pool.create ~domains:params.jobs () in
+        cached_pool := Some (params.jobs, pool);
+        Some pool
+
+let sweep_par params f arr =
+  match pool params with
+  | None -> Array.map f arr
+  | Some pool -> Po_par.Pool.parallel_map pool f arr
 
 let ensemble ?phi params =
-  Po_workload.Ensemble.paper_ensemble ~n:params.n_cps ?phi ~seed:params.seed
-    ()
+  Po_workload.Ensemble.paper_ensemble ~n:params.n_cps ?phi
+    ?pool:(pool params) ~seed:params.seed ()
 
 let render ?(plots = true) figure =
   let buf = Buffer.create 4096 in

@@ -17,14 +17,28 @@ type params = {
   n_cps : int;  (** ensemble size *)
   seed : int;
   sweep_points : int;  (** resolution of the swept axis *)
+  jobs : int;
+      (** domains used for sweep evaluation; [1] keeps every figure on
+          the serial code path.  Any value produces bit-identical
+          figures (see {!Po_par.Pool}). *)
 }
 
 val default_params : params
-(** The paper's scale: 1000 CPs, 33-point sweeps. *)
+(** The paper's scale: 1000 CPs, 33-point sweeps, serial. *)
 
 val quick_params : params
 (** Reduced scale for tests and timing benches: 120 CPs, 9-point
-    sweeps. *)
+    sweeps, serial. *)
+
+val pool : params -> Po_par.Pool.t option
+(** The process-wide domain pool for [params.jobs], or [None] when
+    [jobs <= 1].  The pool is cached across calls and resized only when
+    [jobs] changes; it is shut down automatically at exit. *)
+
+val sweep_par : params -> ('a -> 'b) -> 'a array -> 'b array
+(** [sweep_par params f arr] maps [f] over [arr] through {!pool} —
+    [Array.map] when [jobs <= 1].  [f] must be pure; results are in
+    input order either way. *)
 
 val ensemble : ?phi:Po_workload.Ensemble.phi_setting -> params -> Po_model.Cp.t array
 

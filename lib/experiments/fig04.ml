@@ -6,8 +6,13 @@ let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
     ?(params = Common.default_params) () =
   let cps = Common.ensemble ~phi:phi_setting params in
   let cs = Po_num.Grid.linspace 0. 1. (max 11 params.Common.sweep_points) in
+  (* Each capacity's price sweep is a self-contained warm-start chain, so
+     the chains are the parallel grain: any [jobs] reproduces the serial
+     figure bit for bit. *)
   let sweeps =
-    Array.map (fun nu -> (nu, Monopoly.price_sweep ~kappa:1. ~nu ~cs cps)) nus
+    Common.sweep_par params
+      (fun nu -> (nu, Monopoly.price_sweep ~kappa:1. ~nu ~cs cps))
+      nus
   in
   let panel proj name =
     ( name,

@@ -16,8 +16,10 @@ let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
             (fun c -> Array.map (fun kappa -> (kappa, c)) kappas)
             cs))
   in
+  (* One warm-start chain per (kappa, c) strategy: parallelise across the
+     nine chains, never inside one (see fig04). *)
   let sweeps =
-    Array.map
+    Common.sweep_par params
       (fun (kappa, c) ->
         let strategy = Strategy.make ~kappa ~c in
         ((kappa, c), Monopoly.capacity_sweep ~strategy ~nus cps))

@@ -6,13 +6,16 @@ let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
     ?(params = Common.default_params) () =
   let cps = Common.ensemble ~phi:phi_setting params in
   let cs = Po_num.Grid.linspace 0. 1. (max 11 params.Common.sweep_points) in
+  (* Duopoly sweep points are independent solves, so the price axis is
+     the parallel grain (more points than capacities). *)
+  let pool = Common.pool params in
   let sweeps =
     Array.map
       (fun nu ->
         let cfg =
           Duopoly.config ~nu ~strategy_i:(Strategy.make ~kappa:1. ~c:0.) ()
         in
-        (nu, Duopoly.price_sweep ~kappa_i:1. ~config:cfg ~cs cps))
+        (nu, Duopoly.price_sweep ?pool ~kappa_i:1. ~config:cfg ~cs cps))
       nus
   in
   let panel proj name =

@@ -16,13 +16,16 @@ let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
             (fun c -> Array.map (fun kappa -> (kappa, c)) kappas)
             cs))
   in
+  (* Duopoly sweep points are independent solves: parallelise along the
+     capacity axis inside each strategy combo. *)
+  let pool = Common.pool params in
   let sweeps =
     Array.map
       (fun (kappa, c) ->
         let cfg =
           Duopoly.config ~nu:nus.(0) ~strategy_i:(Strategy.make ~kappa ~c) ()
         in
-        ((kappa, c), Duopoly.capacity_sweep ~config:cfg ~nus cps))
+        ((kappa, c), Duopoly.capacity_sweep ?pool ~config:cfg ~nus cps))
       combos
   in
   let panel proj name =

@@ -3,13 +3,14 @@ open Po_core
 let generate ?(params = Common.default_params) () =
   let cps =
     Po_workload.Ensemble.heavy_tailed_ensemble ~n:params.Common.n_cps
-      ~seed:params.Common.seed ()
+      ?pool:(Common.pool params) ~seed:params.Common.seed ()
   in
   let sat = Po_workload.Ensemble.saturation_nu cps in
   let cs = Po_num.Grid.linspace 0. 1. (max 11 params.Common.sweep_points) in
   let fracs = [| 0.15; 0.5; 0.85 |] in
+  (* As in fig04: one warm-start chain per capacity fraction. *)
   let sweeps =
-    Array.map
+    Common.sweep_par params
       (fun frac ->
         (frac, Monopoly.price_sweep ~kappa:1. ~nu:(frac *. sat) ~cs cps))
       fracs

@@ -8,8 +8,9 @@ let generate ?(params = Common.default_params) () =
     Po_num.Grid.linspace (0.1 *. sat) (1.4 *. sat)
       (max 9 (params.Common.sweep_points / 2))
   in
+  let pool = Common.pool params in
   let monopoly =
-    Investment.monopoly_revenue_curve ~levels:2 ~points:15 ~nus cps
+    Investment.monopoly_revenue_curve ?pool ~levels:2 ~points:15 ~nus cps
   in
   let monopoly_panel =
     [ Po_report.Series.make ~label:"optimised_psi" ~xs:nus
@@ -33,7 +34,8 @@ let generate ?(params = Common.default_params) () =
     Po_num.Grid.linspace (0.3 *. sat) (1.1 *. sat) 5
   in
   let duopoly =
-    Investment.duopoly_revenue_curve ~levels:1 ~points:9 ~nus:duopoly_nus cps
+    Investment.duopoly_revenue_curve ?pool ~levels:1 ~points:9
+      ~nus:duopoly_nus cps
   in
   let duopoly_panel =
     [ Po_report.Series.make ~label:"optimised_psi_I" ~xs:duopoly_nus
@@ -50,7 +52,7 @@ let generate ?(params = Common.default_params) () =
   in
   let gammas = [| 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8 |] in
   let competition =
-    Investment.competition_share_curve ~nu:(0.5 *. sat) ~gammas cps
+    Investment.competition_share_curve ?pool ~nu:(0.5 *. sat) ~gammas cps
   in
   let competition_panel =
     [ Po_report.Series.make ~label:"market_share" ~xs:gammas

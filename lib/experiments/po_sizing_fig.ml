@@ -9,7 +9,8 @@ let generate ?(params = Common.default_params) () =
   let nu = 0.85 *. sat in
   let po_shares = [| 0.05; 0.1; 0.2; 0.3; 0.4; 0.5 |] in
   let eff =
-    Po_sizing.effectiveness ~levels:2 ~points:7 ~nu ~po_shares cps
+    Po_sizing.effectiveness ?pool:(Common.pool params) ~levels:2 ~points:7
+      ~nu ~po_shares cps
   in
   let xs = po_shares in
   let of_field f = Array.map f eff.Po_sizing.sweep in

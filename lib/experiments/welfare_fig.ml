@@ -5,7 +5,10 @@ let generate ?(params = Common.default_params) () =
   let cps = Common.ensemble params in
   let sat = Po_workload.Ensemble.saturation_nu cps in
   let nu = 0.85 *. sat in
-  let table = Welfare.regime_table ~levels:2 ~points:7 ~nu cps in
+  let table =
+    Welfare.regime_table ?pool:(Common.pool params) ~levels:2 ~points:7 ~nu
+      cps
+  in
   (* Encode the regimes on an index axis: 1 = unregulated, 2 = neutral,
      3 = public option. *)
   let xs = Array.init (List.length table) (fun i -> float_of_int (i + 1)) in

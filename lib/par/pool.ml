@@ -1,0 +1,189 @@
+(* A domain pool with a mutex/condition work queue.
+
+   Parallel operations share work through an atomic chunk counter: every
+   participant (the caller plus the queued helper closures) repeatedly
+   claims the next chunk of indices and writes results straight into the
+   output array, so scheduling order can never affect where a result
+   lands.  A per-operation latch counts the helpers still running; the
+   caller keeps working until the counter is exhausted, then blocks on
+   the latch until the last helper drains. *)
+
+type t = {
+  total_domains : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  wake : Condition.t;  (* signalled on submit and on shutdown *)
+  mutable workers : unit Domain.t array;
+  mutable closed : bool;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.wake pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* closed *)
+  else begin
+    let job = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    (* Jobs never let exceptions escape (see [run_shared]); a raise here
+       would take the worker down silently, so treat it as a bug. *)
+    job ();
+    worker_loop pool
+  end
+
+let create ?domains () =
+  let total =
+    match domains with None -> default_domains () | Some d -> max 1 d
+  in
+  let pool =
+    { total_domains = total; queue = Queue.create ();
+      mutex = Mutex.create (); wake = Condition.create ();
+      workers = [||]; closed = false }
+  in
+  pool.workers <-
+    Array.init (total - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let domains pool = pool.total_domains
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.closed then Mutex.unlock pool.mutex
+  else begin
+    pool.closed <- true;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let submit pool job =
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job pool.queue;
+  Condition.signal pool.wake;
+  Mutex.unlock pool.mutex
+
+(* Outcome of one parallel operation: the first failure by chunk index,
+   so the reported exception does not depend on scheduling. *)
+type failure = { chunk_start : int; exn : exn; bt : Printexc.raw_backtrace }
+
+(* Run [work_chunk start stop] over [n] indices in chunks of [chunk] on
+   all of the pool's domains; returns once every chunk has finished. *)
+let run_shared pool ~n ~chunk work_chunk =
+  let next = Atomic.make 0 in
+  let failed : failure option Atomic.t = Atomic.make None in
+  let record_failure chunk_start exn bt =
+    let f = { chunk_start; exn; bt } in
+    let rec keep_first () =
+      let current = Atomic.get failed in
+      let better =
+        match current with
+        | None -> true
+        | Some prior -> chunk_start < prior.chunk_start
+      in
+      if better && not (Atomic.compare_and_set failed current (Some f)) then
+        keep_first ()
+    in
+    keep_first ();
+    (* Abandon unclaimed chunks: drive the counter past the end. *)
+    Atomic.set next n
+  in
+  let rec work () =
+    let start = Atomic.fetch_and_add next chunk in
+    if start < n then begin
+      (try work_chunk start (min n (start + chunk))
+       with exn ->
+         record_failure start exn (Printexc.get_raw_backtrace ()));
+      work ()
+    end
+  in
+  let helpers = max 0 (pool.total_domains - 1) in
+  let latch_mutex = Mutex.create () in
+  let latch_done = Condition.create () in
+  let pending = ref helpers in
+  for _ = 1 to helpers do
+    submit pool (fun () ->
+        work ();
+        Mutex.lock latch_mutex;
+        decr pending;
+        if !pending = 0 then Condition.broadcast latch_done;
+        Mutex.unlock latch_mutex)
+  done;
+  work ();
+  Mutex.lock latch_mutex;
+  while !pending > 0 do
+    Condition.wait latch_done latch_mutex
+  done;
+  Mutex.unlock latch_mutex;
+  match Atomic.get failed with
+  | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+(* Chunks sized so each domain sees several, amortising queue traffic
+   while still balancing uneven per-element cost.  Purely a scheduling
+   knob: results are position-addressed, so the size cannot affect
+   them. *)
+let map_chunk_size ~n ~domains =
+  max 1 (n / (4 * max 1 domains))
+
+let parallel_map pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if pool.total_domains <= 1 || n = 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let chunk = map_chunk_size ~n ~domains:pool.total_domains in
+    run_shared pool ~n ~chunk (fun start stop ->
+        for i = start to stop - 1 do
+          results.(i) <- Some (f arr.(i))
+        done);
+    Array.map
+      (function Some v -> v | None -> assert false (* run_shared raised *))
+      results
+  end
+
+let maybe_map pool f arr =
+  match pool with
+  | None -> Array.map f arr
+  | Some pool -> parallel_map pool f arr
+
+let parallel_init pool n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  parallel_map pool f (Array.init n Fun.id)
+
+let default_reduce_chunk = 16
+
+let map_reduce pool ?(chunk_size = default_reduce_chunk) ~rng ~map ~reduce
+    ~init arr =
+  if chunk_size <= 0 then invalid_arg "Pool.map_reduce: chunk_size <= 0";
+  let n = Array.length arr in
+  if n = 0 then init
+  else begin
+    let n_chunks = (n + chunk_size - 1) / chunk_size in
+    (* Streams are split off [rng] in chunk-index order *before* any
+       parallel work, so the assignment is a pure function of the chunk
+       layout. *)
+    let chunks =
+      Array.init n_chunks (fun i ->
+          (i, Array.sub arr (i * chunk_size) (min chunk_size (n - (i * chunk_size)))))
+    in
+    let streams = Array.make n_chunks rng in
+    for i = 0 to n_chunks - 1 do
+      streams.(i) <- Po_prng.Splitmix.split rng
+    done;
+    let mapped =
+      parallel_map pool (fun (i, chunk) -> map streams.(i) chunk) chunks
+    in
+    Array.fold_left reduce init mapped
+  end

@@ -1,0 +1,83 @@
+(** A fixed pool of OCaml 5 domains with a deterministic parallel map.
+
+    The pool owns [domains - 1] worker domains (the caller participates
+    in every parallel operation, so [domains] is the total parallelism).
+    Workers block on a mutex/condition work queue between operations;
+    creating a pool is cheap enough to do once per process but too
+    expensive to do per sweep point, so callers are expected to create
+    one pool and reuse it.
+
+    {b Determinism contract.}  All combinators preserve input order:
+    element [i] of the result always comes from element [i] of the
+    input, whatever domain computed it and in whatever order chunks were
+    scheduled.  For a pure [f], [parallel_map pool f arr] returns the
+    same array as [Array.map f arr] for {e any} pool size — a pool of 1
+    domain degenerates to exactly the serial code path.  Randomised work
+    goes through {!map_reduce}, which derives one independent PRNG
+    stream per {e chunk} (not per domain) by splitting the caller's
+    generator in chunk-index order; since the chunk layout depends only
+    on [chunk_size] and the input length, never on [domains], the result
+    is bit-for-bit reproducible across worker counts.
+
+    Operations are not re-entrant: do not call a pool combinator from
+    inside a function being mapped by the same pool (a worker waiting on
+    its own queue can deadlock).  The experiment layer only ever
+    parallelises one level of each sweep. *)
+
+type t
+(** A handle to a pool of worker domains. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]: the hardware parallelism the
+    runtime suggests, i.e. the sensible default for [--jobs]. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] workers (default
+    {!default_domains}).  [domains <= 1] creates a pool with no workers
+    whose combinators run serially in the caller. *)
+
+val domains : t -> int
+(** Total parallelism of the pool (workers + the calling domain). *)
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join them.  Idempotent.  Submitting
+    work to a pool after [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f arr] is [Array.map f arr] evaluated across the
+    pool's domains.  Order-preserving (see the determinism contract).
+    If any application of [f] raises, the exception with the smallest
+    chunk index is re-raised in the caller (with its backtrace) after
+    all in-flight work drains; remaining chunks are abandoned. *)
+
+val maybe_map : t option -> ('a -> 'b) -> 'a array -> 'b array
+(** [maybe_map pool f arr] is {!parallel_map} through [pool] when one is
+    given and [Array.map f arr] otherwise — the idiom for threading an
+    optional [?pool] argument through sweep code. *)
+
+val parallel_init : t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init pool n f] is [Array.init n f] evaluated across the
+    pool's domains, with the same ordering and exception guarantees as
+    {!parallel_map}. *)
+
+val map_reduce :
+  t ->
+  ?chunk_size:int ->
+  rng:Po_prng.Splitmix.t ->
+  map:(Po_prng.Splitmix.t -> 'a array -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** [map_reduce pool ~rng ~map ~reduce ~init arr] slices [arr] into
+    chunks of [chunk_size] (default 16) consecutive elements, gives
+    chunk [i] the [i]-th stream split off [rng] (advancing [rng] once
+    per chunk), evaluates [map stream chunk] across the pool, and folds
+    the chunk results with [reduce] in chunk-index order.  Because the
+    chunk layout and stream assignment depend only on [chunk_size] and
+    [Array.length arr], the result is identical for any [domains],
+    including 1.  [chunk_size] must be positive. *)

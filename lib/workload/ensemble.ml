@@ -7,7 +7,25 @@ type phi_setting = Coupled_to_beta | Independent
    strictly positive as the model requires. *)
 let positive_unit rng = 1. -. Splitmix.float rng
 
-let paper_ensemble ?(n = 1000) ?(phi = Coupled_to_beta) ~seed () =
+(* Draw the whole attribute column in id order.  Each attribute owns its
+   stream, so drawing a column at once yields exactly the values the
+   per-CP interleaved loop would: stream draws depend only on their own
+   stream's position, and CP [i]'s attribute is always that stream's
+   [i]-th value.  Columns are materialised before CP construction so the
+   construction step can run on a pool without touching any RNG. *)
+let column n rng draw =
+  let a = Array.make n 0. in
+  for i = 0 to n - 1 do
+    a.(i) <- draw rng
+  done;
+  a
+
+let build ?pool n make =
+  match pool with
+  | None -> Array.init n make
+  | Some pool -> Po_par.Pool.parallel_init pool n make
+
+let paper_ensemble ?(n = 1000) ?(phi = Coupled_to_beta) ?pool ~seed () =
   if n <= 0 then invalid_arg "Ensemble.paper_ensemble: n <= 0";
   let root = Splitmix.of_int seed in
   let alpha_rng = Splitmix.split root in
@@ -15,22 +33,27 @@ let paper_ensemble ?(n = 1000) ?(phi = Coupled_to_beta) ~seed () =
   let beta_rng = Splitmix.split root in
   let v_rng = Splitmix.split root in
   let phi_rng = Splitmix.split root in
-  Array.init n (fun id ->
-      let alpha = positive_unit alpha_rng in
-      let theta_hat = positive_unit theta_rng in
-      let beta = Splitmix.uniform beta_rng ~lo:0. ~hi:10. in
-      let v = Splitmix.float v_rng in
-      let phi_value =
-        match phi with
-        | Coupled_to_beta -> Splitmix.uniform phi_rng ~lo:0. ~hi:beta
-        | Independent -> Dist.nested_uniform phi_rng ~hi:10.
-      in
-      Cp.make ~id ~alpha ~theta_hat
-        ~demand:(Demand.exponential ~beta)
-        ~v ~phi:phi_value ())
+  let alphas = column n alpha_rng positive_unit in
+  let thetas = column n theta_rng positive_unit in
+  let betas = column n beta_rng (Splitmix.uniform ~lo:0. ~hi:10.) in
+  let vs = column n v_rng Splitmix.float in
+  let phis =
+    match phi with
+    | Coupled_to_beta ->
+        let a = Array.make n 0. in
+        for id = 0 to n - 1 do
+          a.(id) <- Splitmix.uniform phi_rng ~lo:0. ~hi:betas.(id)
+        done;
+        a
+    | Independent -> column n phi_rng (Dist.nested_uniform ~hi:10.)
+  in
+  build ?pool n (fun id ->
+      Cp.make ~id ~alpha:alphas.(id) ~theta_hat:thetas.(id)
+        ~demand:(Demand.exponential ~beta:betas.(id))
+        ~v:vs.(id) ~phi:phis.(id) ())
 
 let heavy_tailed_ensemble ?(n = 1000) ?(zipf_exponent = 1.0)
-    ?(pareto_shape = 1.5) ~seed () =
+    ?(pareto_shape = 1.5) ?pool ~seed () =
   if n <= 0 then invalid_arg "Ensemble.heavy_tailed_ensemble: n <= 0";
   let root = Splitmix.of_int (seed lxor 0x5eed) in
   let rank_rng = Splitmix.split root in
@@ -40,21 +63,29 @@ let heavy_tailed_ensemble ?(n = 1000) ?(zipf_exponent = 1.0)
   let phi_rng = Splitmix.split root in
   let ranks = Array.init n (fun i -> i + 1) in
   Dist.shuffle rank_rng ranks;
-  Array.init n (fun id ->
+  let thetas =
+    column n theta_rng (fun rng ->
+        Float.min 20. (Dist.pareto rng ~shape:pareto_shape ~scale:0.2))
+  in
+  let betas =
+    column n beta_rng (fun rng ->
+        Float.min 10. (Dist.lognormal rng ~mu:0.5 ~sigma:1.0))
+  in
+  let vs = column n v_rng Splitmix.float in
+  let phis =
+    let a = Array.make n 0. in
+    for id = 0 to n - 1 do
+      a.(id) <- Splitmix.uniform phi_rng ~lo:0. ~hi:betas.(id)
+    done;
+    a
+  in
+  build ?pool n (fun id ->
       (* Zipf popularity over a shuffled rank (so id order is not rank
          order), normalised into (0, 1]. *)
       let alpha = 1. /. (float_of_int ranks.(id) ** zipf_exponent) in
-      let theta_hat =
-        Float.min 20. (Dist.pareto theta_rng ~shape:pareto_shape ~scale:0.2)
-      in
-      let beta =
-        Float.min 10. (Dist.lognormal beta_rng ~mu:0.5 ~sigma:1.0)
-      in
-      let v = Splitmix.float v_rng in
-      let phi_value = Splitmix.uniform phi_rng ~lo:0. ~hi:beta in
-      Cp.make ~id ~alpha ~theta_hat
-        ~demand:(Demand.exponential ~beta)
-        ~v ~phi:phi_value ())
+      Cp.make ~id ~alpha ~theta_hat:thetas.(id)
+        ~demand:(Demand.exponential ~beta:betas.(id))
+        ~v:vs.(id) ~phi:phis.(id) ())
 
 let saturation_nu cps =
   Array.fold_left (fun acc cp -> acc +. Cp.lambda_hat_per_capita cp) 0. cps

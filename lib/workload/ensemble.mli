@@ -8,20 +8,24 @@
     [E sum alpha_i theta_hat_i = n/4] per capita (250 for n = 1000).
 
     All draws are deterministic in the seed; each attribute uses its own
-    split stream, so changing [n] only extends the population. *)
+    split stream, so changing [n] only extends the population.  The
+    attribute columns are always drawn serially; [?pool] only spreads CP
+    {e construction} across domains, so the population is bit-identical
+    with or without a pool, whatever its size. *)
 
 type phi_setting =
   | Coupled_to_beta  (** main text: [phi_i ~ U[0, beta_i]] *)
   | Independent  (** appendix: [phi_i ~ U[0, U[0, 10]]] *)
 
 val paper_ensemble :
-  ?n:int -> ?phi:phi_setting -> seed:int -> unit -> Po_model.Cp.t array
+  ?n:int -> ?phi:phi_setting -> ?pool:Po_par.Pool.t -> seed:int -> unit ->
+  Po_model.Cp.t array
 (** The paper's random population; [n] defaults to 1000, [phi] to
     [Coupled_to_beta]. *)
 
 val heavy_tailed_ensemble :
-  ?n:int -> ?zipf_exponent:float -> ?pareto_shape:float -> seed:int -> unit ->
-  Po_model.Cp.t array
+  ?n:int -> ?zipf_exponent:float -> ?pareto_shape:float ->
+  ?pool:Po_par.Pool.t -> seed:int -> unit -> Po_model.Cp.t array
 (** A robustness-extension population: popularity follows a Zipf law over
     ranks, unconstrained throughput a Pareto law (capped), [beta]
     log-normal — a more Internet-like skew than the paper's uniform

@@ -1,0 +1,222 @@
+(* The domain pool: ordering, determinism across worker counts,
+   exception propagation, and the chunked map_reduce contract. *)
+
+module Pool = Po_par.Pool
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+let float_array = Alcotest.(array (float 0.))
+(* zero tolerance: the determinism contract is bit-for-bit *)
+
+(* ------------------------------------------------------------------ *)
+(* parallel_map / parallel_init                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_matches_serial () =
+  let input = Array.init 1000 (fun i -> float_of_int (i - 500)) in
+  let f x = (x *. x) +. sin x in
+  let expected = Array.map f input in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          Alcotest.check float_array
+            (Printf.sprintf "%d domains" domains)
+            expected
+            (Pool.parallel_map pool f input)))
+    [ 1; 2; 8 ]
+
+let test_map_uneven_work () =
+  (* Element cost varies by two orders of magnitude: chunks finish out
+     of order, results must not. *)
+  let input = Array.init 64 (fun i -> i) in
+  let f i =
+    let iters = if i mod 7 = 0 then 200_000 else 1_000 in
+    let acc = ref 0. in
+    for k = 1 to iters do
+      acc := !acc +. (1. /. float_of_int k)
+    done;
+    (float_of_int i, !acc)
+  in
+  let expected = Array.map f input in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let got = Pool.parallel_map pool f input in
+      Alcotest.check float_array "first components"
+        (Array.map fst expected) (Array.map fst got);
+      Alcotest.check float_array "second components"
+        (Array.map snd expected) (Array.map snd got))
+
+let test_init_matches_serial () =
+  let f i = float_of_int (i * i) -. 3. in
+  let expected = Array.init 257 f in
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.check float_array "init 257" expected
+        (Pool.parallel_init pool 257 f))
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||]
+        (Pool.parallel_map pool (fun x -> x + 1) [||]);
+      Alcotest.(check (array int)) "singleton" [| 43 |]
+        (Pool.parallel_map pool (fun x -> x + 1) [| 42 |]);
+      Alcotest.(check (array int)) "init 0" [||]
+        (Pool.parallel_init pool 0 (fun i -> i)))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      (try
+         ignore
+           (Pool.parallel_map pool
+              (fun i -> if i = 57 then raise (Boom i) else i)
+              (Array.init 200 Fun.id));
+         Alcotest.fail "expected Boom to propagate"
+       with Boom i -> Alcotest.(check int) "payload survives" 57 i);
+      (* The pool stays usable after a failed operation. *)
+      Alcotest.(check (array int)) "pool alive after failure"
+        [| 0; 2; 4 |]
+        (Pool.parallel_map pool (fun x -> 2 * x) [| 0; 1; 2 |]))
+
+let test_shutdown_rejects_work () =
+  let pool = Pool.create ~domains:4 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.parallel_map pool (fun x -> x) (Array.init 100 Fun.id)))
+
+(* ------------------------------------------------------------------ *)
+(* map_reduce                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_reduce_order () =
+  (* Identity map, list-append reduce: chunk results must come back in
+     chunk-index order whatever computed them. *)
+  let input = Array.init 103 Fun.id in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let rng = Po_prng.Splitmix.of_int 1 in
+      let got =
+        Pool.map_reduce pool ~chunk_size:10 ~rng
+          ~map:(fun _rng chunk -> Array.to_list chunk)
+          ~reduce:(fun acc chunk -> acc @ chunk)
+          ~init:[] input
+      in
+      Alcotest.(check (list int)) "concatenation preserves order"
+        (Array.to_list input) got)
+
+let test_map_reduce_deterministic () =
+  (* Randomised chunk work: same seed => same result for any pool size,
+     because streams attach to chunks, not domains. *)
+  let input = Array.init 230 Fun.id in
+  let run domains =
+    Pool.with_pool ~domains (fun pool ->
+        let rng = Po_prng.Splitmix.of_int 7 in
+        Pool.map_reduce pool ~rng
+          ~map:(fun rng chunk ->
+            Array.fold_left
+              (fun acc i ->
+                acc +. (float_of_int i *. Po_prng.Splitmix.float rng))
+              0. chunk)
+          ~reduce:( +. ) ~init:0. input)
+  in
+  let serial = run 1 in
+  Alcotest.(check (float 0.)) "2 domains" serial (run 2);
+  Alcotest.(check (float 0.)) "8 domains" serial (run 8)
+
+let test_map_reduce_empty () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let rng = Po_prng.Splitmix.of_int 3 in
+      Alcotest.(check int) "empty input folds to init" 99
+        (Pool.map_reduce pool ~rng
+           ~map:(fun _ _ -> Alcotest.fail "map must not run")
+           ~reduce:(fun _ _ -> Alcotest.fail "reduce must not run")
+           ~init:99 [||]))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: figures are identical for any jobs value               *)
+(* ------------------------------------------------------------------ *)
+
+let series_of_figure (figure : Po_experiments.Common.figure) =
+  List.concat_map
+    (fun (panel, series) ->
+      List.map
+        (fun s ->
+          ( panel ^ "/" ^ Po_report.Series.label s,
+            (Po_report.Series.xs s, Po_report.Series.ys s) ))
+        series)
+    figure.Po_experiments.Common.panels
+
+let check_figure_jobs_invariant generate =
+  let at jobs =
+    series_of_figure
+      (generate
+         ~params:{ Po_experiments.Common.quick_params with jobs }
+         ())
+  in
+  let reference = at 1 in
+  List.iter
+    (fun jobs ->
+      let got = at jobs in
+      Alcotest.(check int)
+        (Printf.sprintf "series count (jobs=%d)" jobs)
+        (List.length reference) (List.length got);
+      List.iter2
+        (fun (name, (xs, ys)) (name', (xs', ys')) ->
+          Alcotest.(check string) "series name" name name';
+          Alcotest.check float_array (name ^ " xs") xs xs';
+          Alcotest.check float_array (name ^ " ys") ys ys')
+        reference got)
+    [ 2; 8 ]
+
+let slow_test_fig4_jobs_invariant () =
+  check_figure_jobs_invariant (fun ~params () ->
+      Po_experiments.Fig04.generate ~params ())
+
+let slow_test_fig7_jobs_invariant () =
+  check_figure_jobs_invariant (fun ~params () ->
+      Po_experiments.Fig07.generate ~params ())
+
+let slow_test_welfare_jobs_invariant () =
+  check_figure_jobs_invariant (fun ~params () ->
+      Po_experiments.Welfare_fig.generate ~params ())
+
+let test_ensemble_jobs_invariant () =
+  let serial = Po_workload.Ensemble.paper_ensemble ~n:400 ~seed:11 () in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let parallel =
+        Po_workload.Ensemble.paper_ensemble ~n:400 ~pool ~seed:11 ()
+      in
+      Alcotest.(check int) "size" (Array.length serial)
+        (Array.length parallel);
+      Array.iteri
+        (fun i (cp : Po_model.Cp.t) ->
+          let cp' = parallel.(i) in
+          if
+            cp.Po_model.Cp.alpha <> cp'.Po_model.Cp.alpha
+            || cp.Po_model.Cp.theta_hat <> cp'.Po_model.Cp.theta_hat
+            || cp.Po_model.Cp.v <> cp'.Po_model.Cp.v
+            || cp.Po_model.Cp.phi <> cp'.Po_model.Cp.phi
+          then Alcotest.failf "CP %d differs across pool sizes" i)
+        serial)
+
+let () =
+  Alcotest.run "po_par"
+    [ ( "parallel_map",
+        [ quick "matches Array.map at 1/2/8 domains" test_map_matches_serial;
+          quick "uneven work keeps order" test_map_uneven_work;
+          quick "parallel_init" test_init_matches_serial;
+          quick "empty and singleton" test_empty_and_singleton;
+          quick "exception propagation" test_exception_propagation;
+          quick "shutdown" test_shutdown_rejects_work ] );
+      ( "map_reduce",
+        [ quick "merge order" test_map_reduce_order;
+          quick "deterministic across domains" test_map_reduce_deterministic;
+          quick "empty input" test_map_reduce_empty ] );
+      ( "determinism",
+        [ quick "ensemble identical with/without pool"
+            test_ensemble_jobs_invariant;
+          slow "fig4 identical at jobs 1/2/8" slow_test_fig4_jobs_invariant;
+          slow "fig7 identical at jobs 1/2/8" slow_test_fig7_jobs_invariant;
+          slow "welfare identical at jobs 1/2/8"
+            slow_test_welfare_jobs_invariant ] ) ]
