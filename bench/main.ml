@@ -163,7 +163,7 @@ let run_microbenchmarks () =
       in
       rows := (name, ns) :: !rows)
     analyzed;
-  let rows = List.sort compare !rows in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
   List.iter
     (fun (name, ns) ->
       Printf.printf "  %-40s %12.0f ns/run  (%.3f ms)\n" name ns (ns /. 1e6))

@@ -1,0 +1,109 @@
+(* The polint driver — the repo's determinism & float-safety linter.
+
+   Walks the given source roots (default: lib bin bench test examples),
+   applies the rule catalogue R1-R5 (see DESIGN.md section 7 or
+   --list-rules) and prints one 'file:line:col [rule-id] message' line
+   per violation.  Exit codes: 0 clean, 1 violations, 2 configuration
+   error. *)
+
+open Cmdliner
+
+let paths_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"PATH"
+        ~doc:
+          "Files or directories to lint, relative to $(b,--root).  \
+           Defaults to the standard source roots (lib bin bench test \
+           examples).")
+
+let root_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:
+          "Repository root.  Paths are resolved and reported relative to \
+           it, and rule scoping (lib/ vs test/) is derived from it.")
+
+let allowlist_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "allowlist" ] ~docv:"FILE"
+        ~doc:
+          "Per-rule allowlist file.  Defaults to $(b,polint.allow) under \
+           the root when that file exists.")
+
+let rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"IDS"
+        ~doc:"Comma-separated rule ids to check (default: all of R1-R5).")
+
+let list_rules_arg =
+  Arg.(
+    value & flag
+    & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
+
+let parse_rules = function
+  | None -> Ok None
+  | Some csv ->
+      let toks =
+        List.filter
+          (fun s -> not (String.equal s ""))
+          (String.split_on_char ',' csv)
+      in
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | tok :: rest -> (
+            match Po_lint.Rule.of_string (String.trim tok) with
+            | Some r -> go (r :: acc) rest
+            | None -> Error (Printf.sprintf "unknown rule id %S" tok))
+      in
+      go [] toks
+
+let print_catalogue () =
+  List.iter
+    (fun (m : Po_lint.Rule.meta) ->
+      Printf.printf "%s  %s\n    %s\n" (Po_lint.Rule.to_string m.id) m.title
+        m.rationale)
+    Po_lint.Rule.catalogue
+
+let run paths root allowlist rules_csv list_rules =
+  if list_rules then begin
+    print_catalogue ();
+    0
+  end
+  else
+    match parse_rules rules_csv with
+    | Error msg ->
+        prerr_endline ("polint: " ^ msg);
+        2
+    | Ok rules -> (
+        match
+          Po_lint.Lint.run ~root ?allowlist_path:allowlist ?rules ~paths ()
+        with
+        | Error msg ->
+            prerr_endline ("polint: " ^ msg);
+            2
+        | Ok [] -> 0
+        | Ok diags ->
+            List.iter
+              (fun d -> print_endline (Po_lint.Diagnostic.to_string d))
+              diags;
+            Printf.eprintf "polint: %d violation%s\n" (List.length diags)
+              (if List.length diags = 1 then "" else "s");
+            1)
+
+let cmd =
+  let doc =
+    "static determinism & float-safety linter for the public-option tree"
+  in
+  Cmd.v
+    (Cmd.info "polint" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ paths_arg $ root_arg $ allowlist_arg $ rules_arg
+      $ list_rules_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -210,6 +210,45 @@ let ensemble_cmd =
        ~doc:"Draw a CP population and archive it as CSV")
     Term.(const run $ params_term $ heavy $ out)
 
+let lint_cmd =
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint (default: the standard source \
+             roots lib bin bench test examples).")
+  in
+  let allowlist =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "allowlist" ] ~docv:"FILE"
+          ~doc:
+            "Per-rule allowlist file (default: polint.allow when \
+             present).")
+  in
+  let run paths allowlist =
+    match Po_lint.Lint.run ?allowlist_path:allowlist ~paths () with
+    | Error msg ->
+        prerr_endline ("ponet lint: " ^ msg);
+        exit 2
+    | Ok [] -> ()
+    | Ok diags ->
+        List.iter
+          (fun d -> print_endline (Po_lint.Diagnostic.to_string d))
+          diags;
+        Printf.eprintf "ponet lint: %d violation%s\n" (List.length diags)
+          (if List.length diags = 1 then "" else "s");
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run polint, the determinism & float-safety linter, over the \
+          source tree")
+    Term.(const run $ paths $ allowlist)
+
 let simulate_cmd =
   let nu =
     Arg.(
@@ -250,4 +289,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; fig_cmd; claims_cmd; regimes_cmd; welfare_cmd;
-            ensemble_cmd; simulate_cmd ]))
+            ensemble_cmd; simulate_cmd; lint_cmd ]))

@@ -27,7 +27,7 @@ type outcome = {
 
 let class_solution ~nu_class cps =
   if nu_class < 0. then invalid_arg "Cp_game.class_solution: nu_class < 0";
-  if nu_class = 0. then
+  if Float.equal nu_class 0. then
     (* Zero capacity throttles everyone to zero, including the view an
        entrant would take of the class. *)
     let n = Array.length cps in
@@ -39,7 +39,7 @@ let class_solution ~nu_class cps =
 (* Water level an entrant perceives (Assumption 3): the class's current cap,
    0 when it has no capacity. *)
 let entrant_cap ~nu_class (sol : Equilibrium.solution) =
-  if nu_class = 0. then 0. else sol.Equilibrium.cap
+  if Float.equal nu_class 0. then 0. else sol.Equilibrium.cap
 
 let rho_at_cap (cp : Cp.t) cap =
   let theta = Float.min cp.Cp.theta_hat (Float.max cap 0.) in
@@ -51,7 +51,7 @@ let rho_at_cap (cp : Cp.t) cap =
    lure every CP simultaneously and destabilise the iteration — so the
    entrant anticipates its own solo equilibrium there instead. *)
 let estimate_rho (cp : Cp.t) ~nu_class ~occupied cap =
-  if nu_class = 0. then 0.
+  if Float.equal nu_class 0. then 0.
   else if occupied then rho_at_cap cp cap
   else (Equilibrium.solve ~nu:nu_class [| cp |]).Equilibrium.rho.(0)
 
@@ -177,7 +177,7 @@ let asynchronous_pass ?(hysteresis = 0.) ~nu ~strategy cps partition =
   (!current, !moved)
 
 let default_init ~strategy cps =
-  if Strategy.kappa strategy = 0. then
+  if Float.equal (Strategy.kappa strategy) 0. then
     Partition.all_ordinary (Array.length cps)
   else
     Partition.of_premium_pred cps (fun cp ->
@@ -185,7 +185,7 @@ let default_init ~strategy cps =
 
 (* Ex-post per-capita throughput a deviator obtains in a target class. *)
 let expost_rho ~nu_class members (cp : Cp.t) =
-  if nu_class = 0. then 0.
+  if Float.equal nu_class 0. then 0.
   else begin
     let extended = Array.append members [| cp |] in
     let sol = Equilibrium.solve ~nu:nu_class extended in
@@ -258,6 +258,9 @@ let solve ?init ?(max_iter = 200) ~nu ~strategy cps =
   in
   if Partition.size init <> Array.length cps then
     invalid_arg "Cp_game.solve: init partition size mismatch";
+  (* polint: allow R2 — audited: cycle-detection set over partition keys;
+     only mem/add are used, nothing is ever iterated, so Hashtbl order
+     cannot influence which partition the solver settles on. *)
   let seen = Hashtbl.create 64 in
   let finish ?(tolerance = 0.) partition ~converged ~iterations =
     { (outcome_of_partition ~nu ~strategy cps partition) with

@@ -17,7 +17,7 @@ let epsilon_of_curve phis = Po_num.Stats.max_downward_gap phis
 
 let epsilon ~strategy ~nus cps =
   let sorted = Array.copy nus in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   epsilon_of_curve (phi_curve ~strategy ~nus:sorted cps)
 
 let alignment_gap ~xs ~ys =

@@ -193,6 +193,9 @@ let solve ?(curve_points = 140) ?prices config cps =
 
 (* The surplus curve of a strategy is independent of the rival profile, so
    searches over a strategy menu cache one curve per strategy. *)
+(* polint: allow R2 — audited: the curve cache is keyed by
+   Strategy.to_string and only ever read back through find_opt/add; it is
+   never iterated, so Hashtbl order cannot reach any result. *)
 let cached_solve ~curve_points ~nu_sat ~cache config cps =
   let curves =
     Array.map
@@ -256,6 +259,8 @@ let market_share_nash ?(rounds = 10) ?strategies ?(curve_points = 90) config
   in
   let n = Array.length config.isps in
   let nu_sat = Float.max (unconstrained_nu cps) 1e-9 in
+  (* polint: allow R2 — audited: per-search curve cache, find_opt/add
+     only (see cached_solve); never iterated. *)
   let cache = Hashtbl.create 16 in
   let solve_cached cfg = cached_solve ~curve_points ~nu_sat ~cache cfg cps in
   let current = ref config in
@@ -334,6 +339,8 @@ let theorem6_audit ?strategies ?epsilon_nus ~i config cps =
           ()
   in
   let nu_sat = Float.max (unconstrained_nu cps) 1e-9 in
+  (* polint: allow R2 — audited: per-audit curve cache, find_opt/add only
+     (see cached_solve); never iterated. *)
   let cache = Hashtbl.create 16 in
   let evaluated =
     Array.map

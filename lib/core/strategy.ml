@@ -10,8 +10,8 @@ let kappa t = t.kappa
 let c t = t.c
 
 let public_option = { kappa = 0.; c = 0. }
-let is_public_option t = t.kappa = 0. && t.c = 0.
-let is_neutral t = t.kappa = 0. || t.c = 0.
+let is_public_option t = Float.equal t.kappa 0. && Float.equal t.c 0.
+let is_neutral t = Float.equal t.kappa 0. || Float.equal t.c 0.
 
 let equal a b = a.kappa = b.kappa && a.c = b.c
 

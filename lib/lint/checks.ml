@@ -1,0 +1,166 @@
+(* AST-driven rule checks (R1-R4).  R5 is a filesystem property and lives
+   in [Lint].  The traversal is a plain [Ast_iterator] over the 5.1
+   Parsetree: purely syntactic, no typing — which is exactly the point of
+   the catalogue: every rule is stated so that a violation is evident from
+   the source text alone. *)
+
+open Parsetree
+
+let line_col (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+(* ---------------- R1: float evidence ---------------- *)
+
+let float_operator = function
+  | "+." | "-." | "*." | "/." | "**" | "~-." | "~+." -> true
+  | _ -> false
+
+let float_constant_ident = function
+  | "nan" | "infinity" | "neg_infinity" | "epsilon_float" | "max_float"
+  | "min_float" ->
+      true
+  | _ -> false
+
+let float_function_ident = function
+  | "sqrt" | "exp" | "log" | "log10" | "floor" | "ceil" | "abs_float"
+  | "float_of_int" | "float_of_string" ->
+      true
+  | _ -> false
+
+let last_component lid =
+  match List.rev (Longident.flatten lid) with
+  | last :: _ -> last
+  | [] -> ""
+
+let floatish (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint
+      ( _,
+        { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []);
+          _ } ) ->
+      true
+  | Pexp_ident { txt; _ } -> float_constant_ident (last_component txt)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      let f = last_component txt in
+      float_operator f || float_function_ident f
+  | _ -> false
+
+(* ---------------- the iterator ---------------- *)
+
+let polymorphic_compare lid =
+  match Longident.flatten lid with
+  | [ "compare" ] | [ "Stdlib"; "compare" ] | [ "Pervasives"; "compare" ] ->
+      true
+  | _ -> false
+
+let ambient_random = function
+  | "self_init" | "bits" | "int" | "full_int" | "int32" | "int64"
+  | "nativeint" | "float" | "bool" ->
+      true
+  | _ -> false
+
+let direct_print = function
+  | "print_string" | "print_endline" | "print_newline" | "print_char"
+  | "print_int" | "print_float" | "print_bytes" | "prerr_string"
+  | "prerr_endline" | "prerr_newline" ->
+      true
+  | _ -> false
+
+let rec wildcard_pattern (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> wildcard_pattern p
+  | Ppat_or (a, b) -> wildcard_pattern a || wildcard_pattern b
+  | _ -> false
+
+let run ~file ~rules structure =
+  let diags = ref [] in
+  let add loc rule message =
+    if List.exists (Rule.equal rule) rules then begin
+      let line, col = line_col loc in
+      diags :=
+        Diagnostic.v ~file ~line ~col ~rule:(Rule.to_string rule) ~message
+        :: !diags
+    end
+  in
+  let check_ident loc lid =
+    if polymorphic_compare lid then
+      add loc Rule.R1
+        "polymorphic compare is NaN-unsafe and boxes its operands; use \
+         Float.compare / Int.compare / String.compare or a type-specific \
+         comparator"
+    else
+      match Longident.flatten lid with
+      | [ "Random"; fn ] when ambient_random fn ->
+          add loc Rule.R2
+            (Printf.sprintf
+               "Random.%s draws from ambient global PRNG state; use \
+                Po_prng.Splitmix (or Random.State) with an explicit seed"
+               fn)
+      | [ "Sys"; "time" ] ->
+          add loc Rule.R2
+            "Sys.time reads the process clock; results must be a function \
+             of --seed only"
+      | [ "Unix"; (("gettimeofday" | "time") as fn) ] ->
+          add loc Rule.R2
+            (Printf.sprintf
+               "Unix.%s reads the wall clock; results must be a function \
+                of --seed only"
+               fn)
+      | [ "Hashtbl"; (("iter" | "fold") as fn) ] ->
+          add loc Rule.R2
+            (Printf.sprintf
+               "Hashtbl.%s visits bindings in unspecified order; if the \
+                result provably cannot depend on that order, suppress \
+                with a justified 'polint: allow R2' comment"
+               fn)
+      | [ "Printf"; (("printf" | "eprintf") as fn) ] ->
+          add loc Rule.R4
+            (Printf.sprintf
+               "Printf.%s writes to the console from library code; build \
+                output through po_report instead"
+               fn)
+      | [ "Format"; (("printf" | "eprintf") as fn) ] ->
+          add loc Rule.R4
+            (Printf.sprintf
+               "Format.%s writes to the console from library code; build \
+                output through po_report instead"
+               fn)
+      | [ fn ] when direct_print fn ->
+          add loc Rule.R4
+            (Printf.sprintf
+               "%s writes to the console from library code; build output \
+                through po_report instead"
+               fn)
+      | _ -> ()
+  in
+  let expr (it : Ast_iterator.iterator) (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident loc txt
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ },
+          [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] )
+      when (match op with "=" | "==" | "<>" | "!=" -> true | _ -> false)
+           && (floatish a || floatish b) ->
+        add e.pexp_loc Rule.R1
+          (Printf.sprintf
+             "polymorphic %s on a float operand; use Float.equal (negated \
+              for inequality) or Float.compare"
+             op)
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            if wildcard_pattern c.pc_lhs then
+              add c.pc_lhs.ppat_loc Rule.R3
+                "wildcard handler swallows every exception (including \
+                 Out_of_memory and Stack_overflow); match the specific \
+                 exceptions this expression can raise")
+          cases
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let iterator = { Ast_iterator.default_iterator with expr } in
+  iterator.structure iterator structure;
+  !diags

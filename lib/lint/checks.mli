@@ -1,0 +1,15 @@
+(** The AST-driven rule checks (R1-R4).
+
+    Purely syntactic: a violation must be evident from the parse tree
+    alone (float literals/annotations for R1, module paths for R2/R4,
+    wildcard handler patterns for R3).  R5 is a filesystem property and is
+    checked by {!Lint}. *)
+
+val run :
+  file:string ->
+  rules:Rule.id list ->
+  Parsetree.structure ->
+  Diagnostic.t list
+(** [run ~file ~rules ast] returns the raw findings for the rules listed
+    in [rules] (already scoped to [file] by the caller), in no particular
+    order and before suppression filtering. *)

@@ -1,0 +1,23 @@
+(** A single lint finding, rendered as [file:line:col [rule-id] message].
+
+    [rule] is a string rather than a {!Rule.id} so the reporting layer can
+    also carry meta findings that have no catalogue entry: ["parse"] for a
+    file that does not parse, ["suppress"] for a malformed
+    [polint: allow] comment. *)
+
+type t = {
+  file : string;  (** path relative to the repository root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports columns *)
+  rule : string;  (** "R1".."R5", "parse" or "suppress" *)
+  message : string;
+}
+
+val v :
+  file:string -> line:int -> col:int -> rule:string -> message:string -> t
+
+val compare : t -> t -> int
+(** Orders by file, then line, column, rule id and message — the stable
+    report order. *)
+
+val to_string : t -> string

@@ -1,0 +1,145 @@
+(* Orchestration: walk the tree, parse each implementation with the
+   compiler's own front end, run the checks, apply suppressions and the
+   allowlist, and report stable-sorted diagnostics. *)
+
+let default_paths = [ "lib"; "bin"; "bench"; "test"; "examples" ]
+
+let normalize file =
+  if String.starts_with ~prefix:"./" file then
+    String.sub file 2 (String.length file - 2)
+  else file
+
+(* [Parse.implementation] resets the lexer's comment store, so reading
+   [Lexer.comments] right after parsing yields exactly this file's
+   comments.  Linting is sequential; the global store is never shared. *)
+let parse_structure ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  let ast = Parse.implementation lexbuf in
+  (ast, Lexer.comments ())
+
+let lint_source ~file ?(has_mli = true) ?(rules = Rule.all)
+    ?(allowlist = Suppress.empty_allowlist) source =
+  let file = normalize file in
+  let rules =
+    List.filter
+      (fun r ->
+        Rule.applies_to r ~file
+        && not (Suppress.allows allowlist ~rule:r ~file))
+      rules
+  in
+  match parse_structure ~file source with
+  | exception _ ->
+      [ Diagnostic.v ~file ~line:1 ~col:0 ~rule:"parse"
+          ~message:
+            "file does not parse with the OCaml 5.1 grammar; polint \
+             cannot check it" ]
+  | ast, comments ->
+      let suppressions, malformed = Suppress.of_comments comments in
+      let ast_rules =
+        List.filter (fun r -> not (Rule.equal r Rule.R5)) rules
+      in
+      let found = Checks.run ~file ~rules:ast_rules ast in
+      let found =
+        if List.exists (Rule.equal Rule.R5) rules && not has_mli then
+          Diagnostic.v ~file ~line:1 ~col:0 ~rule:"R5"
+            ~message:
+              (Printf.sprintf
+                 "missing interface %si: every lib/**/*.ml must pin its \
+                  contract in an .mli"
+                 file)
+          :: found
+        else found
+      in
+      let kept =
+        List.filter
+          (fun (d : Diagnostic.t) ->
+            match Rule.of_string d.Diagnostic.rule with
+            | Some rule ->
+                not
+                  (Suppress.active suppressions ~rule ~line:d.Diagnostic.line)
+            | None -> true)
+          found
+      in
+      let suppression_errors =
+        List.map
+          (fun (line, col, message) ->
+            Diagnostic.v ~file ~line ~col ~rule:"suppress" ~message)
+          malformed
+      in
+      List.sort Diagnostic.compare (suppression_errors @ kept)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let lint_file ?(root = ".") ?rules ?allowlist file =
+  let file = normalize file in
+  let path = Filename.concat root file in
+  let has_mli = Sys.file_exists (path ^ "i") in
+  lint_source ~file ~has_mli ?rules ?allowlist (read_file path)
+
+(* Deterministic walk: readdir output is sorted, and _build/_opam/.git
+   style directories are skipped so linting the checkout and linting the
+   dune sandbox copy agree. *)
+let skip_entry entry =
+  String.length entry = 0
+  || Char.equal entry.[0] '.'
+  || String.equal entry "_build"
+  || String.equal entry "_opam"
+
+let collect_ml_files ~root paths =
+  let rec walk rel acc =
+    let path = Filename.concat root rel in
+    if Sys.is_directory path then begin
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          if skip_entry entry then acc else walk (rel ^ "/" ^ entry) acc)
+        acc entries
+    end
+    else if Filename.check_suffix rel ".ml" then rel :: acc
+    else acc
+  in
+  let files =
+    List.fold_left
+      (fun acc p -> walk (normalize p) acc)
+      []
+      (List.sort_uniq String.compare paths)
+  in
+  List.sort String.compare files
+
+let lint_tree ?(root = ".") ?rules ?allowlist paths =
+  let files = collect_ml_files ~root paths in
+  let diags =
+    List.concat_map (fun file -> lint_file ~root ?rules ?allowlist file) files
+  in
+  List.sort_uniq Diagnostic.compare diags
+
+let run ?(root = ".") ?allowlist_path ?rules ?paths () =
+  let allowlist =
+    match allowlist_path with
+    | Some path -> Suppress.load_allowlist path
+    | None ->
+        let default = Filename.concat root "polint.allow" in
+        if Sys.file_exists default then Suppress.load_allowlist default
+        else Ok Suppress.empty_allowlist
+  in
+  match allowlist with
+  | Error msg -> Error msg
+  | Ok allowlist ->
+      let paths =
+        match paths with
+        | Some (_ :: _ as p) -> p
+        | Some [] | None ->
+            List.filter
+              (fun p -> Sys.file_exists (Filename.concat root p))
+              default_paths
+      in
+      let missing =
+        List.filter
+          (fun p -> not (Sys.file_exists (Filename.concat root p)))
+          paths
+      in
+      (match missing with
+      | [] -> Ok (lint_tree ~root ?rules ~allowlist paths)
+      | p :: _ -> Error (Printf.sprintf "no such file or directory: %s" p))

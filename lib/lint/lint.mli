@@ -1,0 +1,58 @@
+(** po_lint orchestration: parse, check, suppress, report.
+
+    The library never prints and never exits; drivers ([bin/polint], the
+    [ponet lint] subcommand, [test/test_lint]) decide how to render the
+    returned diagnostics and which exit code to use. *)
+
+val default_paths : string list
+(** [lib; bin; bench; test; examples] — the standard source roots. *)
+
+val lint_source :
+  file:string ->
+  ?has_mli:bool ->
+  ?rules:Rule.id list ->
+  ?allowlist:Suppress.allowlist ->
+  string ->
+  Diagnostic.t list
+(** [lint_source ~file src] lints implementation text [src] presented as
+    repo-relative path [file] (which determines rule scoping, see
+    {!Rule.applies_to}).  [has_mli] (default [true]) tells the R5 check
+    whether a matching interface exists — callers linting real files pass
+    the filesystem truth, fixtures pass what the test needs.  Diagnostics
+    come back sorted by {!Diagnostic.compare}. *)
+
+val lint_file :
+  ?root:string ->
+  ?rules:Rule.id list ->
+  ?allowlist:Suppress.allowlist ->
+  string ->
+  Diagnostic.t list
+(** [lint_file ~root file] reads [root/file] ([root] defaults to ["."])
+    and lints it as [file]; R5 consults [Sys.file_exists (file ^ "i")]. *)
+
+val collect_ml_files : root:string -> string list -> string list
+(** Recursively collect [.ml] files under the given repo-relative files
+    or directories, sorted, skipping [_build], [_opam] and dot
+    directories. *)
+
+val lint_tree :
+  ?root:string ->
+  ?rules:Rule.id list ->
+  ?allowlist:Suppress.allowlist ->
+  string list ->
+  Diagnostic.t list
+(** Lint every [.ml] under the given paths; the union of per-file
+    diagnostics, stable-sorted and deduplicated. *)
+
+val run :
+  ?root:string ->
+  ?allowlist_path:string ->
+  ?rules:Rule.id list ->
+  ?paths:string list ->
+  unit ->
+  (Diagnostic.t list, string) result
+(** Driver entry point: loads the allowlist ([allowlist_path], defaulting
+    to [root/polint.allow] when that file exists), defaults [paths] to
+    the existing members of {!default_paths}, and lints.  [Error] carries
+    a configuration problem (unreadable allowlist, unknown path) as
+    opposed to lint findings. *)

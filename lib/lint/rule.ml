@@ -1,0 +1,69 @@
+type id = R1 | R2 | R3 | R4 | R5
+
+let all = [ R1; R2; R3; R4; R5 ]
+
+let to_string = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let of_string = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+let equal (a : id) (b : id) = a = b
+
+type meta = { id : id; title : string; rationale : string }
+
+let catalogue =
+  [ { id = R1; title = "no polymorphic compare/equality on floats";
+      rationale =
+        "Polymorphic compare is NaN-unsafe (it treats nan inconsistently \
+         with (=)), boxes its operands on hot quantile and simplex paths, \
+         and silently changes meaning when a type gains a custom order.  \
+         Use Float.compare / Float.equal or another monomorphic \
+         comparator." };
+    { id = R2; title = "no nondeterminism sources outside test/";
+      rationale =
+        "Every figure must be bit-reproducible from --seed for any --jobs \
+         (DESIGN.md section 6).  Ambient PRNG state (Random.self_init, \
+         Random.int), wall-clock reads (Sys.time, Unix.gettimeofday) and \
+         Hashtbl iteration order all break that contract.  Draw from \
+         Po_prng.Splitmix with an explicit seed; use Hashtbl only as a \
+         find_opt/add cache whose iteration order never escapes." };
+    { id = R3; title = "no wildcard exception swallowing";
+      rationale =
+        "try ... with _ -> hides Out_of_memory, Stack_overflow and logic \
+         bugs as silent data corruption.  Match the specific exceptions \
+         the expression can raise." };
+    { id = R4; title = "no direct console output inside lib/";
+      rationale =
+        "All human-facing output is built through po_report (tables, \
+         series, CSV, ASCII plots) so figures stay machine-checkable and \
+         redirectable; a printf inside the libraries interleaves with the \
+         report stream." };
+    { id = R5; title = "every lib/**/*.ml has a matching .mli";
+      rationale =
+        "Interfaces are the unit of review for numeric code: an .mli pins \
+         which helpers are part of the contract and keeps internal state \
+         (caches, pools) private." } ]
+
+let find id = List.find (fun m -> equal m.id id) catalogue
+
+let under ~dir file =
+  let prefix = dir ^ "/" in
+  String.length file > String.length prefix
+  && String.equal (String.sub file 0 (String.length prefix)) prefix
+
+let applies_to id ~file =
+  match id with
+  | R1 | R3 -> true
+  | R2 -> not (under ~dir:"test" file)
+  | R4 -> under ~dir:"lib" file && not (under ~dir:"lib/report" file)
+  | R5 -> under ~dir:"lib" file

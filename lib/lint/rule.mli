@@ -1,0 +1,27 @@
+(** The polint rule catalogue.
+
+    Rule identifiers are stable and documented in DESIGN.md; diagnostics,
+    inline suppressions and the allowlist file all refer to rules by these
+    ids. *)
+
+type id = R1 | R2 | R3 | R4 | R5
+
+val all : id list
+(** Every rule, in catalogue order. *)
+
+val to_string : id -> string
+val of_string : string -> id option
+val equal : id -> id -> bool
+
+type meta = { id : id; title : string; rationale : string }
+
+val catalogue : meta list
+(** One entry per rule: a one-line title and the full rationale. *)
+
+val find : id -> meta
+
+val applies_to : id -> file:string -> bool
+(** Whether [id] is in scope for [file], a '/'-separated path relative to
+    the repository root.  R1/R3 apply everywhere; R2 everywhere outside
+    [test/]; R4 under [lib/] except [lib/report/] (the output layer); R5
+    under [lib/] only. *)

@@ -1,0 +1,162 @@
+(* Inline suppression comments and the per-rule allowlist file.
+
+   An inline suppression is an ordinary comment whose trimmed body starts
+   with the marker "polint:", e.g.
+
+     [* polint: allow R2 -- cache is only read back through find_opt *]
+
+   (brackets stand for the usual comment delimiters).  It silences the
+   listed rules on the comment's own line(s) and on the line that follows,
+   so it can sit either at the end of the offending line or just above
+   it.  A justification after the rule ids is mandatory: suppressions are
+   the audit trail for every exception to the catalogue. *)
+
+type entry = { rules : Rule.id list; first_line : int; last_line : int }
+type t = entry list
+
+let empty = []
+
+(* Whitespace/comma tokenizer shared by comment bodies and allowlist
+   lines. *)
+let tokens s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | ' ' | '\t' | '\n' | '\r' | ',' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !out
+
+(* Pure punctuation tokens that may separate the rule ids from the
+   justification: "-", "--", ":", an em or en dash. *)
+let is_separator tok =
+  match tok with
+  | "-" | "--" | ":" | "\xe2\x80\x94" | "\xe2\x80\x93" -> true
+  | _ -> false
+
+let marker = "polint:"
+
+type parsed =
+  | Not_polint
+  | Allow of Rule.id list
+  | Malformed of string
+
+let parse_comment body =
+  let trimmed = String.trim body in
+  if not (String.starts_with ~prefix:marker trimmed) then Not_polint
+  else
+    let rest =
+      String.sub trimmed (String.length marker)
+        (String.length trimmed - String.length marker)
+    in
+    match tokens rest with
+    | "allow" :: args -> (
+        let rec take_rules acc = function
+          | tok :: more as remaining -> (
+              match Rule.of_string tok with
+              | Some r -> take_rules (r :: acc) more
+              | None -> (List.rev acc, remaining))
+          | [] -> (List.rev acc, [])
+        in
+        let rules, reason = take_rules [] args in
+        let reason = List.filter (fun t -> not (is_separator t)) reason in
+        match (rules, reason) with
+        | [], _ ->
+            Malformed
+              "suppression lists no valid rule id; expected 'polint: allow \
+               <RULE-ID>... <justification>'"
+        | _, [] ->
+            Malformed
+              "suppression must carry a justification after the rule ids"
+        | rules, _ -> Allow rules)
+    | _ ->
+        Malformed
+          "unknown polint directive; the only one is 'polint: allow \
+           <RULE-ID>... <justification>'"
+
+let of_comments comments =
+  List.fold_left
+    (fun (sup, errs) (body, (loc : Location.t)) ->
+      let line = loc.Location.loc_start.Lexing.pos_lnum in
+      match parse_comment body with
+      | Not_polint -> (sup, errs)
+      | Allow rules ->
+          ( { rules; first_line = line;
+              last_line = loc.Location.loc_end.Lexing.pos_lnum + 1 }
+            :: sup,
+            errs )
+      | Malformed msg ->
+          let col =
+            loc.Location.loc_start.Lexing.pos_cnum
+            - loc.Location.loc_start.Lexing.pos_bol
+          in
+          (sup, (line, col, msg) :: errs))
+    ([], []) comments
+
+let active t ~rule ~line =
+  List.exists
+    (fun e ->
+      e.first_line <= line && line <= e.last_line
+      && List.exists (Rule.equal rule) e.rules)
+    t
+
+(* ---------------- allowlist file ---------------- *)
+
+type allow_entry = { rule : Rule.id; path : string; reason : string }
+type allowlist = allow_entry list
+
+let empty_allowlist = []
+
+let allowlist_of_string ~src text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match tokens line with
+        | [] -> go (lineno + 1) acc rest
+        | rule_tok :: path :: (_ :: _ as reason) -> (
+            match Rule.of_string rule_tok with
+            | Some rule ->
+                go (lineno + 1)
+                  ({ rule; path; reason = String.concat " " reason } :: acc)
+                  rest
+            | None ->
+                Error
+                  (Printf.sprintf "%s:%d: unknown rule id %S" src lineno
+                     rule_tok))
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "%s:%d: expected '<RULE-ID> <path> <justification>'" src
+                 lineno))
+  in
+  go 1 [] lines
+
+let load_allowlist path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> allowlist_of_string ~src:path text
+  | exception Sys_error msg -> Error msg
+
+let allows allowlist ~rule ~file =
+  List.exists
+    (fun e ->
+      Rule.equal e.rule rule
+      && (String.equal e.path file
+         || (String.length e.path > 0
+            && Char.equal e.path.[String.length e.path - 1] '/'
+            && String.starts_with ~prefix:e.path file)))
+    allowlist

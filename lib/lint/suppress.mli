@@ -1,0 +1,40 @@
+(** Inline suppression comments and the per-rule allowlist file.
+
+    Inline form: a comment whose trimmed body starts with the marker
+    ["polint:"] followed by [allow], one or more rule ids and a mandatory
+    justification.  It silences the listed rules on the comment's own
+    line(s) and on the next line, so it works both trailing the offending
+    expression and on the line above it.
+
+    File form ([polint.allow] at the repository root): one entry per
+    line, [<RULE-ID> <path> <justification>], where [path] is relative to
+    the repository root and a trailing ['/'] exempts a whole subtree.
+    ['#'] starts a comment. *)
+
+type t
+(** Suppressions collected from one file's comments. *)
+
+val empty : t
+
+val of_comments : (string * Location.t) list -> t * (int * int * string) list
+(** [of_comments comments] parses the comments the compiler's lexer
+    collected while parsing a file (body text without delimiters, plus
+    location).  Returns the suppression table and a list of
+    [(line, col, message)] for malformed polint directives — those are
+    reported as ["suppress"] diagnostics and cannot be silenced. *)
+
+val active : t -> rule:Rule.id -> line:int -> bool
+(** Whether a suppression for [rule] covers [line]. *)
+
+type allowlist
+
+val empty_allowlist : allowlist
+
+val allowlist_of_string :
+  src:string -> string -> (allowlist, string) result
+(** Parse allowlist text; [src] names the file in error messages. *)
+
+val load_allowlist : string -> (allowlist, string) result
+
+val allows : allowlist -> rule:Rule.id -> file:string -> bool
+(** Whether the allowlist exempts [file] (repo-relative) from [rule]. *)

@@ -3,7 +3,7 @@ let effective_weights ~alpha weights =
   Array.map
     (fun w ->
       if w <= 0. then invalid_arg "Alphafair.effective_weights: weight <= 0";
-      if alpha = Float.infinity then 1. else w ** (1. /. alpha))
+      if Float.equal alpha Float.infinity then 1. else w ** (1. /. alpha))
     weights
 
 let solve ?weights ~alpha ~nu cps =
@@ -16,7 +16,7 @@ let solve ?weights ~alpha ~nu cps =
 
 let mechanism ?weights ~alpha () =
   let name =
-    if alpha = Float.infinity then "alpha-fair(max-min)"
+    if Float.equal alpha Float.infinity then "alpha-fair(max-min)"
     else Printf.sprintf "alpha-fair(%g)" alpha
   in
   { Alloc.name; solve = (fun ~nu cps -> solve ?weights ~alpha ~nu cps) }

@@ -14,7 +14,7 @@ let eval_throughput t ~theta_hat theta =
 let exponential ~beta =
   if beta < 0. then invalid_arg "Demand.exponential: beta < 0";
   let f omega =
-    if omega <= 0. then if beta = 0. then 1. else 0.
+    if omega <= 0. then if Float.equal beta 0. then 1. else 0.
     else
       let exponent = -.beta *. ((1. /. omega) -. 1.) in
       (* exp of a large negative argument is both negligible (< 1e-26) and

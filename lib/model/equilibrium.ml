@@ -21,7 +21,7 @@ let check_weights cps weights =
     weights
 
 let theta_at_cap (cp : Cp.t) w cap =
-  if cap = Float.infinity then cp.Cp.theta_hat
+  if Float.equal cap Float.infinity then cp.Cp.theta_hat
   else Float.min cp.Cp.theta_hat (w *. cap)
 
 let aggregate_at_cap ?weights ~cap cps =

@@ -7,7 +7,8 @@ type solution = {
 }
 
 let quality_of_delay ~delay_ref delay =
-  if delay = Float.infinity then 0. else 1. /. (1. +. (delay /. delay_ref))
+  if Float.equal delay Float.infinity then 0.
+  else 1. /. (1. +. (delay /. delay_ref))
 
 let offered_load cps q =
   Array.fold_left

@@ -46,7 +46,7 @@ let solve ?order ~nu cps =
         else begin
           let th = throttle cp !remaining in
           theta.(i) <- th;
-          if !remaining > 0. && !marginal_cap = Float.infinity then
+          if !remaining > 0. && Float.equal !marginal_cap Float.infinity then
             marginal_cap := th;
           remaining := 0.
         end)

@@ -34,7 +34,7 @@ let cp_utilities ~c cps sol =
 
 let utilization ~nu sol =
   if nu < 0. then invalid_arg "Surplus.utilization: nu < 0";
-  if nu = 0. then 1.
+  if Float.equal nu 0. then 1.
   else Float.min 1. (Float.max 0. (sol.Equilibrium.per_capita_rate /. nu))
 
 let aggregate_rate cps sol =

@@ -11,7 +11,7 @@ let logspace a b n =
   Array.map exp (linspace (log a) (log b) n)
 
 let arange start stop step =
-  if step = 0. then invalid_arg "Grid.arange: step = 0";
+  if Float.equal step 0. then invalid_arg "Grid.arange: step = 0";
   let n =
     let raw = (stop -. start) /. step in
     if raw <= 0. then 0 else int_of_float (ceil (raw -. 1e-9))

@@ -107,7 +107,7 @@ let nelder_mead ?(tol = 1e-9) ?(max_iter = 2000) ~f ~init ?(step = 0.1) () =
   let values = Array.map f simplex in
   let order () =
     let idx = Array.init (n + 1) (fun i -> i) in
-    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    Array.sort (fun a b -> Float.compare values.(a) values.(b)) idx;
     idx
   in
   let centroid exclude =

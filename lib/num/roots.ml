@@ -17,8 +17,9 @@ let bisect ?(tol = default_tol) ?(max_iter = default_max_iter) ~f ~lo ~hi () =
     invalid_arg "Roots.bisect: non-finite bracket";
   let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
   let flo = f lo and fhi = f hi in
-  if flo = 0. then { root = lo; value = 0.; iterations = 0; converged = true }
-  else if fhi = 0. then
+  if Float.equal flo 0. then
+    { root = lo; value = 0.; iterations = 0; converged = true }
+  else if Float.equal fhi 0. then
     { root = hi; value = 0.; iterations = 0; converged = true }
   else if same_sign flo fhi then
     raise
@@ -29,7 +30,7 @@ let bisect ?(tol = default_tol) ?(max_iter = default_max_iter) ~f ~lo ~hi () =
     let rec loop lo flo hi n =
       let mid = 0.5 *. (lo +. hi) in
       let fmid = f mid in
-      if fmid = 0. || hi -. lo <= tol then
+      if Float.equal fmid 0. || hi -. lo <= tol then
         { root = mid; value = fmid; iterations = n; converged = true }
       else if n >= max_iter then
         { root = mid; value = fmid; iterations = n; converged = false }
@@ -41,8 +42,9 @@ let bisect ?(tol = default_tol) ?(max_iter = default_max_iter) ~f ~lo ~hi () =
 let brent ?(tol = default_tol) ?(max_iter = default_max_iter) ~f ~lo ~hi () =
   let a = ref lo and b = ref hi in
   let fa = ref (f !a) and fb = ref (f !b) in
-  if !fa = 0. then { root = !a; value = 0.; iterations = 0; converged = true }
-  else if !fb = 0. then
+  if Float.equal !fa 0. then
+    { root = !a; value = 0.; iterations = 0; converged = true }
+  else if Float.equal !fb 0. then
     { root = !b; value = 0.; iterations = 0; converged = true }
   else if same_sign !fa !fb then
     raise
@@ -81,7 +83,7 @@ let brent ?(tol = default_tol) ?(max_iter = default_max_iter) ~f ~lo ~hi () =
       end;
       let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
       let xm = 0.5 *. (!c -. !b) in
-      if Float.abs xm <= tol1 || !fb = 0. then
+      if Float.abs xm <= tol1 || Float.equal !fb 0. then
         result := Some { root = !b; value = !fb; iterations = !n; converged = true }
       else begin
         if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin

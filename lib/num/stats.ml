@@ -26,7 +26,9 @@ let quantile xs q =
   if n = 0 then invalid_arg "Stats.quantile: empty array";
   if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare totally orders nan (first), so quantiles of data
+     containing nan cannot depend on the input order. *)
+  Array.sort Float.compare sorted;
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (floor pos) in
   let hi = Stdlib.min (lo + 1) (n - 1) in
@@ -61,7 +63,8 @@ let pearson xs ys =
     sxx := !sxx +. (dx *. dx);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+  if Float.equal !sxx 0. || Float.equal !syy 0. then 0.
+  else !sxy /. sqrt (!sxx *. !syy)
 
 let weighted_mean ~values ~weights =
   let n = Array.length values in

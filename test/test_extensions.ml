@@ -271,7 +271,7 @@ let test_mm1_collapse_with_inelastic_demand () =
   let sol = Po_model.Mm1.solve ~nu:2. cps in
   Alcotest.(check bool) "collapse flagged" true sol.Po_model.Mm1.collapse;
   Alcotest.(check bool) "infinite delay" true
-    (sol.Po_model.Mm1.delay = Float.infinity)
+    (Float.equal sol.Po_model.Mm1.delay Float.infinity)
 
 let test_mm1_quality_bounds () =
   let cps = three_cp () in

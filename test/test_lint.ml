@@ -1,0 +1,283 @@
+(* Fixture-driven tests for po_lint: embedded snippets that must trigger
+   each rule R1-R5, clean snippets that must not, suppression-comment and
+   allowlist handling, and a whole-tree run asserting the repository
+   itself lints clean. *)
+
+open Po_lint
+
+let rules_found diags =
+  List.sort_uniq String.compare
+    (List.map (fun d -> d.Diagnostic.rule) diags)
+
+let check_rules msg expected diags =
+  Alcotest.(check (list string)) msg expected (rules_found diags)
+
+let lint ?(file = "lib/fixture/snippet.ml") ?has_mli src =
+  Lint.lint_source ~file ?has_mli src
+
+(* ------------------------------------------------------------------ *)
+(* R1: polymorphic compare / float equality                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_r1_bare_compare () =
+  check_rules "Array.sort compare flagged" [ "R1" ]
+    (lint "let f xs = Array.sort compare xs");
+  check_rules "Stdlib.compare flagged" [ "R1" ]
+    (lint "let c = Stdlib.compare");
+  check_rules "List.sort_uniq compare flagged" [ "R1" ]
+    (lint "let f xs = List.sort_uniq compare xs")
+
+let test_r1_float_equality () =
+  check_rules "= on float literal" [ "R1" ] (lint "let f x = x = 1.0");
+  check_rules "<> on float literal" [ "R1" ] (lint "let f x = x <> 0.5");
+  check_rules "= on float annotation" [ "R1" ]
+    (lint "let f x y = (x : float) = y");
+  check_rules "= on infinity" [ "R1" ]
+    (lint "let f x = x = Float.infinity");
+  check_rules "= on nan is flagged" [ "R1" ] (lint "let f x = x = nan");
+  check_rules "= on float arithmetic" [ "R1" ]
+    (lint "let f x y = x = y +. 1.")
+
+let test_r1_clean () =
+  check_rules "Float.compare is the fix" []
+    (lint "let f xs = Array.sort Float.compare xs");
+  check_rules "Float.equal is the fix" []
+    (lint "let f x = Float.equal x 1.0");
+  check_rules "int equality untouched" [] (lint "let f n = n = 1");
+  check_rules "string equality untouched" []
+    (lint {|let f s = s = "x"|});
+  check_rules "module-qualified compare untouched" []
+    (lint "let f a b = String.compare a b");
+  check_rules "defining a compare is not using one" []
+    (lint "let compare a b = Float.compare a b")
+
+(* ------------------------------------------------------------------ *)
+(* R2: nondeterminism sources                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_r2_sources () =
+  check_rules "Random.self_init" [ "R2" ]
+    (lint "let () = Random.self_init ()");
+  check_rules "Random.int (ambient state)" [ "R2" ]
+    (lint "let f () = Random.int 10");
+  check_rules "Sys.time" [ "R2" ] (lint "let t () = Sys.time ()");
+  check_rules "Unix.gettimeofday" [ "R2" ]
+    (lint "let t () = Unix.gettimeofday ()");
+  check_rules "Hashtbl.iter" [ "R2" ]
+    (lint "let f h = Hashtbl.iter (fun _ v -> ignore v) h");
+  check_rules "Hashtbl.fold" [ "R2" ]
+    (lint "let dump h acc = Hashtbl.fold (fun _ v l -> v :: l) h acc")
+
+let test_r2_whitelisted_cache_ops () =
+  check_rules "find_opt/add caches are fine" []
+    (lint
+       "let memo h k f = match Hashtbl.find_opt h k with Some v -> v | \
+        None -> let v = f k in Hashtbl.add h k v; v");
+  check_rules "explicit Random.State is fine" []
+    (lint "let f st = Random.State.int st 10")
+
+let test_r2_exempt_under_test () =
+  check_rules "R2 does not apply under test/" []
+    (lint ~file:"test/fixture.ml" "let t () = Sys.time ()");
+  check_rules "R1 still applies under test/" [ "R1" ]
+    (lint ~file:"test/fixture.ml" "let f x = x = 1.0")
+
+(* ------------------------------------------------------------------ *)
+(* R3: exception swallowing                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_r3 () =
+  check_rules "with _ ->" [ "R3" ]
+    (lint "let f g = try g () with _ -> 0");
+  check_rules "with _ -> () " [ "R3" ]
+    (lint "let f g = try g () with _ -> ()");
+  check_rules "wildcard among specific handlers" [ "R3" ]
+    (lint "let f g = try g () with Not_found -> 1 | _ -> 0");
+  check_rules "specific handler is fine" []
+    (lint "let f g = try g () with Not_found -> 0")
+
+(* ------------------------------------------------------------------ *)
+(* R4: console output inside lib/                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_r4 () =
+  check_rules "Printf.printf in lib/" [ "R4" ]
+    (lint ~file:"lib/core/fixture.ml" {|let f () = Printf.printf "x"|});
+  check_rules "print_string in lib/" [ "R4" ]
+    (lint ~file:"lib/core/fixture.ml" {|let f () = print_string "x"|});
+  check_rules "Format.printf in lib/" [ "R4" ]
+    (lint ~file:"lib/core/fixture.ml" {|let f () = Format.printf "x"|});
+  check_rules "Printf.sprintf is pure, fine" []
+    (lint ~file:"lib/core/fixture.ml" {|let f () = Printf.sprintf "x"|});
+  check_rules "printing from bin/ is fine" []
+    (lint ~file:"bin/fixture.ml" {|let f () = print_string "x"|});
+  check_rules "lib/report is the output layer, exempt" []
+    (lint ~file:"lib/report/fixture.ml" {|let f () = print_string "x"|})
+
+(* ------------------------------------------------------------------ *)
+(* R5: missing .mli                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_r5 () =
+  check_rules "lib module without .mli" [ "R5" ]
+    (lint ~file:"lib/core/fixture.ml" ~has_mli:false "let x = 1");
+  check_rules "lib module with .mli" []
+    (lint ~file:"lib/core/fixture.ml" ~has_mli:true "let x = 1");
+  check_rules "bin module needs no .mli" []
+    (lint ~file:"bin/fixture.ml" ~has_mli:false "let x = 1")
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppression_same_line () =
+  check_rules "trailing allow comment silences" []
+    (lint
+       "let t () = Sys.time () (* polint: allow R2 -- fixture needs the \
+        clock *)")
+
+let test_suppression_line_above () =
+  check_rules "allow comment above silences" []
+    (lint
+       "(* polint: allow R2 -- fixture needs the clock *)\n\
+        let t () = Sys.time ()")
+
+let test_suppression_wrong_rule () =
+  check_rules "allow for another rule does not silence" [ "R2" ]
+    (lint
+       "let t () = Sys.time () (* polint: allow R1 -- wrong rule on \
+        purpose *)")
+
+let test_suppression_out_of_range () =
+  check_rules "allow two lines up does not silence" [ "R2" ]
+    (lint
+       "(* polint: allow R2 -- too far away *)\n\
+        let unrelated = 1\n\
+        let t () = Sys.time ()")
+
+let test_suppression_multiple_rules () =
+  check_rules "one comment may allow several rules" []
+    (lint ~file:"lib/core/fixture.ml"
+       "(* polint: allow R2, R4 -- fixture exercises both *)\n\
+        let t () = Printf.printf \"%f\" (Sys.time ())")
+
+let test_suppression_malformed () =
+  check_rules "missing justification is reported" [ "R2"; "suppress" ]
+    (lint "let t () = Sys.time () (* polint: allow R2 *)");
+  check_rules "missing rule id is reported" [ "R2"; "suppress" ]
+    (lint "let t () = Sys.time () (* polint: allow because reasons *)");
+  check_rules "unknown directive is reported" [ "suppress" ]
+    (lint "let x = 1 (* polint: ignore R2 *)")
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let allowlist_exn text =
+  match Suppress.allowlist_of_string ~src:"inline" text with
+  | Ok a -> a
+  | Error e -> Alcotest.fail e
+
+let test_allowlist_exact_file () =
+  let allowlist =
+    allowlist_exn "R2 lib/fixture/snippet.ml fixture is exempt\n"
+  in
+  check_rules "exact path exempts" []
+    (Lint.lint_source ~file:"lib/fixture/snippet.ml" ~allowlist
+       "let t () = Sys.time ()");
+  check_rules "other files stay covered" [ "R2" ]
+    (Lint.lint_source ~file:"lib/fixture/other.ml" ~allowlist
+       "let t () = Sys.time ()")
+
+let test_allowlist_subtree () =
+  let allowlist = allowlist_exn "R4 lib/fixture/ whole subtree exempt\n" in
+  check_rules "subtree prefix exempts" []
+    (Lint.lint_source ~file:"lib/fixture/deep/mod.ml" ~allowlist
+       {|let f () = print_string "x"|});
+  check_rules "exempts only the listed rule" [ "R2" ]
+    (Lint.lint_source ~file:"lib/fixture/deep/mod.ml" ~allowlist
+       "let t () = Sys.time ()")
+
+let test_allowlist_rejects_garbage () =
+  (match Suppress.allowlist_of_string ~src:"inline" "R9 foo.ml reason\n" with
+  | Ok _ -> Alcotest.fail "unknown rule id accepted"
+  | Error _ -> ());
+  match Suppress.allowlist_of_string ~src:"inline" "R2 foo.ml\n" with
+  | Ok _ -> Alcotest.fail "entry without justification accepted"
+  | Error _ -> ()
+
+let test_allowlist_comments_and_blanks () =
+  let allowlist =
+    allowlist_exn "# header\n\nR2 bench/x.ml reason text # trailing\n"
+  in
+  Alcotest.(check bool) "entry parsed" true
+    (Suppress.allows allowlist ~rule:Rule.R2 ~file:"bench/x.ml")
+
+(* ------------------------------------------------------------------ *)
+(* Parse failures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_error_reported () =
+  check_rules "unparsable file yields a parse diagnostic" [ "parse" ]
+    (lint "let let let")
+
+(* ------------------------------------------------------------------ *)
+(* Whole tree                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Tests run from _build/default/test; the checkout is the topmost
+   ancestor directory that carries a dune-project (the _build mirror has
+   one too, hence "topmost"). *)
+let repo_root () =
+  let rec climb dir best =
+    let best =
+      if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+      else best
+    in
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then best else climb parent best
+  in
+  climb (Sys.getcwd ()) None
+
+let test_repo_tree_clean () =
+  match repo_root () with
+  | None -> Alcotest.fail "no dune-project found above the test cwd"
+  | Some root -> (
+      match Lint.run ~root () with
+      | Error msg -> Alcotest.fail msg
+      | Ok diags ->
+          Alcotest.(check (list string))
+            "the repository lints clean" []
+            (List.map Diagnostic.to_string diags))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "po_lint"
+    [ ( "R1",
+        [ quick "bare compare" test_r1_bare_compare;
+          quick "float equality" test_r1_float_equality;
+          quick "clean snippets" test_r1_clean ] );
+      ( "R2",
+        [ quick "nondeterminism sources" test_r2_sources;
+          quick "whitelisted cache ops" test_r2_whitelisted_cache_ops;
+          quick "test/ exemption" test_r2_exempt_under_test ] );
+      ("R3", [ quick "wildcard handlers" test_r3 ]);
+      ("R4", [ quick "console output in lib/" test_r4 ]);
+      ("R5", [ quick "missing mli" test_r5 ]);
+      ( "suppressions",
+        [ quick "same line" test_suppression_same_line;
+          quick "line above" test_suppression_line_above;
+          quick "wrong rule" test_suppression_wrong_rule;
+          quick "out of range" test_suppression_out_of_range;
+          quick "multiple rules" test_suppression_multiple_rules;
+          quick "malformed" test_suppression_malformed ] );
+      ( "allowlist",
+        [ quick "exact file" test_allowlist_exact_file;
+          quick "subtree" test_allowlist_subtree;
+          quick "rejects garbage" test_allowlist_rejects_garbage;
+          quick "comments and blanks" test_allowlist_comments_and_blanks ]
+      );
+      ("parse", [ quick "syntax error" test_parse_error_reported ]);
+      ("tree", [ quick "repository lints clean" test_repo_tree_clean ]) ]

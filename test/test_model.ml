@@ -324,7 +324,7 @@ let test_maxmin_cap_semantics () =
   Alcotest.(check bool) "finite cap when congested" true
     (Float.is_finite (Maxmin.cap ~nu:1. cps));
   Alcotest.(check bool) "infinite cap when unconstrained" true
-    (Maxmin.cap ~nu:50. cps = Float.infinity)
+    (Float.equal (Maxmin.cap ~nu:50. cps) Float.infinity)
 
 let test_maxmin_rho_of_entrant () =
   let cps = [| Cp.google 0 |] in

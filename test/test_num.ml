@@ -297,6 +297,21 @@ let test_quantiles () =
   check_float "q1" 4. (Stats.quantile xs 1.);
   check_float "q25" 1.75 (Stats.quantile xs 0.25)
 
+(* Regression for the polint R1 fix: quantile sorts with Float.compare,
+   which totally orders nan (first), so quantiles of data containing nan
+   are a function of the multiset alone, not of the input order.  The
+   old polymorphic-compare sort gave order-dependent answers on nan. *)
+let test_quantile_nan_order_independent () =
+  let a = [| Float.nan; 3.; 1.; 2. |] in
+  let b = [| 3.; 2.; Float.nan; 1. |] in
+  let c = [| 1.; Float.nan; 2.; 3. |] in
+  (* nan sorts first: sorted = [nan; 1; 2; 3], median = (1 + 2) / 2. *)
+  check_float "median of shuffle a" 1.5 (Stats.median a);
+  check_float "median of shuffle b" 1.5 (Stats.median b);
+  check_float "median of shuffle c" 1.5 (Stats.median c);
+  check_float "q1 unaffected by leading nan" 3. (Stats.quantile a 1.);
+  check_float "nan-free data unchanged" 2.5 (Stats.median [| 4.; 1.; 3.; 2. |])
+
 let test_summarize () =
   let s = Stats.summarize [| 3.; 1.; 2. |] in
   Alcotest.(check int) "n" 3 s.Stats.n;
@@ -519,6 +534,8 @@ let () =
         [ quick "mean variance" test_mean_variance;
           quick "variance degenerate" test_variance_degenerate;
           quick "quantiles" test_quantiles;
+          quick "quantile nan order-independence"
+            test_quantile_nan_order_independent;
           quick "summarize" test_summarize;
           quick "pearson" test_pearson;
           quick "weighted mean" test_weighted_mean;

@@ -203,7 +203,7 @@ let test_shuffle_is_permutation () =
   let arr = Array.init 20 (fun i -> i) in
   Dist.shuffle rng arr;
   let sorted = Array.copy arr in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "same multiset" (Array.init 20 (fun i -> i)) sorted
 
 let test_shuffle_moves_something () =

@@ -150,7 +150,7 @@ let test_archetype_mix_jitters () =
   let cps = Scenario.archetype_mix ~google:5 ~netflix:0 ~skype:0 ~seed:2 () in
   let distinct =
     Array.to_list (Array.map (fun cp -> cp.Cp.theta_hat) cps)
-    |> List.sort_uniq compare |> List.length
+    |> List.sort_uniq Float.compare |> List.length
   in
   Alcotest.(check bool) "jitter makes CPs distinct" true (distinct > 1)
 
