@@ -64,6 +64,7 @@ let run_par_bench ~params () =
     "== Sweep speedup: serial vs %d domains (%d CPs, %d-point sweeps) ==\n"
     jobs params.Po_experiments.Common.n_cps
     params.Po_experiments.Common.sweep_points;
+  let speedups = ref [] in
   if jobs <= 1 then
     print_endline
       "  single recommended domain on this machine; parallel timings \
@@ -85,11 +86,16 @@ let run_par_bench ~params () =
               time_figure ~params:{ params with Po_experiments.Common.jobs }
                 entry
             in
+            let speedup =
+              if parallel > 0. then serial /. parallel else Float.nan
+            in
+            speedups := (id, serial, parallel, speedup) :: !speedups;
             Printf.printf "  %-8s %10.2f %10.2f %8.2fx\n" id serial parallel
-              (if parallel > 0. then serial /. parallel else Float.nan))
+              speedup)
       sweep_figure_ids
   end;
-  print_newline ()
+  print_newline ();
+  (jobs, List.rev !speedups)
 
 let run_claims ~params () =
   let checks = Po_experiments.Claims.all ~params () in
@@ -124,9 +130,15 @@ let kernels () =
   [ Test.make ~name:"equilibrium_solve_1000cp"
       (Staged.stage (fun () ->
            ignore (Po_model.Equilibrium.solve ~nu:120. cps1000)));
+    Test.make ~name:"equilibrium_solve_reference_1000cp"
+      (Staged.stage (fun () ->
+           ignore (Po_model.Equilibrium.solve_reference ~nu:120. cps1000)));
     Test.make ~name:"cp_game_solve_cold_1000cp"
       (Staged.stage (fun () ->
            ignore (Cp_game.solve ~nu:120. ~strategy cps1000)));
+    Test.make ~name:"cp_game_solve_reference_1000cp"
+      (Staged.stage (fun () ->
+           ignore (Cp_game.solve_reference ~nu:120. ~strategy cps1000)));
     Test.make ~name:"cp_game_solve_warm_1000cp"
       (Staged.stage (fun () ->
            ignore (Cp_game.solve ~init:warm ~nu:120. ~strategy cps1000)));
@@ -168,7 +180,54 @@ let run_microbenchmarks () =
     (fun (name, ns) ->
       Printf.printf "  %-40s %12.0f ns/run  (%.3f ms)\n" name ns (ns /. 1e6))
     rows;
-  print_newline ()
+  print_newline ();
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable benchmark output                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled JSON: kernel names are [a-z0-9_./] so no escaping is
+   needed, and floats print finitely via %.1f/%.4f ([NaN] speedups are
+   emitted as null). *)
+let json_float ?(decimals = 1) v =
+  if Float.is_finite v then Printf.sprintf "%.*f" decimals v else "null"
+
+let write_bench_json ~kernels ~jobs ~speedups =
+  if not (Sys.file_exists results_dir) then Unix.mkdir results_dir 0o755;
+  let path = Filename.concat results_dir "bench.json" in
+  let oc = open_out path in
+  let kernel_rows =
+    List.map
+      (fun (name, ns) ->
+        Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s}" name
+          (json_float ns))
+      kernels
+  in
+  let speedup_rows =
+    List.map
+      (fun (id, serial, parallel, speedup) ->
+        Printf.sprintf
+          "    {\"figure\": \"%s\", \"serial_s\": %s, \"parallel_s\": %s, \
+           \"speedup\": %s}"
+          id
+          (json_float ~decimals:4 serial)
+          (json_float ~decimals:4 parallel)
+          (json_float ~decimals:4 speedup))
+      speedups
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"po-bench-v1\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"kernels\": [\n%s\n  ],\n\
+    \  \"sweep_speedup\": [\n%s\n  ]\n\
+     }\n"
+    jobs
+    (String.concat ",\n" kernel_rows)
+    (String.concat ",\n" speedup_rows);
+  close_out oc;
+  Printf.printf "machine-readable benchmark results written to %s\n\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                        *)
@@ -196,7 +255,7 @@ let () =
       Po_experiments.Common.jobs = Po_par.Pool.default_domains () }
   in
   let ok = ref true in
-  if par_only then run_par_bench ~params ()
+  if par_only then ignore (run_par_bench ~params ())
   else begin
     if not bench_only then begin
       Printf.printf
@@ -208,8 +267,14 @@ let () =
       regenerate_figures ~params ();
       ok := run_claims ~params ()
     end;
-    if not figures_only then run_microbenchmarks ();
-    if not (bench_only || figures_only) then run_par_bench ~params ()
+    if not figures_only then begin
+      let kernels = run_microbenchmarks () in
+      let jobs, speedups =
+        if bench_only then (Po_par.Pool.default_domains (), [])
+        else run_par_bench ~params ()
+      in
+      write_bench_json ~kernels ~jobs ~speedups
+    end
   end;
   if not !ok then begin
     prerr_endline "claim audits FAILED";

@@ -25,15 +25,16 @@ type outcome = {
   concept : solution_concept;
 }
 
+let zero_class_solution n =
+  (* Zero capacity throttles everyone to zero, including the view an
+     entrant would take of the class. *)
+  { Equilibrium.theta = Array.make n 0.; demand = Array.make n 0.;
+    rho = Array.make n 0.; per_capita_rate = 0.; congested = n > 0;
+    cap = 0. }
+
 let class_solution ~nu_class cps =
   if nu_class < 0. then invalid_arg "Cp_game.class_solution: nu_class < 0";
-  if Float.equal nu_class 0. then
-    (* Zero capacity throttles everyone to zero, including the view an
-       entrant would take of the class. *)
-    let n = Array.length cps in
-    { Equilibrium.theta = Array.make n 0.; demand = Array.make n 0.;
-      rho = Array.make n 0.; per_capita_rate = 0.; congested = n > 0;
-      cap = 0. }
+  if Float.equal nu_class 0. then zero_class_solution (Array.length cps)
   else Equilibrium.solve ~nu:nu_class cps
 
 (* Water level an entrant perceives (Assumption 3): the class's current cap,
@@ -45,30 +46,153 @@ let rho_at_cap (cp : Cp.t) cap =
   let theta = Float.min cp.Cp.theta_hat (Float.max cap 0.) in
   Cp.rho cp ~theta
 
-(* Throughput-taking estimate (Assumption 3) of the per-user rate a CP
-   expects in a class whose current water level is [cap].  An {e empty}
-   class has no level to take — its cap is formally infinite, which would
-   lure every CP simultaneously and destabilise the iteration — so the
-   entrant anticipates its own solo equilibrium there instead. *)
-let estimate_rho (cp : Cp.t) ~nu_class ~occupied cap =
-  if Float.equal nu_class 0. then 0.
-  else if occupied then rho_at_cap cp cap
-  else (Equilibrium.solve ~nu:nu_class [| cp |]).Equilibrium.rho.(0)
-
 let class_capacities ~nu ~strategy =
   let kappa = Strategy.kappa strategy in
   ((1. -. kappa) *. nu, kappa *. nu)
 
-let outcome_of_partition ~nu ~strategy cps partition =
+(* ------------------------------------------------------------------ *)
+(* Solver engine                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One engine lives for the duration of one equilibrium search.  It owns
+
+   - the equilibrium kernel (the optimized {!Equilibrium.solve} or the
+     retained {!Equilibrium.solve_reference} for differential testing),
+   - a partition-keyed memo of class solutions — the phases of the
+     search revisit partitions (cycle iterates, the finishing
+     [outcome_of_partition], quiescent passes), and a class re-solve is
+     a pure function of the membership,
+   - a per-class solo-entrant memo: the rate an entrant anticipates in
+     an {e empty} class is its solo equilibrium, a pure function of
+     (CP, nu_class) re-requested for every CP every round,
+   - per-class warm-start brackets: when a single CP moves, the donor
+     class's water level can only rise and the recipient's only fall,
+     so the next re-solve starts from a one-sided interval around the
+     previous level.
+
+   All four are bit-transparent: caches replay pure results, and bracket
+   hints cannot change {!Equilibrium.solve}'s output (see equilibrium.mli),
+   so an engine with everything enabled matches the reference engine bit
+   for bit — test/test_perf_kernel.ml holds it to that. *)
+type engine = {
+  eq :
+    bracket:(float * float) option -> nu:float -> Cp.t array ->
+    Equilibrium.solution;
+  (* polint: allow R2 — audited: all three engine tables are pure memos
+     used through find_opt/replace only, never iterated, so Hashtbl order
+     cannot reach any result. *)
+  class_memo :
+    (string, Equilibrium.solution * Equilibrium.solution) Hashtbl.t option;
+  solo_o : (int, float) Hashtbl.t option;  (* CP id -> solo rho at nu_o *)
+  solo_p : (int, float) Hashtbl.t option;
+  mutable hint_o : (float * float) option;
+  mutable hint_p : (float * float) option;
+}
+
+let optimized_engine () =
+  { eq = (fun ~bracket ~nu cps -> Equilibrium.solve ?bracket ~nu cps);
+    class_memo = Some (Hashtbl.create 64);
+    solo_o = Some (Hashtbl.create 64);
+    solo_p = Some (Hashtbl.create 64);
+    hint_o = None; hint_p = None }
+
+let reference_engine () =
+  { eq = (fun ~bracket:_ ~nu cps -> Equilibrium.solve_reference ~nu cps);
+    class_memo = None; solo_o = None; solo_p = None;
+    hint_o = None; hint_p = None }
+
+let class_solution_eng eng ~premium ~nu_class cps =
+  if Float.equal nu_class 0. then zero_class_solution (Array.length cps)
+  else begin
+    let bracket = if premium then eng.hint_p else eng.hint_o in
+    if premium then eng.hint_p <- None else eng.hint_o <- None;
+    eng.eq ~bracket ~nu:nu_class cps
+  end
+
+(* Both class solutions at a partition, memoised on the membership key
+   (with a fixed population the key pins both member sets). *)
+let class_solutions eng ~nu_o ~nu_p cps partition =
+  let compute () =
+    let sol_o =
+      class_solution_eng eng ~premium:false ~nu_class:nu_o
+        (Partition.ordinary_members partition cps)
+    in
+    let sol_p =
+      class_solution_eng eng ~premium:true ~nu_class:nu_p
+        (Partition.premium_members partition cps)
+    in
+    (sol_o, sol_p)
+  in
+  match eng.class_memo with
+  | None -> compute ()
+  | Some memo -> (
+      let key = Partition.key partition in
+      match Hashtbl.find_opt memo key with
+      | Some pair -> pair
+      | None ->
+          let pair = compute () in
+          Hashtbl.replace memo key pair;
+          pair)
+
+(* Record that CP [i] just moved: the class it left can only see its
+   water level rise, the class it joined can only see it fall.  [cap_o]
+   and [cap_p] are the entrant caps {e before} the move; non-finite or
+   zero levels (empty, uncongested or capacity-less classes) carry no
+   information and leave the next solve cold. *)
+let note_move eng ~to_premium ~cap_o ~cap_p =
+  let one_sided ~rising cap =
+    if Float.is_finite cap && cap > 0. then
+      Some (if rising then (cap, Float.infinity) else (0., cap))
+    else None
+  in
+  if to_premium then begin
+    eng.hint_o <- one_sided ~rising:true cap_o;
+    eng.hint_p <- one_sided ~rising:false cap_p
+  end
+  else begin
+    eng.hint_o <- one_sided ~rising:false cap_o;
+    eng.hint_p <- one_sided ~rising:true cap_p
+  end
+
+(* Throughput-taking estimate (Assumption 3) of the per-user rate a CP
+   expects in a class whose current water level is [cap].  An {e empty}
+   class has no level to take — its cap is formally infinite, which would
+   lure every CP simultaneously and destabilise the iteration — so the
+   entrant anticipates its own solo equilibrium there instead.  Solo
+   equilibria depend only on (CP, nu_class); the engine memoises them by
+   CP id (ids are unique within a population by construction). *)
+let solo_rho eng ~premium ~nu_class (cp : Cp.t) =
+  let compute () =
+    (eng.eq ~bracket:None ~nu:nu_class [| cp |]).Equilibrium.rho.(0)
+  in
+  match if premium then eng.solo_p else eng.solo_o with
+  | None -> compute ()
+  | Some memo -> (
+      match Hashtbl.find_opt memo cp.Cp.id with
+      | Some rho -> rho
+      | None ->
+          let rho = compute () in
+          Hashtbl.replace memo cp.Cp.id rho;
+          rho)
+
+let estimate_rho_eng eng ~premium ~nu_class ~occupied cap (cp : Cp.t) =
+  if Float.equal nu_class 0. then 0.
+  else if occupied then rho_at_cap cp cap
+  else solo_rho eng ~premium ~nu_class cp
+
+let estimate_rho (cp : Cp.t) ~nu_class ~occupied cap =
+  estimate_rho_eng (reference_engine ()) ~premium:false ~nu_class ~occupied
+    cap cp
+
+let outcome_of_partition_eng eng ~nu ~strategy cps partition =
   if nu < 0. then invalid_arg "Cp_game.outcome_of_partition: nu < 0";
   let n = Array.length cps in
   if Partition.size partition <> n then
     invalid_arg "Cp_game.outcome_of_partition: partition size mismatch";
   let nu_o, nu_p = class_capacities ~nu ~strategy in
+  let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p cps partition in
   let ordinary = Partition.ordinary_members partition cps in
   let premium = Partition.premium_members partition cps in
-  let sol_o = class_solution ~nu_class:nu_o ordinary in
-  let sol_p = class_solution ~nu_class:nu_p premium in
   let theta = Array.make n 0. and rho = Array.make n 0. in
   let fill indices (sol : Equilibrium.solution) =
     Array.iteri
@@ -88,17 +212,15 @@ let outcome_of_partition ~nu ~strategy cps partition =
     phi; psi = Strategy.c strategy *. lambda_premium; converged = true;
     iterations = 0; concept = Competitive 0. }
 
+let outcome_of_partition ~nu ~strategy cps partition =
+  outcome_of_partition_eng (optimized_engine ()) ~nu ~strategy cps partition
+
 (* One simultaneous best-response round: every CP re-decides against the
    current water levels.  Returns the new membership vector. *)
-let simultaneous_round ~nu ~strategy cps partition =
+let simultaneous_round eng ~nu ~strategy cps partition =
   let nu_o, nu_p = class_capacities ~nu ~strategy in
   let c = Strategy.c strategy in
-  let sol_o =
-    class_solution ~nu_class:nu_o (Partition.ordinary_members partition cps)
-  in
-  let sol_p =
-    class_solution ~nu_class:nu_p (Partition.premium_members partition cps)
-  in
+  let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p cps partition in
   let cap_o = entrant_cap ~nu_class:nu_o sol_o in
   let cap_p = entrant_cap ~nu_class:nu_p sol_p in
   let occupied_o = Partition.ordinary_count partition > 0 in
@@ -107,11 +229,14 @@ let simultaneous_round ~nu ~strategy cps partition =
     (Array.map
        (fun (cp : Cp.t) ->
          let u_ordinary =
-           cp.Cp.v *. estimate_rho cp ~nu_class:nu_o ~occupied:occupied_o cap_o
+           cp.Cp.v
+           *. estimate_rho_eng eng ~premium:false ~nu_class:nu_o
+                ~occupied:occupied_o cap_o cp
          in
          let u_premium =
            (cp.Cp.v -. c)
-           *. estimate_rho cp ~nu_class:nu_p ~occupied:occupied_p cap_p
+           *. estimate_rho_eng eng ~premium:true ~nu_class:nu_p
+                ~occupied:occupied_p cap_p cp
          in
          u_premium > u_ordinary)
        cps)
@@ -119,31 +244,30 @@ let simultaneous_round ~nu ~strategy cps partition =
 let default_hysteresis = 1e-3
 
 (* Asynchronous pass: CPs re-decide one at a time in index order.  Water
-   levels are cached and recomputed only after a CP actually moves, so a
+   levels are cached and recomputed only after a CP actually moves — with
+   warm-start brackets recording which way each level can go — so a
    quiescent pass costs two class solves total.  [hysteresis] is a relative
    switching threshold: a CP moves only when the other class improves its
    utility by that margin — the finite-population analogue of the
    throughput-taking assumption, without which a marginal CP whose own
    membership shifts the water level past its indifference point would
    flip for ever.  Returns the partition and whether any CP moved. *)
-let asynchronous_pass ?(hysteresis = 0.) ~nu ~strategy cps partition =
+let asynchronous_pass ?(hysteresis = 0.) eng ~nu ~strategy cps partition =
   let nu_o, nu_p = class_capacities ~nu ~strategy in
   let c = Strategy.c strategy in
   let current = ref partition in
   let moved = ref false in
+  (* Occupancy is tracked incrementally: recounting the premium class for
+     every CP made each pass quadratic in the population and dominated the
+     whole solve at n = 1000. *)
+  let n_total = Partition.size partition in
+  let n_premium = ref (Partition.premium_count partition) in
   let caps = ref None in
   let current_caps () =
     match !caps with
     | Some pair -> pair
     | None ->
-        let sol_o =
-          class_solution ~nu_class:nu_o
-            (Partition.ordinary_members !current cps)
-        in
-        let sol_p =
-          class_solution ~nu_class:nu_p
-            (Partition.premium_members !current cps)
-        in
+        let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p cps !current in
         let pair =
           (entrant_cap ~nu_class:nu_o sol_o, entrant_cap ~nu_class:nu_p sol_p)
         in
@@ -153,14 +277,17 @@ let asynchronous_pass ?(hysteresis = 0.) ~nu ~strategy cps partition =
   Array.iteri
     (fun i (cp : Cp.t) ->
       let cap_o, cap_p = current_caps () in
-      let occupied_o = Partition.ordinary_count !current > 0 in
-      let occupied_p = Partition.premium_count !current > 0 in
+      let occupied_o = n_total - !n_premium > 0 in
+      let occupied_p = !n_premium > 0 in
       let u_ordinary =
-        cp.Cp.v *. estimate_rho cp ~nu_class:nu_o ~occupied:occupied_o cap_o
+        cp.Cp.v
+        *. estimate_rho_eng eng ~premium:false ~nu_class:nu_o
+             ~occupied:occupied_o cap_o cp
       in
       let u_premium =
         (cp.Cp.v -. c)
-        *. estimate_rho cp ~nu_class:nu_p ~occupied:occupied_p cap_p
+        *. estimate_rho_eng eng ~premium:true ~nu_class:nu_p
+             ~occupied:occupied_p cap_p cp
       in
       let in_premium = Partition.in_premium !current i in
       let margin u = Float.abs u *. hysteresis in
@@ -170,7 +297,9 @@ let asynchronous_pass ?(hysteresis = 0.) ~nu ~strategy cps partition =
       in
       if wants_premium <> in_premium then begin
         current := Partition.move !current i ~premium:wants_premium;
+        n_premium := !n_premium + (if wants_premium then 1 else -1);
         moved := true;
+        note_move eng ~to_premium:wants_premium ~cap_o ~cap_p;
         caps := None
       end)
     cps;
@@ -183,30 +312,51 @@ let default_init ~strategy cps =
     Partition.of_premium_pred cps (fun cp ->
         cp.Cp.v > Strategy.c strategy)
 
-(* Ex-post per-capita throughput a deviator obtains in a target class. *)
-let expost_rho ~nu_class members (cp : Cp.t) =
+(* Ex-post per-capita throughput a deviator obtains in a target class.
+   Joining can only push the target's water level down, so the target's
+   current cap (when finite) bounds the re-solve from above. *)
+let expost_rho_eng eng ~nu_class ~cap_hint members (cp : Cp.t) =
   if Float.equal nu_class 0. then 0.
   else begin
     let extended = Array.append members [| cp |] in
-    let sol = Equilibrium.solve ~nu:nu_class extended in
+    let bracket =
+      if Float.is_finite cap_hint && cap_hint > 0. then Some (0., cap_hint)
+      else None
+    in
+    let sol = eng.eq ~bracket ~nu:nu_class extended in
     sol.Equilibrium.rho.(Array.length members)
   end
 
-(* Actual per-capita throughput of CP [i] inside its own class. *)
-let own_rho partition cps (sol_o : Equilibrium.solution)
-    (sol_p : Equilibrium.solution) i =
-  let indices, sol =
-    if Partition.in_premium partition i then
-      (Partition.premium_indices partition, sol_p)
-    else (Partition.ordinary_indices partition, sol_o)
-  in
-  let pos = ref (-1) in
-  Array.iteri (fun p idx -> if idx = i then pos := p) indices;
-  assert (!pos >= 0);
-  ignore cps;
-  sol.Equilibrium.rho.(!pos)
+let expost_rho ~nu_class members (cp : Cp.t) =
+  expost_rho_eng (reference_engine ()) ~nu_class ~cap_hint:Float.nan members
+    cp
 
-let solve_nash ?init ?(max_rounds = 100) ~nu ~strategy cps =
+(* Position of every CP inside its class's member array — shared by the
+   Nash pass and audits, replacing the per-CP linear rediscovery that
+   made each pass quadratic. *)
+let class_positions partition =
+  let n = Partition.size partition in
+  let pos = Array.make n 0 in
+  let next_o = ref 0 and next_p = ref 0 in
+  for i = 0 to n - 1 do
+    if Partition.in_premium partition i then begin
+      pos.(i) <- !next_p;
+      incr next_p
+    end
+    else begin
+      pos.(i) <- !next_o;
+      incr next_o
+    end
+  done;
+  pos
+
+(* Actual per-capita throughput of CP [i] inside its own class. *)
+let own_rho partition positions (sol_o : Equilibrium.solution)
+    (sol_p : Equilibrium.solution) i =
+  let sol = if Partition.in_premium partition i then sol_p else sol_o in
+  sol.Equilibrium.rho.(positions.(i))
+
+let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy cps =
   if nu < 0. then invalid_arg "Cp_game.solve_nash: nu < 0";
   let init =
     match init with Some p -> p | None -> default_init ~strategy cps
@@ -216,42 +366,69 @@ let solve_nash ?init ?(max_rounds = 100) ~nu ~strategy cps =
   let pass partition =
     let current = ref partition in
     let moved = ref false in
+    (* Class membership, solutions and the index->position map change
+       only when a CP moves; between moves every deviation check reuses
+       them. *)
+    let state = ref None in
+    let current_state () =
+      match !state with
+      | Some s -> s
+      | None ->
+          let ordinary = Partition.ordinary_members !current cps in
+          let premium = Partition.premium_members !current cps in
+          let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p cps !current in
+          let s = (ordinary, premium, sol_o, sol_p, class_positions !current) in
+          state := Some s;
+          s
+    in
     Array.iteri
       (fun i (cp : Cp.t) ->
-        let ordinary = Partition.ordinary_members !current cps in
-        let premium = Partition.premium_members !current cps in
-        let sol_o = class_solution ~nu_class:nu_o ordinary in
-        let sol_p = class_solution ~nu_class:nu_p premium in
-        let rho_own = own_rho !current cps sol_o sol_p i in
+        let ordinary, premium, sol_o, sol_p, positions = current_state () in
+        let rho_own = own_rho !current positions sol_o sol_p i in
         let wants_premium =
           if Partition.in_premium !current i then
-            let rho_dev = expost_rho ~nu_class:nu_o ordinary cp in
+            let rho_dev =
+              expost_rho_eng eng ~nu_class:nu_o
+                ~cap_hint:(entrant_cap ~nu_class:nu_o sol_o)
+                ordinary cp
+            in
             (cp.Cp.v -. c) *. rho_own > cp.Cp.v *. rho_dev
           else
-            let rho_dev = expost_rho ~nu_class:nu_p premium cp in
+            let rho_dev =
+              expost_rho_eng eng ~nu_class:nu_p
+                ~cap_hint:(entrant_cap ~nu_class:nu_p sol_p)
+                premium cp
+            in
             (cp.Cp.v -. c) *. rho_dev > cp.Cp.v *. rho_own
         in
         if wants_premium <> Partition.in_premium !current i then begin
           current := Partition.move !current i ~premium:wants_premium;
-          moved := true
+          moved := true;
+          note_move eng ~to_premium:wants_premium
+            ~cap_o:(entrant_cap ~nu_class:nu_o sol_o)
+            ~cap_p:(entrant_cap ~nu_class:nu_p sol_p);
+          state := None
         end)
       cps;
     (!current, !moved)
   in
   let rec loop partition round =
     if round >= max_rounds then
-      { (outcome_of_partition ~nu ~strategy cps partition) with
+      { (outcome_of_partition_eng eng ~nu ~strategy cps partition) with
         converged = false; iterations = round; concept = Expost_nash }
     else
       let partition', moved = pass partition in
       if not moved then
-        { (outcome_of_partition ~nu ~strategy cps partition') with
+        { (outcome_of_partition_eng eng ~nu ~strategy cps partition') with
           converged = true; iterations = round + 1; concept = Expost_nash }
       else loop partition' (round + 1)
   in
   loop init 0
 
-let solve ?init ?(max_iter = 200) ~nu ~strategy cps =
+let solve_nash ?init ?max_rounds ~nu ~strategy cps =
+  solve_nash_eng (optimized_engine ()) ?init ?max_rounds ~nu ~strategy cps
+
+let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy cps =
   if nu < 0. then invalid_arg "Cp_game.solve: nu < 0";
   let init =
     match init with Some p -> p | None -> default_init ~strategy cps
@@ -263,7 +440,7 @@ let solve ?init ?(max_iter = 200) ~nu ~strategy cps =
      cannot influence which partition the solver settles on. *)
   let seen = Hashtbl.create 64 in
   let finish ?(tolerance = 0.) partition ~converged ~iterations =
-    { (outcome_of_partition ~nu ~strategy cps partition) with
+    { (outcome_of_partition_eng eng ~nu ~strategy cps partition) with
       converged; iterations; concept = Competitive tolerance }
   in
   (* Phase 3: tolerant asynchronous passes.  A quiescent pass at threshold
@@ -282,7 +459,7 @@ let solve ?init ?(max_iter = 200) ~nu ~strategy cps =
           m "tolerant phase exhausted at nu=%g %s; falling back to ex-post \
              Nash" nu
             (Strategy.to_string strategy));
-      let nash = solve_nash ~init:partition ~nu ~strategy cps in
+      let nash = solve_nash_eng eng ~init:partition ~nu ~strategy cps in
       { nash with
         iterations = rounds_used + passes + nash.iterations }
     end
@@ -291,7 +468,7 @@ let solve ?init ?(max_iter = 200) ~nu ~strategy cps =
         default_hysteresis *. (2. ** float_of_int (passes / 6))
       in
       let partition', moved =
-        asynchronous_pass ~hysteresis ~nu ~strategy cps partition
+        asynchronous_pass ~hysteresis eng ~nu ~strategy cps partition
       in
       if not moved then
         finish ~tolerance:hysteresis partition' ~converged:true
@@ -304,7 +481,7 @@ let solve ?init ?(max_iter = 200) ~nu ~strategy cps =
   let rec async partition rounds_used passes =
     if passes > 8 then tolerant partition (rounds_used + passes) 0
     else
-      let partition', moved = asynchronous_pass ~nu ~strategy cps partition in
+      let partition', moved = asynchronous_pass eng ~nu ~strategy cps partition in
       if not moved then
         finish partition' ~converged:true ~iterations:(rounds_used + passes + 1)
       else async partition' rounds_used (passes + 1)
@@ -335,7 +512,7 @@ let solve ?init ?(max_iter = 200) ~nu ~strategy cps =
       end
       else begin
         Hashtbl.add seen key ();
-        let partition' = simultaneous_round ~nu ~strategy cps partition in
+        let partition' = simultaneous_round eng ~nu ~strategy cps partition in
         if Partition.equal partition partition' then
           finish partition' ~converged:true ~iterations:(n + 1)
         else sync partition' (Some partition) (n + 1)
@@ -343,6 +520,19 @@ let solve ?init ?(max_iter = 200) ~nu ~strategy cps =
     end
   in
   sync init None 0
+
+let solve ?init ?max_iter ~nu ~strategy cps =
+  solve_eng (optimized_engine ()) ?init ?max_iter ~nu ~strategy cps
+
+let solve_reference ?init ?max_iter ~nu ~strategy cps =
+  solve_eng (reference_engine ()) ?init ?max_iter ~nu ~strategy cps
+
+let solve_nash_reference ?init ?max_rounds ~nu ~strategy cps =
+  solve_nash_eng (reference_engine ()) ?init ?max_rounds ~nu ~strategy cps
+
+(* ------------------------------------------------------------------ *)
+(* Equilibrium audits                                                 *)
+(* ------------------------------------------------------------------ *)
 
 let check_competitive ?(tol = 1e-9) ?(rel_tol = 0.) ~nu ~strategy cps
     partition =
@@ -358,36 +548,38 @@ let check_competitive ?(tol = 1e-9) ?(rel_tol = 0.) ~nu ~strategy cps
   let cap_p = entrant_cap ~nu_class:nu_p sol_p in
   let occupied_o = Partition.ordinary_count partition > 0 in
   let occupied_p = Partition.premium_count partition > 0 in
-  let bad = ref None in
-  Array.iteri
-    (fun i (cp : Cp.t) ->
-      if !bad = None then begin
-        let u_ordinary =
-          cp.Cp.v *. estimate_rho cp ~nu_class:nu_o ~occupied:occupied_o cap_o
-        in
-        let u_premium =
-          (cp.Cp.v -. c)
-          *. estimate_rho cp ~nu_class:nu_p ~occupied:occupied_p cap_p
-        in
-        (* Ties (within the slack) are acceptable in either class; only a
-           clear preference for the other class is a violation. *)
-        if Partition.in_premium partition i then begin
-          if u_premium < u_ordinary -. tol -. (rel_tol *. Float.abs u_premium)
-          then
-            bad :=
-              Some
-                (Printf.sprintf "CP %d in premium but u_p=%g < u_o=%g" i
-                   u_premium u_ordinary)
-        end
-        else if u_premium > u_ordinary +. tol +. (rel_tol *. Float.abs u_ordinary)
+  let n = Array.length cps in
+  let rec scan i =
+    if i >= n then Ok ()
+    else begin
+      let cp = cps.(i) in
+      let u_ordinary =
+        cp.Cp.v *. estimate_rho cp ~nu_class:nu_o ~occupied:occupied_o cap_o
+      in
+      let u_premium =
+        (cp.Cp.v -. c)
+        *. estimate_rho cp ~nu_class:nu_p ~occupied:occupied_p cap_p
+      in
+      (* Ties (within the slack) are acceptable in either class; only a
+         clear preference for the other class is a violation. *)
+      if Partition.in_premium partition i then
+        if u_premium < u_ordinary -. tol -. (rel_tol *. Float.abs u_premium)
         then
-          bad :=
-            Some
-              (Printf.sprintf "CP %d in ordinary but u_p=%g > u_o=%g" i
-                 u_premium u_ordinary)
-      end)
-    cps;
-  match !bad with None -> Ok () | Some msg -> Error msg
+          Error
+            ( i,
+              Printf.sprintf "CP %d in premium but u_p=%g < u_o=%g" i
+                u_premium u_ordinary )
+        else scan (i + 1)
+      else if u_premium > u_ordinary +. tol +. (rel_tol *. Float.abs u_ordinary)
+      then
+        Error
+          ( i,
+            Printf.sprintf "CP %d in ordinary but u_p=%g > u_o=%g" i
+              u_premium u_ordinary )
+      else scan (i + 1)
+    end
+  in
+  scan 0
 
 let check_nash ?(tol = 1e-9) ~nu ~strategy cps partition =
   let nu_o, nu_p = class_capacities ~nu ~strategy in
@@ -396,35 +588,39 @@ let check_nash ?(tol = 1e-9) ~nu ~strategy cps partition =
   let premium = Partition.premium_members partition cps in
   let sol_o = class_solution ~nu_class:nu_o ordinary in
   let sol_p = class_solution ~nu_class:nu_p premium in
-  let bad = ref None in
-  Array.iteri
-    (fun i (cp : Cp.t) ->
-      if !bad = None then begin
-        let rho_own = own_rho partition cps sol_o sol_p i in
-        if Partition.in_premium partition i then begin
-          (* Deviating to ordinary: evaluated with i included there. *)
-          let rho_dev = expost_rho ~nu_class:nu_o ordinary cp in
-          let u_stay = (cp.Cp.v -. c) *. rho_own in
-          let u_dev = cp.Cp.v *. rho_dev in
-          if u_stay < u_dev -. tol then
-            bad :=
-              Some
-                (Printf.sprintf
-                   "CP %d in premium gains by leaving (stay=%g, deviate=%g)"
-                   i u_stay u_dev)
-        end
-        else begin
-          let rho_dev = expost_rho ~nu_class:nu_p premium cp in
-          let u_stay = cp.Cp.v *. rho_own in
-          let u_dev = (cp.Cp.v -. c) *. rho_dev in
-          if u_dev > u_stay +. tol then
-            bad :=
-              Some
-                (Printf.sprintf
-                   "CP %d in ordinary strictly gains by joining premium \
-                    (stay=%g, deviate=%g)"
-                   i u_stay u_dev)
-        end
-      end)
-    cps;
-  match !bad with None -> Ok () | Some msg -> Error msg
+  let positions = class_positions partition in
+  let n = Array.length cps in
+  let rec scan i =
+    if i >= n then Ok ()
+    else begin
+      let cp = cps.(i) in
+      let rho_own = own_rho partition positions sol_o sol_p i in
+      if Partition.in_premium partition i then begin
+        (* Deviating to ordinary: evaluated with i included there. *)
+        let rho_dev = expost_rho ~nu_class:nu_o ordinary cp in
+        let u_stay = (cp.Cp.v -. c) *. rho_own in
+        let u_dev = cp.Cp.v *. rho_dev in
+        if u_stay < u_dev -. tol then
+          Error
+            ( i,
+              Printf.sprintf
+                "CP %d in premium gains by leaving (stay=%g, deviate=%g)" i
+                u_stay u_dev )
+        else scan (i + 1)
+      end
+      else begin
+        let rho_dev = expost_rho ~nu_class:nu_p premium cp in
+        let u_stay = cp.Cp.v *. rho_own in
+        let u_dev = (cp.Cp.v -. c) *. rho_dev in
+        if u_dev > u_stay +. tol then
+          Error
+            ( i,
+              Printf.sprintf
+                "CP %d in ordinary strictly gains by joining premium \
+                 (stay=%g, deviate=%g)"
+                i u_stay u_dev )
+        else scan (i + 1)
+      end
+    end
+  in
+  scan 0

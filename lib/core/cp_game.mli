@@ -83,24 +83,49 @@ val solve :
     affordable set [{i : v_i > c}] (or all-ordinary when [kappa = 0]).
     [max_iter] (default 200) bounds simultaneous rounds; asynchronous
     passes are bounded separately.  [converged = false] flags a best-effort
-    outcome. *)
+    outcome.
+
+    Internally the search runs on an {e engine} that memoises class
+    solutions by partition key, memoises solo-entrant equilibria by CP id,
+    and warm-starts every class re-solve after a single-CP move from a
+    one-sided bracket around the previous water level (the level moves
+    monotonically when one CP enters or leaves; DESIGN.md §9).  All of
+    these are bit-transparent, so {!solve} agrees with {!solve_reference}
+    bit for bit. *)
+
+val solve_reference :
+  ?init:Partition.t -> ?max_iter:int -> nu:float -> strategy:Strategy.t ->
+  Po_model.Cp.t array -> outcome
+(** {!solve} on the differential-testing engine: every class re-solve goes
+    through {!Po_model.Equilibrium.solve_reference}, cold, with no caches
+    and no bracket hints.  [test_perf_kernel] pins {!solve} to this bit for
+    bit. *)
 
 val check_competitive :
   ?tol:float -> ?rel_tol:float -> nu:float -> strategy:Strategy.t ->
-  Po_model.Cp.t array -> Partition.t -> (unit, string) result
+  Po_model.Cp.t array -> Partition.t -> (unit, int * string) result
 (** Audit Definition 3 at a partition: no CP prefers the other class under
     throughput-taking estimates by more than [tol] (absolute, default
     [1e-9]) plus [rel_tol] (relative to its current utility, default 0 —
-    pass {!default_hysteresis} to audit the solver's eps-equilibria). *)
+    pass {!default_hysteresis} to audit the solver's eps-equilibria).
+    Stops at the first violation and returns its CP index alongside the
+    message. *)
 
 val check_nash :
   ?tol:float -> nu:float -> strategy:Strategy.t -> Po_model.Cp.t array ->
-  Partition.t -> (unit, string) result
+  Partition.t -> (unit, int * string) result
 (** Audit Definition 2 at a partition: deviations evaluated ex-post with
-    the deviator included in the target class. *)
+    the deviator included in the target class.  Stops at the first
+    violation and returns its CP index alongside the message. *)
 
 val solve_nash :
   ?init:Partition.t -> ?max_rounds:int -> nu:float -> strategy:Strategy.t ->
   Po_model.Cp.t array -> outcome
 (** Nash equilibrium search by asynchronous ex-post best responses
-    (round-robin).  Converges when a full pass makes no move. *)
+    (round-robin).  Converges when a full pass makes no move.  Runs on the
+    same caching/warm-starting engine as {!solve}. *)
+
+val solve_nash_reference :
+  ?init:Partition.t -> ?max_rounds:int -> nu:float -> strategy:Strategy.t ->
+  Po_model.Cp.t array -> outcome
+(** {!solve_nash} on the cold reference engine (see {!solve_reference}). *)

@@ -1,24 +1,19 @@
-let sweep ~strategy ~nus cps proj =
-  let warm = ref None in
-  Array.map
-    (fun nu ->
-      let o = Cp_game.solve ?init:!warm ~nu ~strategy cps in
-      warm := Some o.Cp_game.partition;
-      proj o)
-    nus
+let sweep ?pool ?chunk_size ~strategy ~nus cps proj =
+  Array.map proj
+    (Monopoly.capacity_sweep ?pool ?chunk_size ~strategy ~nus cps)
 
-let phi_curve ~strategy ~nus cps =
-  sweep ~strategy ~nus cps (fun o -> o.Cp_game.phi)
+let phi_curve ?pool ?chunk_size ~strategy ~nus cps =
+  sweep ?pool ?chunk_size ~strategy ~nus cps (fun o -> o.Cp_game.phi)
 
-let psi_curve ~strategy ~nus cps =
-  sweep ~strategy ~nus cps (fun o -> o.Cp_game.psi)
+let psi_curve ?pool ?chunk_size ~strategy ~nus cps =
+  sweep ?pool ?chunk_size ~strategy ~nus cps (fun o -> o.Cp_game.psi)
 
 let epsilon_of_curve phis = Po_num.Stats.max_downward_gap phis
 
-let epsilon ~strategy ~nus cps =
+let epsilon ?pool ?chunk_size ~strategy ~nus cps =
   let sorted = Array.copy nus in
   Array.sort Float.compare sorted;
-  epsilon_of_curve (phi_curve ~strategy ~nus:sorted cps)
+  epsilon_of_curve (phi_curve ?pool ?chunk_size ~strategy ~nus:sorted cps)
 
 let alignment_gap ~xs ~ys =
   let n = Array.length xs in

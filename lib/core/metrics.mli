@@ -10,16 +10,19 @@
     stray from consumer-surplus maximisation. *)
 
 val phi_curve :
-  strategy:Strategy.t -> nus:float array -> Po_model.Cp.t array -> float array
-(** Per-capita consumer surplus along a capacity grid (warm-started CP-game
-    solves). *)
+  ?pool:Po_par.Pool.t -> ?chunk_size:int -> strategy:Strategy.t ->
+  nus:float array -> Po_model.Cp.t array -> float array
+(** Per-capita consumer surplus along a capacity grid (chunked
+    warm-started CP-game solves; see {!Monopoly.capacity_sweep}). *)
 
 val psi_curve :
-  strategy:Strategy.t -> nus:float array -> Po_model.Cp.t array -> float array
+  ?pool:Po_par.Pool.t -> ?chunk_size:int -> strategy:Strategy.t ->
+  nus:float array -> Po_model.Cp.t array -> float array
 (** Per-capita ISP surplus along a capacity grid. *)
 
 val epsilon :
-  strategy:Strategy.t -> nus:float array -> Po_model.Cp.t array -> float
+  ?pool:Po_par.Pool.t -> ?chunk_size:int -> strategy:Strategy.t ->
+  nus:float array -> Po_model.Cp.t array -> float
 (** Empirical Eq. (9) on the sampled curve: the largest drop of
     [Phi(nu)] when scanning the (increasing) capacity grid. *)
 

@@ -21,23 +21,21 @@ let point_of_outcome (o : Cp_game.outcome) =
          (o.Cp_game.lambda_ordinary +. o.Cp_game.lambda_premium)
          /. o.Cp_game.nu) }
 
-let price_sweep ?(kappa = 1.) ~nu ~cs cps =
-  let warm = ref None in
-  Array.map
-    (fun c ->
-      let strategy = Strategy.make ~kappa ~c in
-      let outcome = Cp_game.solve ?init:!warm ~nu ~strategy cps in
-      warm := Some outcome.Cp_game.partition;
-      point_of_outcome outcome)
-    cs
+let warm_init (prev : Cp_game.outcome option) =
+  Option.map (fun (o : Cp_game.outcome) -> o.Cp_game.partition) prev
 
-let capacity_sweep ~strategy ~nus cps =
-  let warm = ref None in
-  Array.map
-    (fun nu ->
-      let outcome = Cp_game.solve ?init:!warm ~nu ~strategy cps in
-      warm := Some outcome.Cp_game.partition;
-      outcome)
+let price_sweep ?pool ?chunk_size ?(kappa = 1.) ~nu ~cs cps =
+  Array.map point_of_outcome
+    (Po_par.Pool.chain_map ?chunk_size pool
+       ~step:(fun prev c ->
+         let strategy = Strategy.make ~kappa ~c in
+         Cp_game.solve ?init:(warm_init prev) ~nu ~strategy cps)
+       cs)
+
+let capacity_sweep ?pool ?chunk_size ~strategy ~nus cps =
+  Po_par.Pool.chain_map ?chunk_size pool
+    ~step:(fun prev nu ->
+      Cp_game.solve ?init:(warm_init prev) ~nu ~strategy cps)
     nus
 
 let max_revenue_price cps =

@@ -20,18 +20,23 @@ type price_point = {
   utilization : float;  (** carried fraction of total capacity [nu] *)
 }
 
+val point_of_outcome : Cp_game.outcome -> price_point
+(** Project a CP-game outcome to the monopoly sweep observables. *)
+
 val price_sweep :
-  ?kappa:float -> nu:float -> cs:float array -> Po_model.Cp.t array ->
-  price_point array
+  ?pool:Po_par.Pool.t -> ?chunk_size:int -> ?kappa:float -> nu:float ->
+  cs:float array -> Po_model.Cp.t array -> price_point array
 (** Sweep the premium price at fixed [kappa] (default 1, the dominant
     choice), warm-starting each CP-game solve from the previous price's
-    partition (Fig. 4 generator). *)
+    partition within fixed chunks ({!Po_par.Pool.chain_map}; Fig. 4
+    generator).  [pool] parallelises across chunks without changing the
+    result. *)
 
 val capacity_sweep :
-  strategy:Strategy.t -> nus:float array -> Po_model.Cp.t array ->
-  Cp_game.outcome array
-(** Sweep per-capita capacity at a fixed strategy with warm starts
-    (Fig. 5 generator). *)
+  ?pool:Po_par.Pool.t -> ?chunk_size:int -> strategy:Strategy.t ->
+  nus:float array -> Po_model.Cp.t array -> Cp_game.outcome array
+(** Sweep per-capita capacity at a fixed strategy with chunked warm
+    starts (Fig. 5 generator); same contract as {!price_sweep}. *)
 
 val optimal_price :
   ?kappa:float -> ?levels:int -> ?points:int -> nu:float ->

@@ -49,19 +49,17 @@ let unconstrained_nu cps =
 (* Sampled, monotonised surplus-vs-capacity curve of one ISP strategy. *)
 type curve = { nus : float array; phis : float array (* cumulative max *) }
 
-let surplus_curve ~curve_points ~nu_sat ~strategy cps =
+let surplus_curve ?pool ?chunk_size ~curve_points ~nu_sat ~strategy cps =
   let nu_hi = (4. *. nu_sat) +. 1. in
   let nus = Po_num.Grid.linspace 0. nu_hi curve_points in
-  let warm = ref None in
-  let raw =
+  (* The hand-rolled warm-start loop this used to carry is now the
+     general chunked-chain sweep, so the curve parallelises across chunks
+     with the same chain structure on any pool. *)
+  let phis =
     Array.map
-      (fun nu ->
-        let o = Cp_game.solve ?init:!warm ~nu ~strategy cps in
-        warm := Some o.Cp_game.partition;
-        o.Cp_game.phi)
-      nus
+      (fun (o : Cp_game.outcome) -> o.Cp_game.phi)
+      (Monopoly.capacity_sweep ?pool ?chunk_size ~strategy ~nus cps)
   in
-  let phis = Array.copy raw in
   for i = 1 to Array.length phis - 1 do
     phis.(i) <- Float.max phis.(i) phis.(i - 1)
   done;
@@ -182,11 +180,12 @@ let solve_given_curves ~nu_sat ~curves ?prices config cps =
   { shares = raw_shares; nus; phis; phi_star; outcomes; psis;
     over_provisioned }
 
-let solve ?(curve_points = 140) ?prices config cps =
+let solve ?pool ?(curve_points = 140) ?prices config cps =
   let nu_sat = Float.max (unconstrained_nu cps) 1e-9 in
   let curves =
     Array.map
-      (fun isp -> surplus_curve ~curve_points ~nu_sat ~strategy:isp.strategy cps)
+      (fun isp ->
+        surplus_curve ?pool ~curve_points ~nu_sat ~strategy:isp.strategy cps)
       config.isps
   in
   solve_given_curves ~nu_sat ~curves ?prices config cps
@@ -196,7 +195,7 @@ let solve ?(curve_points = 140) ?prices config cps =
 (* polint: allow R2 — audited: the curve cache is keyed by
    Strategy.to_string and only ever read back through find_opt/add; it is
    never iterated, so Hashtbl order cannot reach any result. *)
-let cached_solve ~curve_points ~nu_sat ~cache config cps =
+let cached_solve ?pool ~curve_points ~nu_sat ~cache config cps =
   let curves =
     Array.map
       (fun isp ->
@@ -205,7 +204,8 @@ let cached_solve ~curve_points ~nu_sat ~cache config cps =
         | Some curve -> curve
         | None ->
             let curve =
-              surplus_curve ~curve_points ~nu_sat ~strategy:isp.strategy cps
+              surplus_curve ?pool ~curve_points ~nu_sat ~strategy:isp.strategy
+                cps
             in
             Hashtbl.add cache key curve;
             curve)
@@ -223,13 +223,14 @@ let with_strategy config i strategy =
         (fun j isp -> if j = i then { isp with strategy } else isp)
         config.isps }
 
-let best_response ?(levels = 2) ?(points = 7) ?curve_points ~i config cps =
+let best_response ?pool ?(levels = 2) ?(points = 7) ?curve_points ~i config
+    cps =
   if i < 0 || i >= Array.length config.isps then
     invalid_arg "Oligopoly.best_response: ISP index out of bounds";
   let hi_c = Float.max (max_revenue_price cps) 1e-9 in
   let share kappa c =
     let cfg = with_strategy config i (Strategy.make ~kappa ~c) in
-    (solve ?curve_points cfg cps).shares.(i)
+    (solve ?pool ?curve_points cfg cps).shares.(i)
   in
   let best =
     Po_num.Optimize.refine_grid_max2 ~levels ~points ~f:share ~lo1:0. ~hi1:1.
@@ -238,10 +239,10 @@ let best_response ?(levels = 2) ?(points = 7) ?curve_points ~i config cps =
   let strategy =
     Strategy.make ~kappa:best.Po_num.Optimize.x1 ~c:best.Po_num.Optimize.x2
   in
-  (strategy, solve ?curve_points (with_strategy config i strategy) cps)
+  (strategy, solve ?pool ?curve_points (with_strategy config i strategy) cps)
 
-let market_share_nash ?(rounds = 10) ?strategies ?(curve_points = 90) config
-    cps =
+let market_share_nash ?pool ?(rounds = 10) ?strategies ?(curve_points = 90)
+    config cps =
   let menu =
     match strategies with
     | Some s ->
@@ -262,7 +263,9 @@ let market_share_nash ?(rounds = 10) ?strategies ?(curve_points = 90) config
   (* polint: allow R2 — audited: per-search curve cache, find_opt/add
      only (see cached_solve); never iterated. *)
   let cache = Hashtbl.create 16 in
-  let solve_cached cfg = cached_solve ~curve_points ~nu_sat ~cache cfg cps in
+  let solve_cached cfg =
+    cached_solve ?pool ~curve_points ~nu_sat ~cache cfg cps
+  in
   let current = ref config in
   let converged = ref false in
   let round = ref 0 in
@@ -323,7 +326,7 @@ type alignment_audit = {
   epsilon_rivals : float;
 }
 
-let theorem6_audit ?strategies ?epsilon_nus ~i config cps =
+let theorem6_audit ?pool ?strategies ?epsilon_nus ~i config cps =
   if i < 0 || i >= Array.length config.isps then
     invalid_arg "Oligopoly.theorem6_audit: ISP index out of bounds";
   let menu =
@@ -346,7 +349,7 @@ let theorem6_audit ?strategies ?epsilon_nus ~i config cps =
     Array.map
       (fun s ->
         let eq =
-          cached_solve ~curve_points:120 ~nu_sat ~cache
+          cached_solve ?pool ~curve_points:120 ~nu_sat ~cache
             (with_strategy config i s) cps
         in
         (s, eq.shares.(i), eq.phi_star))
@@ -372,16 +375,9 @@ let theorem6_audit ?strategies ?epsilon_nus ~i config cps =
     Array.iteri
       (fun j isp ->
         if j <> i then begin
-          let warm = ref None in
           let phis =
-            Array.map
-              (fun nu ->
-                let o =
-                  Cp_game.solve ?init:!warm ~nu ~strategy:isp.strategy cps
-                in
-                warm := Some o.Cp_game.partition;
-                o.Cp_game.phi)
-              epsilon_nus
+            Metrics.phi_curve ?pool ~strategy:isp.strategy ~nus:epsilon_nus
+              cps
           in
           eps := Float.max !eps (Po_num.Stats.max_downward_gap phis)
         end)

@@ -47,9 +47,12 @@ type equilibrium = {
 }
 
 val solve :
-  ?curve_points:int -> ?prices:float array -> config ->
+  ?pool:Po_par.Pool.t -> ?curve_points:int -> ?prices:float array -> config ->
   Po_model.Cp.t array -> equilibrium
-(** [curve_points] (default 140) controls the sampling of each ISP's
+(** [pool] parallelises the surplus-curve sampling across fixed chunks of
+    warm-start chains without changing the result
+    ({!Monopoly.capacity_sweep}).
+    [curve_points] (default 140) controls the sampling of each ISP's
     surplus curve.  [prices] (default all zero) are consumer-side
     subscription prices in surplus units, one per ISP; consumers then
     equalise {e net} surplus [Phi_I - p_I] (Sec. VI discusses ISPs
@@ -57,14 +60,15 @@ val solve :
     [equilibrium.phi_star] is the common net level; [phis] stay gross. *)
 
 val best_response :
-  ?levels:int -> ?points:int -> ?curve_points:int -> i:int -> config ->
-  Po_model.Cp.t array -> Strategy.t * equilibrium
+  ?pool:Po_par.Pool.t -> ?levels:int -> ?points:int -> ?curve_points:int ->
+  i:int -> config -> Po_model.Cp.t array -> Strategy.t * equilibrium
 (** ISP [i]'s market-share-maximising strategy against the others' fixed
     strategies (grid refinement). *)
 
 val market_share_nash :
-  ?rounds:int -> ?strategies:Strategy.t array -> ?curve_points:int ->
-  config -> Po_model.Cp.t array -> config * equilibrium * bool
+  ?pool:Po_par.Pool.t -> ?rounds:int -> ?strategies:Strategy.t array ->
+  ?curve_points:int -> config -> Po_model.Cp.t array ->
+  config * equilibrium * bool
 (** Best-response dynamics over a finite strategy menu (default a coarse
     grid): ISPs revise in round-robin order until no ISP can improve its
     share, or [rounds] (default 10) passes elapse.  Returns the final
@@ -89,8 +93,9 @@ type alignment_audit = {
 }
 
 val theorem6_audit :
-  ?strategies:Strategy.t array -> ?epsilon_nus:float array -> i:int ->
-  config -> Po_model.Cp.t array -> alignment_audit
+  ?pool:Po_par.Pool.t -> ?strategies:Strategy.t array ->
+  ?epsilon_nus:float array -> i:int -> config -> Po_model.Cp.t array ->
+  alignment_audit
 (** Evaluate the Theorem 6 alignment empirically over a strategy sample for
     ISP [i].  [epsilon_nus] is the capacity grid used to measure the
     rivals' surplus-curve jumps (defaults to 120 points spanning

@@ -47,6 +47,34 @@ let sweep_par params f arr =
   | None -> Array.map f arr
   | Some pool -> Po_par.Pool.parallel_map pool f arr
 
+let sweep_chained ?chunk_size params ~step arr =
+  Po_par.Pool.chain_map ?chunk_size (pool params) ~step arr
+
+let sweep_serpentine ?chunk_size params ~rows ~cols ~step =
+  let n_rows = Array.length rows and n_cols = Array.length cols in
+  if n_rows = 0 || n_cols = 0 then Array.make n_rows [||]
+  else begin
+    (* Boustrophedon flat order: row 0 left-to-right, row 1 right-to-left,
+       ... — consecutive flat positions are always adjacent grid points,
+       including across row boundaries, so warm-start chains stay warm
+       through the whole grid instead of restarting every row. *)
+    let serp r j = if r mod 2 = 0 then j else n_cols - 1 - j in
+    let flat =
+      Array.init (n_rows * n_cols) (fun k ->
+          let r = k / n_cols in
+          (r, serp r (k mod n_cols)))
+    in
+    let results =
+      Po_par.Pool.chain_map ?chunk_size (pool params)
+        ~step:(fun prev (r, j) -> step prev rows.(r) cols.(j))
+        flat
+    in
+    (* Scatter back to row-major: the value of (row r, col j) sits at flat
+       position r * n_cols + serp r j. *)
+    Array.init n_rows (fun r ->
+        Array.init n_cols (fun j -> results.((r * n_cols) + serp r j)))
+  end
+
 let ensemble ?phi params =
   Po_workload.Ensemble.paper_ensemble ~n:params.n_cps ?phi
     ?pool:(pool params) ~seed:params.seed ()

@@ -40,6 +40,25 @@ val sweep_par : params -> ('a -> 'b) -> 'a array -> 'b array
     [Array.map] when [jobs <= 1].  [f] must be pure; results are in
     input order either way. *)
 
+val sweep_chained :
+  ?chunk_size:int -> params -> step:('b option -> 'a -> 'b) -> 'a array ->
+  'b array
+(** {!Po_par.Pool.chain_map} through {!pool}: a 1-D sweep evaluated in
+    fixed chunks of warm-start chains ([step] gets the previous grid
+    point's result within a chunk, [None] at chunk starts).  The chunk
+    layout is independent of [jobs], so any value reproduces the same
+    figure bit for bit. *)
+
+val sweep_serpentine :
+  ?chunk_size:int -> params -> rows:'a array -> cols:'c array ->
+  step:('b option -> 'a -> 'c -> 'b) -> 'b array array
+(** 2-D sweep over [rows x cols] in boustrophedon order (row 0
+    left-to-right, row 1 right-to-left, ...), chained through
+    {!sweep_chained} so warm starts survive row boundaries — consecutive
+    flat positions are always adjacent grid points.  Returns results in
+    row-major order: [(result.(r)).(j)] is [step prev rows.(r) cols.(j)].
+    Same determinism contract as {!sweep_chained}. *)
+
 val ensemble : ?phi:Po_workload.Ensemble.phi_setting -> params -> Po_model.Cp.t array
 
 val render : ?plots:bool -> figure -> string

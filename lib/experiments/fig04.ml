@@ -6,24 +6,34 @@ let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
     ?(params = Common.default_params) () =
   let cps = Common.ensemble ~phi:phi_setting params in
   let cs = Po_num.Grid.linspace 0. 1. (max 11 params.Common.sweep_points) in
-  (* Each capacity's price sweep is a self-contained warm-start chain, so
-     the chains are the parallel grain: any [jobs] reproduces the serial
-     figure bit for bit. *)
-  let sweeps =
-    Common.sweep_par params
-      (fun nu -> (nu, Monopoly.price_sweep ~kappa:1. ~nu ~cs cps))
-      nus
+  (* Serpentine over the (nu, c) grid: warm-start chains run through fixed
+     chunks of the boustrophedon order, so the parallel grain is chunks
+     (not whole rows) and any [jobs] reproduces the same figure bit for
+     bit. *)
+  let grid =
+    Common.sweep_serpentine params ~rows:nus ~cols:cs
+      ~step:(fun prev nu c ->
+        let strategy = Strategy.make ~kappa:1. ~c in
+        Cp_game.solve
+          ?init:
+            (Option.map
+               (fun (o : Cp_game.outcome) -> o.Cp_game.partition)
+               prev)
+          ~nu ~strategy cps)
   in
   let panel proj name =
     ( name,
       Array.to_list
-        (Array.map
-           (fun (nu, points) ->
+        (Array.mapi
+           (fun r points ->
              Po_report.Series.make
-               ~label:(Printf.sprintf "nu=%g" nu)
+               ~label:(Printf.sprintf "nu=%g" nus.(r))
                ~xs:cs
-               ~ys:(Array.map proj points))
-           sweeps) )
+               ~ys:
+                 (Array.map
+                    (fun o -> proj (Monopoly.point_of_outcome o))
+                    points))
+           grid) )
   in
   { Common.id = "fig4";
     title = "Monopoly surplus vs premium price c (kappa = 1)";

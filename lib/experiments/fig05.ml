@@ -16,25 +16,32 @@ let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
             (fun c -> Array.map (fun kappa -> (kappa, c)) kappas)
             cs))
   in
-  (* One warm-start chain per (kappa, c) strategy: parallelise across the
-     nine chains, never inside one (see fig04). *)
-  let sweeps =
-    Common.sweep_par params
-      (fun (kappa, c) ->
+  (* Serpentine over the (strategy, nu) grid: each chunk of the
+     boustrophedon order is one warm-start chain, so the parallel grain is
+     finer than the nine strategy rows and any [jobs] reproduces the same
+     figure bit for bit (see fig04). *)
+  let grid =
+    Common.sweep_serpentine params ~rows:combos ~cols:nus
+      ~step:(fun prev (kappa, c) nu ->
         let strategy = Strategy.make ~kappa ~c in
-        ((kappa, c), Monopoly.capacity_sweep ~strategy ~nus cps))
-      combos
+        Cp_game.solve
+          ?init:
+            (Option.map
+               (fun (o : Cp_game.outcome) -> o.Cp_game.partition)
+               prev)
+          ~nu ~strategy cps)
   in
   let panel proj name =
     ( name,
       Array.to_list
-        (Array.map
-           (fun ((kappa, c), outcomes) ->
+        (Array.mapi
+           (fun r outcomes ->
+             let kappa, c = combos.(r) in
              Po_report.Series.make
                ~label:(Printf.sprintf "kappa=%g,c=%g" kappa c)
                ~xs:nus
                ~ys:(Array.map proj outcomes))
-           sweeps) )
+           grid) )
   in
   { Common.id = "fig5";
     title = "Monopoly surplus vs capacity under strategies (kappa, c)";

@@ -52,7 +52,168 @@ let of_cap cps weights ~congested cap =
   in
   { theta; demand; rho; per_capita_rate; congested; cap }
 
-let solve ?weights ?(tol = 1e-12) ~nu cps =
+(* ------------------------------------------------------------------ *)
+(* Sorted-prefix solver context                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The water-filling aggregate sum_i alpha_i d_i(theta_i(cap)) theta_i(cap)
+   splits at any cap into two populations: CPs whose saturation threshold
+   theta_hat_i / w_i lies at or below the water level contribute the
+   {e constant} alpha_i d_i(theta_hat_i) theta_hat_i, the rest contribute a
+   cap-dependent term.  Presorting by threshold turns the constant part
+   into one binary search plus one prefix-sum lookup, so each evaluation
+   costs O(log n + #unsaturated) instead of O(n); in paper ensembles the
+   water level sits above most thresholds, leaving a short tail.
+
+   The accumulation order is the sorted one (saturated prefix first, then
+   the unsaturated tail) in both the optimized and the reference
+   evaluator, so the two are bit-identical by construction; see
+   DESIGN.md §9. *)
+type context = {
+  thresholds : float array;  (* ascending theta_hat_i / w_i *)
+  sat : float array;  (* contribution of sorted CP s once saturated *)
+  sat_prefix : float array;  (* sat_prefix.(k) = left fold of sat.(0..k-1) *)
+  sorted_cps : Cp.t array;
+  sorted_weights : float array;
+}
+
+let context ?weights cps =
+  let n = Array.length cps in
+  let weights =
+    match weights with
+    | Some w ->
+        check_weights cps w;
+        w
+    | None -> unit_weights n
+  in
+  let order = Array.init n Fun.id in
+  (* Thresholds are computed once up front: recomputing the division in
+     the comparator costs ~50% more across the n log n comparisons. *)
+  let keys = Array.init n (fun i -> cps.(i).Cp.theta_hat /. weights.(i)) in
+  (* Ties are ordered by original index so the accumulation order — and
+     with it every downstream bit — is independent of the sort algorithm. *)
+  Array.sort
+    (fun i j ->
+      let c = Float.compare keys.(i) keys.(j) in
+      if c <> 0 then c else Int.compare i j)
+    order;
+  let sorted_cps = Array.map (fun i -> cps.(i)) order in
+  let sorted_weights = Array.map (fun i -> weights.(i)) order in
+  let thresholds = Array.map (fun i -> keys.(i)) order in
+  let sat =
+    Array.map
+      (fun (cp : Cp.t) -> Cp.lambda_per_capita cp ~theta:cp.Cp.theta_hat)
+      sorted_cps
+  in
+  let sat_prefix = Array.make (n + 1) 0. in
+  for s = 0 to n - 1 do
+    sat_prefix.(s + 1) <- sat_prefix.(s) +. sat.(s)
+  done;
+  { thresholds; sat; sat_prefix; sorted_cps; sorted_weights }
+
+(* Number of sorted CPs whose threshold is <= cap (first sorted position
+   strictly above the water level). *)
+let saturated_count ctx cap =
+  let lo = ref 0 and hi = ref (Array.length ctx.thresholds) in
+  while !hi > !lo do
+    let mid = (!lo + !hi) / 2 in
+    if ctx.thresholds.(mid) <= cap then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Optimized evaluator: prefix-sum lookup + unsaturated tail. *)
+let aggregate_sorted ctx ~cap =
+  let n = Array.length ctx.thresholds in
+  let k = saturated_count ctx cap in
+  let acc = ref ctx.sat_prefix.(k) in
+  for s = k to n - 1 do
+    let cp = ctx.sorted_cps.(s) in
+    let theta = theta_at_cap cp ctx.sorted_weights.(s) cap in
+    acc := !acc +. Cp.lambda_per_capita cp ~theta
+  done;
+  !acc
+
+(* Reference evaluator: same branch condition and accumulation order, no
+   prefix table — every term re-derived.  Bit-identical to
+   [aggregate_sorted] because the saturated CPs form a prefix of the
+   sorted order and [sat_prefix] folds exactly their [sat] values. *)
+let aggregate_sorted_reference ctx ~cap =
+  let n = Array.length ctx.thresholds in
+  let acc = ref 0. in
+  for s = 0 to n - 1 do
+    let cp = ctx.sorted_cps.(s) in
+    if ctx.thresholds.(s) <= cap then acc := !acc +. ctx.sat.(s)
+    else begin
+      let theta = theta_at_cap cp ctx.sorted_weights.(s) cap in
+      acc := !acc +. Cp.lambda_per_capita cp ~theta
+    end
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Canonical segment search                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Between two consecutive thresholds the saturated set is fixed, so the
+   root of g(cap) = aggregate(cap) - nu lives in a canonical segment:
+   the one bracketed by the last grid point with g < 0 and the first
+   with g >= 0 over the grid 0, t_1, ..., t_n.  Locating that segment by
+   binary search over the monotone predicate g(x_k) < 0 — optionally
+   narrowed by a caller-supplied bracket hint — and only then running
+   Brent inside it keeps the final root-finding call {e independent} of
+   how the segment was found: any valid hint yields bit-identical
+   results, which is what lets the CP game warm-start aggressively
+   without breaking determinism. *)
+let congested_cap ~aggregate ~bracket ~tol ~nu ctx =
+  let n = Array.length ctx.thresholds in
+  let grid_point k = if k = 0 then 0. else ctx.thresholds.(k - 1) in
+  let g cap = aggregate ctx ~cap -. nu in
+  let g_at k = g (grid_point k) in
+  (* g(0) = -nu exactly — every term of the aggregate is d_i(0) *. 0. = 0.
+     — so the zero-capacity check needs no O(n) evaluation. *)
+  if Float.equal nu 0. then
+    { Po_num.Roots.root = 0.; value = 0.; iterations = 0; converged = true }
+  else if g_at n < 0. then
+    (* Can only happen for demands violating d(1) = 1 (Assumption 1):
+       even a level saturating every CP falls short of nu.  The seed
+       solver raised [No_bracket] from Brent here; keep that contract. *)
+    raise
+      (Po_num.Roots.No_bracket
+         (Printf.sprintf
+            "Equilibrium.solve: aggregate at cap_max falls short of nu=%g" nu))
+  else begin
+    (* Largest k with g(x_k) < 0, sought over [0, n]; a bracket hint that
+       provably straddles the sign change narrows the search range, and
+       one that does not is discarded after two cheap probes. *)
+    let lo, hi =
+      match bracket with
+      | None -> (0, n)
+      | Some (b_lo, b_hi) ->
+          let b_lo = Float.max b_lo 0. in
+          let b_hi = Float.min b_hi (grid_point n) in
+          if not (b_lo < b_hi && Float.is_finite b_lo) then (0, n)
+          else begin
+            let k_lo = saturated_count ctx b_lo in
+            let k_hi =
+              (* Smallest k with grid_point k >= b_hi. *)
+              min n (saturated_count ctx b_hi + 1)
+            in
+            if k_lo < k_hi && g_at k_lo < 0. && g_at k_hi >= 0. then
+              (k_lo, k_hi)
+            else (0, n)
+          end
+    in
+    let lo = ref lo and hi = ref hi in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if g_at mid < 0. then lo := mid else hi := mid
+    done;
+    Po_num.Roots.brent ~tol ~max_iter:200 ~f:g ~lo:(grid_point !lo)
+      ~hi:(grid_point !hi) ()
+  end
+
+let solve_generic ~aggregate ?context:ctx ?bracket ?weights ?(tol = 1e-12)
+    ~nu cps =
   if nu < 0. then invalid_arg "Equilibrium.solve: nu < 0";
   let n = Array.length cps in
   if n = 0 then empty
@@ -70,25 +231,20 @@ let solve ?weights ?(tol = 1e-12) ~nu cps =
     if nu >= unconstrained then
       of_cap cps weights ~congested:false Float.infinity
     else begin
-      (* Water level that saturates every cap: above it the aggregate is
-         flat at [unconstrained]. *)
-      let cap_max =
-        Array.to_seq cps
-        |> Seq.mapi (fun i cp -> cp.Cp.theta_hat /. weights.(i))
-        |> Seq.fold_left Float.max 0.
+      let ctx =
+        match ctx with Some c -> c | None -> context ~weights cps
       in
-      let g cap = aggregate_at_cap ~weights ~cap cps -. nu in
-      (* g is continuous, non-decreasing, g(0) <= 0 < g(cap_max); Brent
-         converges superlinearly where bisection would need ~40 evals. *)
-      let outcome =
-        if g 0. >= 0. then
-          { Po_num.Roots.root = 0.; value = 0.; iterations = 0;
-            converged = true }
-        else Po_num.Roots.brent ~tol ~max_iter:200 ~f:g ~lo:0. ~hi:cap_max ()
-      in
+      let outcome = congested_cap ~aggregate ~bracket ~tol ~nu ctx in
       of_cap cps weights ~congested:true outcome.Po_num.Roots.root
     end
   end
+
+let solve ?context ?bracket ?weights ?tol ~nu cps =
+  solve_generic ~aggregate:aggregate_sorted ?context ?bracket ?weights ?tol
+    ~nu cps
+
+let solve_reference ?weights ?tol ~nu cps =
+  solve_generic ~aggregate:aggregate_sorted_reference ?weights ?tol ~nu cps
 
 let solve_absolute ?weights ?tol ~m ~mu cps =
   if m <= 0. then invalid_arg "Equilibrium.solve_absolute: m <= 0";

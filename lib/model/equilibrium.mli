@@ -16,7 +16,19 @@
     {v sum_i alpha_i d_i(theta_i(cap)) theta_i(cap) = min (nu, sum_i alpha_i theta_hat_i) v}
 
     whose left side is continuous and non-decreasing in [cap] under
-    Assumption 1, so bisection converges to the unique solution.
+    Assumption 1, so root-finding converges to the unique solution.
+
+    {b Kernel layout (DESIGN.md §9).}  The solver presorts CPs by
+    saturation threshold [theta_hat_i / w_i] and prefix-sums their
+    saturated contributions, making every aggregate evaluation a binary
+    search plus a loop over only the unsaturated tail.  The root is
+    located in two stages: a binary search over the threshold grid pins
+    the canonical segment containing the sign change, then Brent runs
+    inside that segment.  Because the segment is canonical, a [?bracket]
+    hint (or its absence) can only change {e how fast} the segment is
+    found, never the segment itself — warm-started solves are
+    bit-identical to cold ones, and both are bit-identical to
+    {!solve_reference}.
 
     All quantities are per-capita ([nu = mu / M]); Lemma 1 (independence of
     scale) is then true by construction, and absolute systems [(M, mu)] are
@@ -37,14 +49,44 @@ val empty : solution
 val aggregate_at_cap :
   ?weights:float array -> cap:float -> Cp.t array -> float
 (** Per-capita aggregate throughput [sum_i alpha_i d_i(theta_i) theta_i]
-    when every CP is throttled at [min (theta_hat_i, w_i * cap)]. *)
+    when every CP is throttled at [min (theta_hat_i, w_i * cap)], summed
+    in CP-array order (the pre-optimization accumulation; retained for
+    external callers and for audits of the solver's work-conservation
+    residual). *)
+
+type context
+(** Presorted saturation thresholds and prefix-summed saturated
+    contributions for a fixed population and weight vector — the
+    per-solve setup work, reusable across solves over the same CPs. *)
+
+val context : ?weights:float array -> Cp.t array -> context
+(** Build the sorted-prefix context.  [weights] defaults to all ones and
+    must match the [weights] later passed to {!solve} alongside this
+    context. *)
 
 val solve :
-  ?weights:float array -> ?tol:float -> nu:float -> Cp.t array -> solution
+  ?context:context -> ?bracket:float * float -> ?weights:float array ->
+  ?tol:float -> nu:float -> Cp.t array -> solution
 (** Compute the rate equilibrium of the per-capita system [(nu, cps)].
     [weights] defaults to all ones (max-min fairness); entries must be
     [> 0].  [nu >= 0].  [tol] (default [1e-12]) is the absolute tolerance
-    on the water level. *)
+    on the water level.
+
+    [context] reuses a presorted {!context} built from the same [cps] and
+    [weights] (unchecked — a mismatched context silently solves the wrong
+    system).  [bracket] is a warm-start hint [(lo, hi)] for the water
+    level, typically the previous solve's cap padded to the known side of
+    a monotone perturbation; a hint that does not straddle the root is
+    detected in two probes and discarded, and {e any} hint — valid,
+    invalid, or absent — yields bit-identical output. *)
+
+val solve_reference :
+  ?weights:float array -> ?tol:float -> nu:float -> Cp.t array -> solution
+(** The retained differential-testing reference: identical segment
+    search and Brent call, but every aggregate evaluation walks all [n]
+    CPs with no prefix table and no bracket narrowing ever applies.
+    {!solve} must agree with it bit for bit on every input; the
+    [test_perf_kernel] suite enforces this. *)
 
 val solve_absolute :
   ?weights:float array -> ?tol:float -> m:float -> mu:float -> Cp.t array ->

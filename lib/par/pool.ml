@@ -162,6 +162,35 @@ let parallel_init pool n f =
   if n < 0 then invalid_arg "Pool.parallel_init: negative length";
   parallel_map pool f (Array.init n Fun.id)
 
+let default_chain_chunk = 16
+
+let chain_map ?(chunk_size = default_chain_chunk) pool ~step arr =
+  if chunk_size <= 0 then invalid_arg "Pool.chain_map: chunk_size <= 0";
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    (* The chunk layout is a pure function of [n] and [chunk_size] —
+       never of the pool — so every chunk is the same warm-start chain
+       whether it runs serially or on any number of domains. *)
+    let n_chunks = (n + chunk_size - 1) / chunk_size in
+    let run_chunk ci =
+      let start = ci * chunk_size in
+      let stop = min n (start + chunk_size) in
+      let out = Array.make (stop - start) None in
+      let prev = ref None in
+      for i = start to stop - 1 do
+        let r = step !prev arr.(i) in
+        out.(i - start) <- Some r;
+        prev := Some r
+      done;
+      Array.map
+        (function Some v -> v | None -> assert false (* loop filled all *))
+        out
+    in
+    let chunks = maybe_map pool run_chunk (Array.init n_chunks Fun.id) in
+    Array.concat (Array.to_list chunks)
+  end
+
 let default_reduce_chunk = 16
 
 let map_reduce pool ?(chunk_size = default_reduce_chunk) ~rng ~map ~reduce

@@ -64,6 +64,25 @@ val parallel_init : t -> int -> (int -> 'a) -> 'a array
     pool's domains, with the same ordering and exception guarantees as
     {!parallel_map}. *)
 
+val chain_map :
+  ?chunk_size:int ->
+  t option ->
+  step:('b option -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** [chain_map pool ~step arr] maps [arr] in chunks of [chunk_size]
+    (default 16) consecutive elements, where each chunk is an independent
+    {e warm-start chain}: within a chunk, [step] receives the previous
+    element's result ([None] at a chunk start) — the idiom for parameter
+    sweeps whose solver accepts the neighbouring grid point's solution as
+    an initial guess.  Chunks are evaluated across the pool ([None] runs
+    serially); because the chunk layout depends only on [chunk_size] and
+    the input length, never on the pool, the result is bit-identical for
+    any worker count {e provided} [step]'s output is determined by its
+    arguments (a warm start may change which of several equilibria a
+    solver lands on, but the chain structure — and hence the output — is
+    the same on every pool).  [chunk_size] must be positive. *)
+
 val map_reduce :
   t ->
   ?chunk_size:int ->

@@ -179,7 +179,7 @@ let test_game_solution_is_competitive () =
       in
       match audit with
       | Ok () -> ()
-      | Error e ->
+      | Error (_, e) ->
           Alcotest.failf "not an equilibrium at (%g, %g, %g): %s" kappa c nu e)
     [ (0.5, 0.3, 5.); (0.3, 0.6, 10.); (0.8, 0.2, 2.); (1., 0.5, 8.);
       (0.6, 0.4, 15.) ]
@@ -211,7 +211,7 @@ let test_game_nash_solver () =
     Cp_game.check_nash ~tol:1e-7 ~nu:3. ~strategy cps o.Cp_game.partition
   with
   | Ok () -> ()
-  | Error e -> Alcotest.fail e
+  | Error (_, e) -> Alcotest.fail e
 
 let test_game_nash_detects_deviation () =
   (* Park everyone in ordinary under a tempting premium class: the Nash

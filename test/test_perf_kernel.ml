@@ -1,0 +1,360 @@
+(* Differential tests for the optimized water-filling kernel (DESIGN.md
+   §9): the sorted-prefix Equilibrium solver and the caching/warm-started
+   CP-game engine must be bit-identical to the retained reference
+   implementations on every input — random ensembles, weighted systems,
+   degenerate classes, bracket hints good and bad — and every figure in
+   the registry must be reproduced identically for any jobs count. *)
+
+open Po_model
+open Po_core
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+(* Bit-level float equality: the contract is "bit-identical", not
+   "close". *)
+let check_bits name a b =
+  if Int64.bits_of_float a <> Int64.bits_of_float b then
+    Alcotest.failf "%s: %h <> %h" name a b
+
+let check_bits_array name a b =
+  Alcotest.(check int) (name ^ " length") (Array.length a) (Array.length b);
+  Array.iteri (fun i x -> check_bits (Printf.sprintf "%s.(%d)" name i) x b.(i)) a
+
+let check_solution name (a : Equilibrium.solution) (b : Equilibrium.solution) =
+  check_bits_array (name ^ " theta") a.Equilibrium.theta b.Equilibrium.theta;
+  check_bits_array (name ^ " demand") a.Equilibrium.demand b.Equilibrium.demand;
+  check_bits_array (name ^ " rho") a.Equilibrium.rho b.Equilibrium.rho;
+  check_bits (name ^ " per_capita_rate") a.Equilibrium.per_capita_rate
+    b.Equilibrium.per_capita_rate;
+  check_bits (name ^ " cap") a.Equilibrium.cap b.Equilibrium.cap;
+  Alcotest.(check bool)
+    (name ^ " congested")
+    a.Equilibrium.congested b.Equilibrium.congested
+
+let ensemble ?(n = 60) seed = Po_workload.Ensemble.paper_ensemble ~n ~seed ()
+
+let nu_grid cps =
+  let sat = Po_workload.Ensemble.saturation_nu cps in
+  [ 0.; 1e-6; 0.05 *. sat; 0.3 *. sat; 0.7 *. sat; 0.99 *. sat; sat;
+    1.5 *. sat ]
+
+(* ------------------------------------------------------------------ *)
+(* Equilibrium: optimized vs reference                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_eq_differential_random () =
+  List.iter
+    (fun seed ->
+      let cps = ensemble seed in
+      List.iter
+        (fun nu ->
+          check_solution
+            (Printf.sprintf "seed=%d nu=%g" seed nu)
+            (Equilibrium.solve ~nu cps)
+            (Equilibrium.solve_reference ~nu cps))
+        (nu_grid cps))
+    [ 1; 2; 3; 17; 99 ]
+
+let test_eq_differential_weighted () =
+  let cps = ensemble ~n:40 5 in
+  let rng = Po_prng.Splitmix.of_int 23 in
+  let weights =
+    Array.init (Array.length cps) (fun _ ->
+        0.25 +. Po_prng.Splitmix.float rng)
+  in
+  List.iter
+    (fun nu ->
+      check_solution
+        (Printf.sprintf "weighted nu=%g" nu)
+        (Equilibrium.solve ~weights ~nu cps)
+        (Equilibrium.solve_reference ~weights ~nu cps))
+    (nu_grid cps)
+
+let test_eq_context_reuse () =
+  (* A presorted context reused across many solves is the cp_game usage
+     pattern; it must not leak state between nus. *)
+  let cps = ensemble ~n:50 7 in
+  let ctx = Equilibrium.context cps in
+  List.iter
+    (fun nu ->
+      check_solution
+        (Printf.sprintf "context nu=%g" nu)
+        (Equilibrium.solve ~context:ctx ~nu cps)
+        (Equilibrium.solve_reference ~nu cps))
+    (nu_grid cps)
+
+let test_eq_bracket_hints_transparent () =
+  (* Any hint — tight, sloppy, not containing the root, reversed,
+     non-finite — must yield the bit-identical solution. *)
+  let cps = ensemble ~n:45 11 in
+  let sat = Po_workload.Ensemble.saturation_nu cps in
+  let nu = 0.4 *. sat in
+  let cold = Equilibrium.solve ~nu cps in
+  let root = cold.Equilibrium.cap in
+  List.iter
+    (fun (label, bracket) ->
+      check_solution
+        ("bracket " ^ label)
+        (Equilibrium.solve ~bracket ~nu cps)
+        cold)
+    [ ("tight", (root *. 0.99, root *. 1.01));
+      ("one-sided lo", (root *. 0.5, Float.infinity));
+      ("one-sided hi", (0., root *. 2.));
+      ("above root", (root *. 2., root *. 3.));
+      ("below root", (0., root *. 0.5));
+      ("reversed", (root *. 2., root *. 0.5));
+      ("negative", (-3., -1.));
+      ("nan", (Float.nan, Float.nan));
+      ("exact degenerate", (root, root)) ]
+
+let test_eq_all_saturated () =
+  (* nu >= unconstrained throughput: the uncongested branch, cap
+     infinite. *)
+  let cps = ensemble ~n:30 13 in
+  let unconstrained =
+    Array.fold_left (fun acc cp -> acc +. Cp.lambda_hat_per_capita cp) 0. cps
+  in
+  List.iter
+    (fun nu ->
+      let sol = Equilibrium.solve ~nu cps in
+      Alcotest.(check bool)
+        (Printf.sprintf "uncongested at nu=%g" nu)
+        false sol.Equilibrium.congested;
+      check_bits "cap is infinite" Float.infinity sol.Equilibrium.cap;
+      check_solution
+        (Printf.sprintf "all-saturated nu=%g" nu)
+        sol
+        (Equilibrium.solve_reference ~nu cps))
+    [ unconstrained; unconstrained *. 1.5; unconstrained +. 100. ]
+
+let test_eq_single_cp () =
+  let cp =
+    Cp.make ~id:0 ~alpha:0.7 ~theta_hat:2.5
+      ~demand:(Demand.exponential ~beta:4.) ~v:0.5 ()
+  in
+  List.iter
+    (fun nu ->
+      check_solution
+        (Printf.sprintf "single cp nu=%g" nu)
+        (Equilibrium.solve ~nu [| cp |])
+        (Equilibrium.solve_reference ~nu [| cp |]))
+    [ 0.; 0.1; 0.5; 1.; 1.74; 2. ]
+
+let test_eq_threshold_ties () =
+  (* Identical theta_hat / w thresholds: the sort must break ties by
+     original index so accumulation order — and the bits — are pinned. *)
+  let tied =
+    Array.init 12 (fun i ->
+        Cp.make ~id:i ~alpha:(0.3 +. (0.05 *. float_of_int (i mod 5)))
+          ~theta_hat:2.
+          ~demand:(Demand.exponential ~beta:(0.5 +. float_of_int (i mod 4)))
+          ())
+  in
+  List.iter
+    (fun nu ->
+      check_solution
+        (Printf.sprintf "ties nu=%g" nu)
+        (Equilibrium.solve ~nu tied)
+        (Equilibrium.solve_reference ~nu tied))
+    [ 0.; 0.5; 1.; 2.; 4.; 8. ]
+
+let test_eq_empty_and_zero () =
+  check_solution "empty population"
+    (Equilibrium.solve ~nu:3. [||])
+    (Equilibrium.solve_reference ~nu:3. [||]);
+  let cps = ensemble ~n:20 29 in
+  let zero = Equilibrium.solve ~nu:0. cps in
+  check_bits "zero capacity pins cap to 0" 0. zero.Equilibrium.cap;
+  Array.iteri
+    (fun i theta -> check_bits (Printf.sprintf "theta.(%d)" i) 0. theta)
+    zero.Equilibrium.theta;
+  check_solution "zero capacity" zero (Equilibrium.solve_reference ~nu:0. cps)
+
+(* ------------------------------------------------------------------ *)
+(* CP game: caching/warm-started engine vs cold reference engine       *)
+(* ------------------------------------------------------------------ *)
+
+let check_outcome name (a : Cp_game.outcome) (b : Cp_game.outcome) =
+  Alcotest.(check string)
+    (name ^ " partition")
+    (Partition.key a.Cp_game.partition)
+    (Partition.key b.Cp_game.partition);
+  check_bits_array (name ^ " theta") a.Cp_game.theta b.Cp_game.theta;
+  check_bits_array (name ^ " rho") a.Cp_game.rho b.Cp_game.rho;
+  check_bits (name ^ " cap_o") a.Cp_game.cap_ordinary b.Cp_game.cap_ordinary;
+  check_bits (name ^ " cap_p") a.Cp_game.cap_premium b.Cp_game.cap_premium;
+  check_bits (name ^ " lambda_o") a.Cp_game.lambda_ordinary
+    b.Cp_game.lambda_ordinary;
+  check_bits (name ^ " lambda_p") a.Cp_game.lambda_premium
+    b.Cp_game.lambda_premium;
+  check_bits (name ^ " phi") a.Cp_game.phi b.Cp_game.phi;
+  check_bits (name ^ " psi") a.Cp_game.psi b.Cp_game.psi;
+  Alcotest.(check bool) (name ^ " converged") a.Cp_game.converged
+    b.Cp_game.converged;
+  Alcotest.(check int) (name ^ " iterations") a.Cp_game.iterations
+    b.Cp_game.iterations
+
+let game_points cps =
+  let sat = Po_workload.Ensemble.saturation_nu cps in
+  [ (0.5, 0.3, 0.2 *. sat); (0.3, 0.6, 0.5 *. sat); (0.8, 0.2, 0.05 *. sat);
+    (1., 0.5, 0.4 *. sat); (0., 0.3, 0.3 *. sat); (0.6, 0.4, 1.2 *. sat) ]
+
+let test_game_differential () =
+  List.iter
+    (fun seed ->
+      let cps = ensemble ~n:50 seed in
+      List.iter
+        (fun (kappa, c, nu) ->
+          let strategy = Strategy.make ~kappa ~c in
+          check_outcome
+            (Printf.sprintf "seed=%d (%g,%g,nu=%g)" seed kappa c nu)
+            (Cp_game.solve ~nu ~strategy cps)
+            (Cp_game.solve_reference ~nu ~strategy cps))
+        (game_points cps))
+    [ 4; 42 ]
+
+let test_game_differential_small () =
+  (* Tiny populations exercise the tolerant phase and the Nash fallback,
+     where the engine's caches see the most reuse. *)
+  List.iter
+    (fun n ->
+      let cps = ensemble ~n (100 + n) in
+      List.iter
+        (fun (kappa, c, nu) ->
+          let strategy = Strategy.make ~kappa ~c in
+          check_outcome
+            (Printf.sprintf "n=%d (%g,%g,nu=%g)" n kappa c nu)
+            (Cp_game.solve ~nu ~strategy cps)
+            (Cp_game.solve_reference ~nu ~strategy cps))
+        (game_points cps))
+    [ 1; 2; 3; 7 ]
+
+let test_game_nash_differential () =
+  let cps = ensemble ~n:25 8 in
+  List.iter
+    (fun (kappa, c, nu) ->
+      let strategy = Strategy.make ~kappa ~c in
+      check_outcome
+        (Printf.sprintf "nash (%g,%g,nu=%g)" kappa c nu)
+        (Cp_game.solve_nash ~nu ~strategy cps)
+        (Cp_game.solve_nash_reference ~nu ~strategy cps))
+    (game_points cps)
+
+let test_game_zero_capacity () =
+  let cps = ensemble ~n:15 31 in
+  let strategy = Strategy.make ~kappa:0.5 ~c:0.3 in
+  check_outcome "nu=0"
+    (Cp_game.solve ~nu:0. ~strategy cps)
+    (Cp_game.solve_reference ~nu:0. ~strategy cps)
+
+(* ------------------------------------------------------------------ *)
+(* Chained sweeps: chunk layout independent of the pool                *)
+(* ------------------------------------------------------------------ *)
+
+let test_chain_map_matches_serial () =
+  let input = Array.init 103 (fun i -> float_of_int i /. 7.) in
+  let step prev x =
+    match prev with None -> x | Some p -> (0.5 *. p) +. x
+  in
+  let serial = Po_par.Pool.chain_map None ~step input in
+  List.iter
+    (fun domains ->
+      Po_par.Pool.with_pool ~domains (fun pool ->
+          check_bits_array
+            (Printf.sprintf "chain_map %d domains" domains)
+            serial
+            (Po_par.Pool.chain_map (Some pool) ~step input)))
+    [ 1; 2; 8 ];
+  (* Chunk boundaries: with chunk_size 10, element 10 starts a fresh
+     chain and must not see element 9. *)
+  let chunked = Po_par.Pool.chain_map ~chunk_size:10 None ~step input in
+  check_bits "chunk restart" input.(10) chunked.(10)
+
+let test_monopoly_sweeps_pool_invariant () =
+  let cps = ensemble ~n:40 3 in
+  let sat = Po_workload.Ensemble.saturation_nu cps in
+  let cs = Po_num.Grid.linspace 0. 1. 23 in
+  let nus = Po_num.Grid.linspace 1e-3 (2. *. sat) 23 in
+  let strategy = Strategy.make ~kappa:0.5 ~c:0.3 in
+  let prices = Monopoly.price_sweep ~nu:(0.4 *. sat) ~cs cps in
+  let caps = Monopoly.capacity_sweep ~strategy ~nus cps in
+  Po_par.Pool.with_pool ~domains:4 (fun pool ->
+      Array.iteri
+        (fun i (p : Monopoly.price_point) ->
+          check_bits
+            (Printf.sprintf "price psi.(%d)" i)
+            p.Monopoly.psi
+            (Monopoly.price_sweep ~pool ~nu:(0.4 *. sat) ~cs cps).(i)
+              .Monopoly.psi)
+        prices;
+      Array.iteri
+        (fun i (o : Cp_game.outcome) ->
+          check_outcome
+            (Printf.sprintf "capacity point %d" i)
+            o
+            (Monopoly.capacity_sweep ~pool ~strategy ~nus cps).(i))
+        caps)
+
+(* ------------------------------------------------------------------ *)
+(* Figure registry: every figure identical for any jobs count          *)
+(* ------------------------------------------------------------------ *)
+
+let series_of_figure (figure : Po_experiments.Common.figure) =
+  List.concat_map
+    (fun (panel, series) ->
+      List.map
+        (fun s ->
+          ( panel ^ "/" ^ Po_report.Series.label s,
+            (Po_report.Series.xs s, Po_report.Series.ys s) ))
+        series)
+    figure.Po_experiments.Common.panels
+
+let slow_test_registry_jobs_invariant () =
+  List.iter
+    (fun (entry : Po_experiments.Registry.entry) ->
+      let at jobs =
+        series_of_figure
+          (entry.Po_experiments.Registry.generate
+             ~params:{ Po_experiments.Common.quick_params with jobs }
+             ())
+      in
+      let reference = at 1 and got = at 3 in
+      Alcotest.(check int)
+        (entry.Po_experiments.Registry.id ^ " series count")
+        (List.length reference) (List.length got);
+      List.iter2
+        (fun (name, (xs, ys)) (name', (xs', ys')) ->
+          let name = entry.Po_experiments.Registry.id ^ "/" ^ name in
+          Alcotest.(check string) (name ^ " label") name
+            (entry.Po_experiments.Registry.id ^ "/" ^ name');
+          check_bits_array (name ^ " xs") xs xs';
+          check_bits_array (name ^ " ys") ys ys')
+        reference got)
+    Po_experiments.Registry.entries
+
+let () =
+  Alcotest.run "po_perf_kernel"
+    [ ( "equilibrium",
+        [ quick "random ensembles bit-identical" test_eq_differential_random;
+          quick "weighted systems bit-identical" test_eq_differential_weighted;
+          quick "context reuse" test_eq_context_reuse;
+          quick "bracket hints are transparent"
+            test_eq_bracket_hints_transparent;
+          quick "all-saturated ensembles" test_eq_all_saturated;
+          quick "single CP" test_eq_single_cp;
+          quick "threshold ties" test_eq_threshold_ties;
+          quick "empty and zero capacity" test_eq_empty_and_zero ] );
+      ( "cp_game",
+        [ quick "random ensembles bit-identical" test_game_differential;
+          quick "small populations bit-identical"
+            test_game_differential_small;
+          quick "nash solver bit-identical" test_game_nash_differential;
+          quick "zero capacity" test_game_zero_capacity ] );
+      ( "sweeps",
+        [ quick "chain_map pool-invariant" test_chain_map_matches_serial;
+          quick "monopoly sweeps pool-invariant"
+            test_monopoly_sweeps_pool_invariant ] );
+      ( "figures",
+        [ slow "whole registry identical at jobs 1/3"
+            slow_test_registry_jobs_invariant ] ) ]
