@@ -194,9 +194,7 @@ let json_float ?(decimals = 1) v =
   if Float.is_finite v then Printf.sprintf "%.*f" decimals v else "null"
 
 let write_bench_json ~kernels ~jobs ~speedups =
-  if not (Sys.file_exists results_dir) then Unix.mkdir results_dir 0o755;
   let path = Filename.concat results_dir "bench.json" in
-  let oc = open_out path in
   let kernel_rows =
     List.map
       (fun (name, ns) ->
@@ -216,17 +214,17 @@ let write_bench_json ~kernels ~jobs ~speedups =
           (json_float ~decimals:4 speedup))
       speedups
   in
-  Printf.fprintf oc
-    "{\n\
-    \  \"schema\": \"po-bench-v1\",\n\
-    \  \"jobs\": %d,\n\
-    \  \"kernels\": [\n%s\n  ],\n\
-    \  \"sweep_speedup\": [\n%s\n  ]\n\
-     }\n"
-    jobs
-    (String.concat ",\n" kernel_rows)
-    (String.concat ",\n" speedup_rows);
-  close_out oc;
+  Po_report.Writer.write_atomic ~path
+    (Printf.sprintf
+       "{\n\
+       \  \"schema\": \"po-bench-v1\",\n\
+       \  \"jobs\": %d,\n\
+       \  \"kernels\": [\n%s\n  ],\n\
+       \  \"sweep_speedup\": [\n%s\n  ]\n\
+        }\n"
+       jobs
+       (String.concat ",\n" kernel_rows)
+       (String.concat ",\n" speedup_rows));
   Printf.printf "machine-readable benchmark results written to %s\n\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -248,7 +246,7 @@ let () =
     if quick then Po_experiments.Common.quick_params
     else
       { Po_experiments.Common.n_cps = 400; seed = 42; sweep_points = 17;
-        jobs = 1 }
+        jobs = 1; checkpoint = None }
   in
   let params =
     { params with

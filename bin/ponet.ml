@@ -49,7 +49,8 @@ let params_term =
              machine's recommended domain count.")
   in
   let make n_cps seed sweep_points jobs =
-    { Po_experiments.Common.n_cps; seed; sweep_points; jobs = max 1 jobs }
+    { Po_experiments.Common.n_cps; seed; sweep_points; jobs = max 1 jobs;
+      checkpoint = None }
   in
   Term.(const make $ n_cps $ seed $ points $ jobs)
 
@@ -80,23 +81,92 @@ let fig_cmd =
   let no_plots =
     Arg.(value & flag & info [ "no-plots" ] ~doc:"Skip the ASCII plots.")
   in
-  let run id params csv_dir no_plots =
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the sweep chunks an interrupted run journalled under \
+             the checkpoint directory instead of recomputing them.  The \
+             resumed figure is byte-identical to an uninterrupted run, \
+             for any $(b,--jobs) on either side.")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt string ".ponet-checkpoints"
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:"Where sweep checkpoint journals live.")
+  in
+  let no_checkpoint =
+    Arg.(
+      value & flag
+      & info [ "no-checkpoint" ]
+          ~doc:"Disable sweep checkpointing for this run.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ]
+          ~env:(Cmd.Env.info "PONET_INJECT")
+          ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic fault injection, e.g. \
+             $(b,solver@3,worker@1,write@2): fail the k-th solver \
+             call, the chunk with logical index k, or the k-th atomic \
+             write.  Chunk indices are pure functions of the sweep \
+             geometry, so an injected fault fires at the same place for \
+             any $(b,--jobs).")
+  in
+  let run id params csv_dir no_plots resume checkpoint_dir no_checkpoint
+      inject =
+    (match inject with
+    | None -> Po_guard.Faultinject.disarm ()
+    | Some spec -> (
+        match Po_guard.Faultinject.parse spec with
+        | Ok spec -> Po_guard.Faultinject.arm spec
+        | Error msg ->
+            Printf.eprintf "ponet fig: bad --inject spec: %s\n" msg;
+            exit 2));
+    let params =
+      { params with
+        Po_experiments.Common.checkpoint =
+          (if no_checkpoint then None
+           else
+             Some { Po_experiments.Common.dir = checkpoint_dir; resume }) }
+    in
     match Po_experiments.Registry.find id with
     | None ->
         Printf.eprintf "unknown figure id %S; try 'ponet list'\n" id;
         exit 1
-    | Some entry ->
-        let figure = entry.Po_experiments.Registry.generate ~params () in
-        print_string (Po_experiments.Common.render ~plots:(not no_plots) figure);
-        (match csv_dir with
-        | None -> ()
-        | Some dir ->
-            let written = Po_experiments.Common.csv_files ~dir figure in
-            List.iter (Printf.printf "wrote %s\n") written)
+    | Some entry -> (
+        match
+          Po_guard.Po_error.capture (fun () ->
+              let figure = entry.Po_experiments.Registry.generate ~params () in
+              print_string
+                (Po_experiments.Common.render ~plots:(not no_plots) figure);
+              match csv_dir with
+              | None -> ()
+              | Some dir ->
+                  let written = Po_experiments.Common.csv_files ~dir figure in
+                  List.iter (Printf.printf "wrote %s\n") written)
+        with
+        | Ok () -> ()
+        | Error e ->
+            Printf.eprintf "ponet fig: %s\n" (Po_guard.Po_error.to_string e);
+            (if not no_checkpoint then
+               Printf.eprintf
+                 "ponet fig: completed chunks are journalled under %s; \
+                  re-run with --resume to pick up where this run stopped\n"
+                 checkpoint_dir);
+            exit 1)
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Regenerate one of the paper's figures")
-    Term.(const run $ id $ params_term $ csv_dir $ no_plots)
+    Term.(
+      const run $ id $ params_term $ csv_dir $ no_plots $ resume
+      $ checkpoint_dir $ no_checkpoint $ inject)
 
 let claims_cmd =
   let run params =

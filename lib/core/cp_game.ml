@@ -531,6 +531,40 @@ let solve_nash_reference ?init ?max_rounds ~nu ~strategy cps =
   solve_nash_eng (reference_engine ()) ?init ?max_rounds ~nu ~strategy cps
 
 (* ------------------------------------------------------------------ *)
+(* Typed error channel (DESIGN.md §10)                                *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_converged ?(context = []) outcome =
+  if outcome.converged then outcome
+  else
+    Po_guard.Po_error.fail
+      ~context:
+        (context
+        @ [ ("solver", "cp_game");
+            ("nu", Printf.sprintf "%.17g" outcome.nu);
+            ("strategy", Strategy.to_string outcome.strategy) ])
+      (Po_guard.Po_error.Non_convergence
+         { residual =
+             (match outcome.concept with
+             | Competitive eps -> eps
+             | Expost_nash -> Float.nan);
+           iterations = outcome.iterations })
+
+let checked run =
+  Po_guard.Po_error.capture (fun () ->
+      match run () with
+      | o -> ensure_converged o
+      | exception Invalid_argument msg ->
+          Po_guard.Po_error.fail
+            (Po_guard.Po_error.Invalid_scenario msg))
+
+let solve_checked ?init ?max_iter ~nu ~strategy cps =
+  checked (fun () -> solve ?init ?max_iter ~nu ~strategy cps)
+
+let solve_nash_checked ?init ?max_rounds ~nu ~strategy cps =
+  checked (fun () -> solve_nash ?init ?max_rounds ~nu ~strategy cps)
+
+(* ------------------------------------------------------------------ *)
 (* Equilibrium audits                                                 *)
 (* ------------------------------------------------------------------ *)
 

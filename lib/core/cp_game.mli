@@ -129,3 +129,24 @@ val solve_nash_reference :
   ?init:Partition.t -> ?max_rounds:int -> nu:float -> strategy:Strategy.t ->
   Po_model.Cp.t array -> outcome
 (** {!solve_nash} on the cold reference engine (see {!solve_reference}). *)
+
+val ensure_converged : ?context:(string * string) list -> outcome -> outcome
+(** Identity on a converged outcome; raises [Po_guard.Po_error.Error]
+    with kind [Non_convergence] (stamped with the solver name, [nu] and
+    the strategy, plus the caller's [context] frames) on a best-effort
+    one — the guard call sites use so that a dropped [converged] flag
+    can never silently feed a figure (DESIGN.md §10). *)
+
+val solve_checked :
+  ?init:Partition.t -> ?max_iter:int -> nu:float -> strategy:Strategy.t ->
+  Po_model.Cp.t array -> (outcome, Po_guard.Po_error.t) result
+(** {!solve} through the typed error channel: [Error] carries
+    [Non_convergence] when the iteration budget ran out (where {!solve}
+    returns [converged = false]), [Invalid_scenario] for domain errors,
+    and any typed error the inner equilibrium solves raised. *)
+
+val solve_nash_checked :
+  ?init:Partition.t -> ?max_rounds:int -> nu:float -> strategy:Strategy.t ->
+  Po_model.Cp.t array -> (outcome, Po_guard.Po_error.t) result
+(** {!solve_nash} through the typed error channel (see
+    {!solve_checked}). *)

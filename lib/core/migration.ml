@@ -18,7 +18,10 @@ let phis_at (config : Oligopoly.config) cps shares =
         if shares.(i) <= 1e-12 then nu_big
         else Float.min nu_big (isp.Oligopoly.gamma *. config.Oligopoly.nu /. shares.(i))
       in
-      (Cp_game.solve ~nu:nu_i ~strategy:isp.Oligopoly.strategy cps).Cp_game.phi)
+      (Cp_game.ensure_converged
+         ~context:[ ("stage", "migration"); ("isp", isp.Oligopoly.label) ]
+         (Cp_game.solve ~nu:nu_i ~strategy:isp.Oligopoly.strategy cps))
+        .Cp_game.phi)
     config.Oligopoly.isps
 
 let init_with ~shares config cps =
@@ -78,6 +81,19 @@ let run ?eta ?(tol = 1e-4) ?(max_steps = 500) config cps state =
     else loop (step ?eta config cps st) (steps + 1)
   in
   loop state 0
+
+let run_checked ?eta ?tol ?max_steps config cps state =
+  Po_guard.Po_error.capture (fun () ->
+      match run ?eta ?tol ?max_steps config cps state with
+      | final, true -> final
+      | final, false ->
+          Po_guard.Po_error.fail
+            ~context:[ ("stage", "migration") ]
+            (Po_guard.Po_error.Non_convergence
+               { residual = surplus_spread final; iterations = final.time })
+      | exception Invalid_argument msg ->
+          Po_guard.Po_error.fail
+            (Po_guard.Po_error.Invalid_scenario msg))
 
 let run_continuous ?(dt = 0.2) ?(tol = 1e-4) ?(max_steps = 2000) config cps
     state =

@@ -29,14 +29,24 @@ let price_sweep ?pool ?chunk_size ?(kappa = 1.) ~nu ~cs cps =
     (Po_par.Pool.chain_map ?chunk_size pool
        ~step:(fun prev c ->
          let strategy = Strategy.make ~kappa ~c in
-         Cp_game.solve ?init:(warm_init prev) ~nu ~strategy cps)
+         Cp_game.ensure_converged ~context:[ ("sweep", "price") ]
+           (Cp_game.solve ?init:(warm_init prev) ~nu ~strategy cps))
        cs)
 
 let capacity_sweep ?pool ?chunk_size ~strategy ~nus cps =
   Po_par.Pool.chain_map ?chunk_size pool
     ~step:(fun prev nu ->
-      Cp_game.solve ?init:(warm_init prev) ~nu ~strategy cps)
+      Cp_game.ensure_converged ~context:[ ("sweep", "capacity") ]
+        (Cp_game.solve ?init:(warm_init prev) ~nu ~strategy cps))
     nus
+
+let price_sweep_checked ?pool ?chunk_size ?kappa ~nu ~cs cps =
+  Po_guard.Po_error.capture (fun () ->
+      price_sweep ?pool ?chunk_size ?kappa ~nu ~cs cps)
+
+let capacity_sweep_checked ?pool ?chunk_size ~strategy ~nus cps =
+  Po_guard.Po_error.capture (fun () ->
+      capacity_sweep ?pool ?chunk_size ~strategy ~nus cps)
 
 let max_revenue_price cps =
   Array.fold_left (fun acc (cp : Cp.t) -> Float.max acc cp.Cp.v) 0. cps
@@ -96,6 +106,14 @@ let regime_outcome ~nu regime cps =
           (Strategy.make ~kappa:best.Po_num.Optimize.x1
              ~c:best.Po_num.Optimize.x2)
         cps
+
+let regime_outcome_checked ~nu regime cps =
+  Po_guard.Po_error.capture (fun () ->
+      match regime_outcome ~nu regime cps with
+      | o -> Cp_game.ensure_converged ~context:[ ("stage", "regime") ] o
+      | exception Invalid_argument msg ->
+          Po_guard.Po_error.fail
+            (Po_guard.Po_error.Invalid_scenario msg))
 
 let check_theorem4 ?(tol = 1e-6) ~nu ~c ~kappas cps =
   let revenue kappa =

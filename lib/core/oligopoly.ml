@@ -171,7 +171,10 @@ let solve_given_curves ~nu_sat ~curves ?prices config cps =
   in
   let outcomes =
     Array.init n (fun i ->
-        Cp_game.solve ~nu:nus.(i) ~strategy:config.isps.(i).strategy cps)
+        Cp_game.ensure_converged
+          ~context:
+            [ ("stage", "oligopoly"); ("isp", config.isps.(i).label) ]
+          (Cp_game.solve ~nu:nus.(i) ~strategy:config.isps.(i).strategy cps))
   in
   let phis = Array.map (fun (o : Cp_game.outcome) -> o.Cp_game.phi) outcomes in
   let psis =
@@ -189,6 +192,14 @@ let solve ?pool ?(curve_points = 140) ?prices config cps =
       config.isps
   in
   solve_given_curves ~nu_sat ~curves ?prices config cps
+
+let solve_checked ?pool ?curve_points ?prices config cps =
+  Po_guard.Po_error.capture (fun () ->
+      match solve ?pool ?curve_points ?prices config cps with
+      | eq -> eq
+      | exception Invalid_argument msg ->
+          Po_guard.Po_error.fail
+            (Po_guard.Po_error.Invalid_scenario msg))
 
 (* The surplus curve of a strategy is independent of the rival profile, so
    searches over a strategy menu cache one curve per strategy. *)
@@ -294,6 +305,23 @@ let market_share_nash ?pool ?(rounds = 10) ?strategies ?(curve_points = 90)
     if not !moved then converged := true
   done;
   (!current, solve_cached !current, !converged)
+
+let market_share_nash_checked ?pool ?rounds ?strategies ?curve_points config
+    cps =
+  Po_guard.Po_error.capture (fun () ->
+      match market_share_nash ?pool ?rounds ?strategies ?curve_points config
+              cps
+      with
+      | cfg, eq, true -> (cfg, eq)
+      | _, _, false ->
+          Po_guard.Po_error.fail
+            ~context:[ ("stage", "market_share_nash") ]
+            (Po_guard.Po_error.Non_convergence
+               { residual = Float.nan;
+                 iterations = Option.value rounds ~default:10 })
+      | exception Invalid_argument msg ->
+          Po_guard.Po_error.fail
+            (Po_guard.Po_error.Invalid_scenario msg))
 
 let check_lemma4 ?(tol = 5e-3) config cps =
   let s0 = config.isps.(0).strategy in

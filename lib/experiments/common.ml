@@ -6,15 +6,21 @@ type figure = {
   notes : string list;
 }
 
+type checkpoint = { dir : string; resume : bool }
+
 type params = {
   n_cps : int;
   seed : int;
   sweep_points : int;
   jobs : int;
+  checkpoint : checkpoint option;
 }
 
-let default_params = { n_cps = 1000; seed = 42; sweep_points = 33; jobs = 1 }
-let quick_params = { n_cps = 120; seed = 42; sweep_points = 9; jobs = 1 }
+let default_params =
+  { n_cps = 1000; seed = 42; sweep_points = 33; jobs = 1; checkpoint = None }
+
+let quick_params =
+  { n_cps = 120; seed = 42; sweep_points = 9; jobs = 1; checkpoint = None }
 
 (* One pool per process, resized only when [jobs] changes.  Worker
    domains park on a condition variable between sweeps, so keeping the
@@ -42,13 +48,155 @@ let pool params =
         cached_pool := Some (params.jobs, pool);
         Some pool
 
-let sweep_par params f arr =
-  match pool params with
-  | None -> Array.map f arr
-  | Some pool -> Po_par.Pool.parallel_map pool f arr
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    name
 
-let sweep_chained ?chunk_size params ~step arr =
-  Po_par.Pool.chain_map ?chunk_size (pool params) ~step arr
+(* ------------------------------------------------------------------ *)
+(* Crash-safe sweep checkpointing (DESIGN.md §10)                     *)
+(*                                                                    *)
+(* Every chunked sweep of the current figure journals each completed  *)
+(* chunk to an append-only file keyed by (figure, sweep index, a hash *)
+(* of the sweep geometry and the scenario parameters).  A resumed run *)
+(* replays journalled chunks through the [cached] hook of the chunked *)
+(* combinators — the chunk layout is a pure function of the input     *)
+(* length and [chunk_size], never of [jobs], so a journal written     *)
+(* under any worker count resumes bit-identically under any other.    *)
+(* ------------------------------------------------------------------ *)
+
+(* The figure currently generating: its id, a per-figure sweep counter
+   (figures call their sweeps in a fixed order, so the counter is a
+   stable coordinate), and the journal files the figure has touched
+   (removed on success).  Set by {!with_figure_scope}. *)
+type scope_state = {
+  figure : string;
+  sweep_counter : int ref;
+  journals : string list ref;
+}
+
+let scope : scope_state option ref = ref None
+
+let with_figure_scope figure f =
+  let st = { figure; sweep_counter = ref 0; journals = ref [] } in
+  scope := Some st;
+  Fun.protect
+    ~finally:(fun () -> scope := None)
+    (fun () ->
+      let result = f () in
+      (* Success: the figure's journals have served their purpose. *)
+      List.iter Po_report.Writer.remove_if_exists !(st.journals);
+      result)
+
+let hex_encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    match
+      String.init (n / 2) (fun i ->
+          Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+    with
+    | decoded -> Some decoded
+    | exception (Failure _ | Invalid_argument _) -> None
+
+(* Serialised appends: [on_chunk] fires concurrently from several
+   domains, and interleaved writes would tear journal lines. *)
+let journal_mutex = Mutex.create ()
+
+let append_chunk path ci r =
+  let line =
+    Printf.sprintf "v1 %d %s" ci (hex_encode (Marshal.to_string r []))
+  in
+  Mutex.lock journal_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock journal_mutex)
+    (fun () -> Po_report.Writer.append_line ~path line)
+
+(* Tolerant journal load: a malformed or torn line (the process may have
+   died mid-append) is skipped — its chunk simply recomputes.  Marshal
+   payloads are untyped, so the file name's geometry hash plus the
+   length check inside the chunked combinators are the integrity
+   guards. *)
+let load_journal path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let tbl = Hashtbl.create 16 in
+    (try
+       while true do
+         let line = input_line ic in
+         match String.split_on_char ' ' line with
+         | [ "v1"; ci; hex ] -> (
+             match (int_of_string_opt ci, hex_decode hex) with
+             | Some ci, Some data -> (
+                 (* Failure: truncated marshal body; Invalid_argument:
+                    payload shorter than a marshal header. *)
+                 match Marshal.from_string data 0 with
+                 | v -> Hashtbl.replace tbl ci v
+                 | exception (Failure _ | Invalid_argument _) -> ())
+             | _ -> ())
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Some tbl
+  end
+
+let journal_path params ~figure ~sweep ~n ~chunk_size dir =
+  (* [jobs] is deliberately absent: a journal written under any worker
+     count must resume under any other. *)
+  let hash =
+    Hashtbl.hash
+      ( params.n_cps, params.seed, params.sweep_points, n, chunk_size,
+        figure, sweep )
+  in
+  Filename.concat dir
+    (Printf.sprintf "%s__sweep%d__%08x.journal" (sanitize figure) sweep hash)
+
+(* The [cached]/[on_chunk] hooks for the next sweep of the current
+   figure, or [(None, None)] when checkpointing is off or no figure
+   scope is active (library callers outside the registry). *)
+let journal_hooks params ~n ~chunk_size =
+  match (params.checkpoint, !scope) with
+  | Some cp, Some st ->
+      let sweep = !(st.sweep_counter) in
+      incr st.sweep_counter;
+      let path =
+        journal_path params ~figure:st.figure ~sweep ~n ~chunk_size cp.dir
+      in
+      st.journals := path :: !(st.journals);
+      if not cp.resume then Po_report.Writer.remove_if_exists path;
+      let cached =
+        if cp.resume then
+          Option.map
+            (fun tbl ci -> Hashtbl.find_opt tbl ci)
+            (load_journal path)
+        else None
+      in
+      (cached, Some (fun ci r -> append_chunk path ci r))
+  | _ -> (None, None)
+
+let default_chunk = 16
+
+let sweep_par ?(chunk_size = default_chunk) params f arr =
+  let cached, on_chunk =
+    journal_hooks params ~n:(Array.length arr) ~chunk_size
+  in
+  Po_par.Pool.chunk_map ~chunk_size ?cached ?on_chunk (pool params) ~f arr
+
+let sweep_chained ?(chunk_size = default_chunk) params ~step arr =
+  let cached, on_chunk =
+    journal_hooks params ~n:(Array.length arr) ~chunk_size
+  in
+  Po_par.Pool.chain_map ~chunk_size ?cached ?on_chunk (pool params) ~step arr
 
 let sweep_serpentine ?chunk_size params ~rows ~cols ~step =
   let n_rows = Array.length rows and n_cols = Array.length cols in
@@ -65,7 +213,7 @@ let sweep_serpentine ?chunk_size params ~rows ~cols ~step =
           (r, serp r (k mod n_cols)))
     in
     let results =
-      Po_par.Pool.chain_map ?chunk_size (pool params)
+      sweep_chained ?chunk_size params
         ~step:(fun prev (r, j) -> step prev rows.(r) cols.(j))
         flat
     in
@@ -102,14 +250,6 @@ let render ?(plots = true) figure =
       figure.notes
   end;
   Buffer.contents buf
-
-let sanitize name =
-  String.map
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
-      | _ -> '_')
-    name
 
 let csv_files ~dir figure =
   List.map

@@ -13,6 +13,14 @@ type figure = {
   notes : string list;  (** observations to compare against the paper *)
 }
 
+type checkpoint = {
+  dir : string;  (** directory holding the sweep journal files *)
+  resume : bool;
+      (** [true] replays journalled chunks from a previous (possibly
+          crashed) run; [false] discards any stale journal at each
+          sweep start *)
+}
+
 type params = {
   n_cps : int;  (** ensemble size *)
   seed : int;
@@ -21,6 +29,10 @@ type params = {
       (** domains used for sweep evaluation; [1] keeps every figure on
           the serial code path.  Any value produces bit-identical
           figures (see {!Po_par.Pool}). *)
+  checkpoint : checkpoint option;
+      (** when set, chunked sweeps journal completed chunks so an
+          interrupted figure can resume ({!with_figure_scope});
+          [None] (the library default) journals nothing *)
 }
 
 val default_params : params
@@ -35,10 +47,26 @@ val pool : params -> Po_par.Pool.t option
     [jobs <= 1].  The pool is cached across calls and resized only when
     [jobs] changes; it is shut down automatically at exit. *)
 
-val sweep_par : params -> ('a -> 'b) -> 'a array -> 'b array
-(** [sweep_par params f arr] maps [f] over [arr] through {!pool} —
-    [Array.map] when [jobs <= 1].  [f] must be pure; results are in
-    input order either way. *)
+val with_figure_scope : string -> (unit -> 'a) -> 'a
+(** [with_figure_scope id f] runs [f] with [id] as the active figure
+    scope: each chunked sweep inside [f] gets a stable sweep index and —
+    when [params.checkpoint] is set — a journal file named
+    [<figure>__sweep<k>__<hash>.journal] under [checkpoint.dir], whose
+    hash covers the scenario parameters and the sweep geometry (but
+    never [jobs]: a journal written under any worker count resumes
+    under any other).  Completed chunks are appended as they finish
+    ([v1 <chunk> <hex(Marshal)>] lines, torn tails tolerated); with
+    [checkpoint.resume] journalled chunks are replayed instead of
+    recomputed, bit-identically.  On success the figure's journals are
+    removed; on an exception they are kept for a later [--resume].
+    The registry wraps every generator in this. *)
+
+val sweep_par : ?chunk_size:int -> params -> ('a -> 'b) -> 'a array -> 'b array
+(** [sweep_par params f arr] maps [f] over [arr] through {!pool} in
+    fixed chunks of [chunk_size] (default 16) elements
+    ({!Po_par.Pool.chunk_map}) — serial when [jobs <= 1].  [f] must be
+    pure; results are in input order either way.  Chunks journal under
+    an active figure scope (see {!with_figure_scope}). *)
 
 val sweep_chained :
   ?chunk_size:int -> params -> step:('b option -> 'a -> 'b) -> 'a array ->
@@ -47,7 +75,8 @@ val sweep_chained :
     fixed chunks of warm-start chains ([step] gets the previous grid
     point's result within a chunk, [None] at chunk starts).  The chunk
     layout is independent of [jobs], so any value reproduces the same
-    figure bit for bit. *)
+    figure bit for bit.  Chunks journal under an active figure scope
+    (see {!with_figure_scope}). *)
 
 val sweep_serpentine :
   ?chunk_size:int -> params -> rows:'a array -> cols:'c array ->

@@ -30,7 +30,14 @@ let generate ?(params = Common.default_params) () =
               None menu
           in
           match best with
-          | Some (_, o) -> (o.Cp_game.phi, true)
+          | Some (_, o) ->
+              (* The winning outcome feeds the figure, so its converged
+                 flag must hold — it used to be hard-coded true here. *)
+              let o =
+                Cp_game.ensure_converged
+                  ~context:[ ("figure", "nisp"); ("isps", "1") ] o
+              in
+              (o.Cp_game.phi, o.Cp_game.converged)
           | None -> (0., false)
         end
         else begin

@@ -4,6 +4,17 @@ type entry = {
   generate : ?params:Common.params -> unit -> Common.figure;
 }
 
+(* Every generator runs inside its figure scope (checkpoint journals,
+   DESIGN.md §10) and stamps typed errors with the figure id. *)
+let guarded entry =
+  { entry with
+    generate =
+      (fun ?params () ->
+        Common.with_figure_scope entry.id (fun () ->
+            Po_guard.Po_error.with_context
+              [ ("figure", entry.id) ]
+              (fun () -> entry.generate ?params ()))) }
+
 let entries =
   [ { id = "fig2"; description = "demand family d(omega) for various beta";
       generate = (fun ?params () -> Fig02.generate ?params ()) };
@@ -59,6 +70,7 @@ let entries =
     { id = "tandem";
       description = "extension: tandem backbone+last-mile vs single bottleneck";
       generate = (fun ?params () -> Tandem_fig.generate ?params ()) } ]
+  |> List.map guarded
 
 let find id = List.find_opt (fun e -> e.id = id) entries
 let ids () = List.map (fun e -> e.id) entries

@@ -12,7 +12,11 @@ val entries : entry list
 (** In paper order — fig2, fig3, fig4, fig5, fig7, fig8, fig9, fig10,
     fig11, fig12 (figures 1 and 6 are schematic diagrams with no data
     series) — followed by the extensions and ablations: tcp, posize,
-    welfare, invest, mm1, pmp, red. *)
+    welfare, invest, mm1, pmp, red.
+
+    Every [generate] runs inside {!Common.with_figure_scope} (so
+    checkpointed sweeps journal and can resume) and stamps any typed
+    error with a [figure] context frame (DESIGN.md §10). *)
 
 val find : string -> entry option
 val ids : unit -> string list

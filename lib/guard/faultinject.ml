@@ -1,0 +1,82 @@
+type site = Solver | Worker | Write
+
+type spec = { solver : int option; worker : int option; write : int option }
+
+exception Injected_fault of string
+
+type state = {
+  spec : spec;
+  solver_calls : int Atomic.t;
+  write_calls : int Atomic.t;
+}
+
+let current : state option Atomic.t = Atomic.make None
+
+let disarmed = { solver = None; worker = None; write = None }
+
+let parse s =
+  let parse_entry acc entry =
+    match acc with
+    | Error _ -> acc
+    | Ok spec -> (
+        match String.split_on_char '@' (String.trim entry) with
+        | [ site; k ] -> (
+            match int_of_string_opt (String.trim k) with
+            | None ->
+                Error (Printf.sprintf "bad fault index %S in %S" k entry)
+            | Some k -> (
+                match String.trim site with
+                | "solver" ->
+                    if k < 1 then Error "solver@k needs k >= 1"
+                    else Ok { spec with solver = Some k }
+                | "worker" ->
+                    if k < 0 then Error "worker@k needs k >= 0"
+                    else Ok { spec with worker = Some k }
+                | "write" ->
+                    if k < 1 then Error "write@k needs k >= 1"
+                    else Ok { spec with write = Some k }
+                | other ->
+                    Error
+                      (Printf.sprintf
+                         "unknown fault site %S (expected solver, worker or \
+                          write)"
+                         other)))
+        | _ ->
+            Error
+              (Printf.sprintf "bad fault entry %S (expected site@index)" entry))
+  in
+  if String.trim s = "" then Error "empty fault spec"
+  else
+    List.fold_left parse_entry (Ok disarmed) (String.split_on_char ',' s)
+
+let to_string spec =
+  String.concat ","
+    (List.filter_map Fun.id
+       [ Option.map (Printf.sprintf "solver@%d") spec.solver;
+         Option.map (Printf.sprintf "worker@%d") spec.worker;
+         Option.map (Printf.sprintf "write@%d") spec.write ])
+
+let arm spec =
+  Atomic.set current
+    (Some { spec; solver_calls = Atomic.make 0; write_calls = Atomic.make 0 })
+
+let disarm () = Atomic.set current None
+
+let armed () =
+  match Atomic.get current with None -> None | Some st -> Some st.spec
+
+let fire site ~key =
+  match Atomic.get current with
+  | None -> false
+  | Some st -> (
+      match site with
+      | Worker -> (
+          match st.spec.worker with Some k -> k = key | None -> false)
+      | Solver -> (
+          match st.spec.solver with
+          | Some k -> Atomic.fetch_and_add st.solver_calls 1 + 1 = k
+          | None -> false)
+      | Write -> (
+          match st.spec.write with
+          | Some k -> Atomic.fetch_and_add st.write_calls 1 + 1 = k
+          | None -> false))

@@ -1,0 +1,51 @@
+(** Deterministic fault injection (DESIGN.md §10).
+
+    Each failure path of the solver/sweep stack carries an {e armed fault
+    site}: a named hook that, when armed, forces that path to fail at a
+    chosen point.  Disarmed (the default, and the only state production
+    code ever sees) a site costs one atomic load; nothing fires unless a
+    test or [ponet --inject] arms a {!spec}.
+
+    {b Spec grammar} (also accepted via the [PONET_INJECT] environment
+    variable in the CLI):
+
+    {v spec    ::= entry ("," entry)*
+entry   ::= site "@" nat
+site    ::= "solver" | "worker" | "write" v}
+
+    - [solver@k] — the [k]-th (1-based, process-wide) guarded
+      equilibrium solve reports {!Po_error.Non_convergence}.
+    - [worker@k] — the sweep chunk with logical index [k] (0-based; the
+      chunk layout is a pure function of the input length and chunk
+      size, never of [--jobs]) raises {!Po_error.Worker_crash} before
+      any of its work runs.
+    - [write@k] — the [k]-th (1-based) atomic file write fails with
+      {!Po_error.Io_failure} {e after} writing the temp file but before
+      the rename, so the target must be left untouched.
+
+    [worker@k] is deterministic for any worker count.  [solver@k] and
+    [write@k] count call arrivals; under a parallel sweep the {e set} of
+    guarded calls is fixed but which arrives [k]-th depends on
+    scheduling, so tests that pin the exact victim run with [--jobs 1]. *)
+
+type site = Solver | Worker | Write
+
+type spec = { solver : int option; worker : int option; write : int option }
+
+exception Injected_fault of string
+(** The payload carried inside an injected {!Po_error.Worker_crash}. *)
+
+val parse : string -> (spec, string) result
+val to_string : spec -> string
+
+val arm : spec -> unit
+(** Arm [spec], resetting all call counters. *)
+
+val disarm : unit -> unit
+val armed : unit -> spec option
+
+val fire : site -> key:int -> bool
+(** [fire site ~key] — called by the guarded code at the fault site;
+    [true] means "fail now".  [key] is the chunk index for [Worker] and
+    ignored for the counting sites.  Constant-time [false] when
+    disarmed. *)

@@ -1,0 +1,65 @@
+(** The typed error channel of the solver/sweep stack (DESIGN.md §10).
+
+    Every recoverable failure of the numeric and game layers is a value
+    of {!t}: an error {!kind} plus a list of {e context frames} — ordered
+    key/value pairs ("figure", "fig4"; "chunk", "3"; "cps", "1000";
+    "seed", "42") attached as the error climbs out of the layer that
+    produced it.  Layers that cannot return [result] raise {!Error};
+    boundary APIs ([solve_checked], the CLI) catch it with {!capture} and
+    hand back [(_, t) result].
+
+    The taxonomy is deliberately small: a failure either comes from
+    root-finding ([No_bracket]), from an iteration that ran out of budget
+    ([Non_convergence]), from inputs outside the model's domain
+    ([Invalid_scenario]), from a worker domain dying mid-sweep
+    ([Worker_crash]), or from the filesystem ([Io_failure]).  Anything
+    else is a programming error and stays an ordinary exception. *)
+
+type kind =
+  | No_bracket of string
+      (** a root-finder could not bracket a sign change (the
+          {!Po_num.Roots.No_bracket} payload verbatim) *)
+  | Non_convergence of { residual : float; iterations : int }
+      (** an iteration hit its cap; [residual] is the last step size /
+          defect (solver-specific, [nan] when meaningless) *)
+  | Invalid_scenario of string
+      (** inputs outside the model's domain (bad weights, shares not
+          summing to 1, ...) *)
+  | Worker_crash of { chunk : int; exn : exn }
+      (** a pool worker died evaluating the given chunk; [exn] is the
+          original exception *)
+  | Io_failure of { path : string; reason : string }
+      (** a filesystem operation failed; the target is never left
+          half-written (lib/report's atomic writer) *)
+
+type t = {
+  kind : kind;
+  context : (string * string) list;
+      (** outermost frame first, e.g. [("figure", "fig4"); ("chunk", "3")] *)
+}
+
+exception Error of t
+(** The carrier used by layers whose signatures cannot return [result]. *)
+
+val v : ?context:(string * string) list -> kind -> t
+
+val fail : ?context:(string * string) list -> kind -> 'a
+(** [fail kind] raises {!Error}. *)
+
+val add_context : (string * string) list -> t -> t
+(** Prepend frames (they describe an enclosing scope). *)
+
+val with_context : (string * string) list -> (unit -> 'a) -> 'a
+(** Run a thunk; if it raises {!Error}, re-raise with the frames
+    prepended (backtrace preserved).  Every other exception passes
+    through untouched. *)
+
+val capture : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, catching {!Error} — the bridge from the raising world
+    to the [result] world.  Other exceptions pass through. *)
+
+val kind_to_string : kind -> string
+
+val to_string : t -> string
+(** ["equilibrium solver did not converge ... [figure=fig4 chunk=3]"] —
+    one line, context frames bracketed at the end. *)

@@ -1,0 +1,8 @@
+(* polint: allow R4 — this module IS the warning sink: the default
+   handler must reach a human even when the embedder never installed
+   one, and stderr is the only channel that cannot corrupt the report
+   stream on stdout. *)
+let handler = ref (fun msg -> prerr_endline ("warning: " ^ msg))
+
+let set_handler f = handler := f
+let emit msg = !handler msg

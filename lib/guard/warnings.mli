@@ -1,0 +1,10 @@
+(** Non-fatal degradation notices (e.g. "domain spawn failed, running
+    with fewer workers").
+
+    Library code must not print (polint R4), but a warning that
+    disappears is worse than one that interleaves, so the sink is a
+    process-global handler: stderr by default, replaceable by embedders
+    and silenced in tests that expect the degradation. *)
+
+val set_handler : (string -> unit) -> unit
+val emit : string -> unit

@@ -1,4 +1,4 @@
-(* AST-driven rule checks (R1-R4).  R5 is a filesystem property and lives
+(* AST-driven rule checks (R1-R4, R6).  R5 is a filesystem property and lives
    in [Lint].  The traversal is a plain [Ast_iterator] over the 5.1
    Parsetree: purely syntactic, no typing — which is exactly the point of
    the catalogue: every rule is stated so that a violation is evident from
@@ -59,6 +59,10 @@ let ambient_random = function
   | "self_init" | "bits" | "int" | "full_int" | "int32" | "int64"
   | "nativeint" | "float" | "bool" ->
       true
+  | _ -> false
+
+let raw_write = function
+  | "open_out" | "open_out_bin" | "open_out_gen" -> true
   | _ -> false
 
 let direct_print = function
@@ -133,6 +137,18 @@ let run ~file ~rules structure =
             (Printf.sprintf
                "%s writes to the console from library code; build output \
                 through po_report instead"
+               fn)
+      | [ ("Sys" | "Unix"); "mkdir" ] ->
+          add loc Rule.R6
+            "direct mkdir bypasses the crash-safe writer (which creates \
+             parent directories itself); route writes through \
+             Po_report.Writer or Po_report.Csv"
+      | [ fn ] | [ "Stdlib"; fn ] when raw_write fn ->
+          add loc Rule.R6
+            (Printf.sprintf
+               "%s writes a file in place — a killed run leaves a torn \
+                file; use Po_report.Writer.write_atomic (temp file + \
+                rename) or Po_report.Csv.write_file"
                fn)
       | _ -> ()
   in

@@ -1,6 +1,6 @@
-type id = R1 | R2 | R3 | R4 | R5
+type id = R1 | R2 | R3 | R4 | R5 | R6
 
-let all = [ R1; R2; R3; R4; R5 ]
+let all = [ R1; R2; R3; R4; R5; R6 ]
 
 let to_string = function
   | R1 -> "R1"
@@ -8,6 +8,7 @@ let to_string = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
 
 let of_string = function
   | "R1" -> Some R1
@@ -15,6 +16,7 @@ let of_string = function
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
   | _ -> None
 
 let equal (a : id) (b : id) = a = b
@@ -52,7 +54,15 @@ let catalogue =
       rationale =
         "Interfaces are the unit of review for numeric code: an .mli pins \
          which helpers are part of the contract and keeps internal state \
-         (caches, pools) private." } ]
+         (caches, pools) private." };
+    { id = R6; title = "no raw file writes outside lib/report";
+      rationale =
+        "Every result write must be crash-safe: Po_report.Writer writes a \
+         temp file and renames it into place, so a killed or faulted run \
+         can never leave a torn CSV or journal (DESIGN.md section 10).  A \
+         direct open_out or mkdir bypasses that guarantee (and the \
+         write-failure fault site); route writes through Po_report.Writer \
+         or Po_report.Csv." } ]
 
 let find id = List.find (fun m -> equal m.id id) catalogue
 
@@ -67,3 +77,4 @@ let applies_to id ~file =
   | R2 -> not (under ~dir:"test" file)
   | R4 -> under ~dir:"lib" file && not (under ~dir:"lib/report" file)
   | R5 -> under ~dir:"lib" file
+  | R6 -> not (under ~dir:"lib/report" file) && not (under ~dir:"test" file)

@@ -4,7 +4,7 @@
     inline suppressions and the allowlist file all refer to rules by these
     ids. *)
 
-type id = R1 | R2 | R3 | R4 | R5
+type id = R1 | R2 | R3 | R4 | R5 | R6
 
 val all : id list
 (** Every rule, in catalogue order. *)
@@ -24,4 +24,5 @@ val applies_to : id -> file:string -> bool
 (** Whether [id] is in scope for [file], a '/'-separated path relative to
     the repository root.  R1/R3 apply everywhere; R2 everywhere outside
     [test/]; R4 under [lib/] except [lib/report/] (the output layer); R5
-    under [lib/] only. *)
+    under [lib/] only; R6 everywhere except [lib/report/] (where the
+    crash-safe writer itself lives) and [test/]. *)

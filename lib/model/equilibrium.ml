@@ -176,9 +176,10 @@ let congested_cap ~aggregate ~bracket ~tol ~nu ctx =
   else if g_at n < 0. then
     (* Can only happen for demands violating d(1) = 1 (Assumption 1):
        even a level saturating every CP falls short of nu.  The seed
-       solver raised [No_bracket] from Brent here; keep that contract. *)
-    raise
-      (Po_num.Roots.No_bracket
+       solver raised [Roots.No_bracket] here; since PR 4 the condition
+       travels the typed error channel instead (same taxonomy case). *)
+    Po_guard.Po_error.fail
+      (Po_guard.Po_error.No_bracket
          (Printf.sprintf
             "Equilibrium.solve: aggregate at cap_max falls short of nu=%g" nu))
   else begin
@@ -231,10 +232,33 @@ let solve_generic ~aggregate ?context:ctx ?bracket ?weights ?(tol = 1e-12)
     if nu >= unconstrained then
       of_cap cps weights ~congested:false Float.infinity
     else begin
+      let frames =
+        [ ("solver", "equilibrium"); ("nu", Printf.sprintf "%.17g" nu);
+          ("cps", string_of_int n) ]
+      in
+      (* Armed fault site solver@k: the k-th guarded solve reports
+         non-convergence, exercising the whole propagation path without
+         needing a pathological input. *)
+      if Po_guard.Faultinject.fire Po_guard.Faultinject.Solver ~key:0 then
+        Po_guard.Po_error.fail
+          ~context:(("injected", "solver") :: frames)
+          (Po_guard.Po_error.Non_convergence
+             { residual = Float.infinity; iterations = 0 });
       let ctx =
         match ctx with Some c -> c | None -> context ~weights cps
       in
-      let outcome = congested_cap ~aggregate ~bracket ~tol ~nu ctx in
+      let outcome =
+        Po_guard.Po_error.with_context frames (fun () ->
+            congested_cap ~aggregate ~bracket ~tol ~nu ctx)
+      in
+      (* The seed discarded [converged] and used the last iterate; a
+         water level that silently missed its tolerance would poison
+         every welfare number downstream, so surface it. *)
+      if not outcome.Po_num.Roots.converged then
+        Po_guard.Po_error.fail ~context:frames
+          (Po_guard.Po_error.Non_convergence
+             { residual = Float.abs outcome.Po_num.Roots.value;
+               iterations = outcome.Po_num.Roots.iterations });
       of_cap cps weights ~congested:true outcome.Po_num.Roots.root
     end
   end
@@ -242,6 +266,13 @@ let solve_generic ~aggregate ?context:ctx ?bracket ?weights ?(tol = 1e-12)
 let solve ?context ?bracket ?weights ?tol ~nu cps =
   solve_generic ~aggregate:aggregate_sorted ?context ?bracket ?weights ?tol
     ~nu cps
+
+let solve_checked ?context ?bracket ?weights ?tol ~nu cps =
+  match solve ?context ?bracket ?weights ?tol ~nu cps with
+  | solution -> Ok solution
+  | exception Po_guard.Po_error.Error e -> Error e
+  | exception Invalid_argument msg ->
+      Error (Po_guard.Po_error.v (Po_guard.Po_error.Invalid_scenario msg))
 
 let solve_reference ?weights ?tol ~nu cps =
   solve_generic ~aggregate:aggregate_sorted_reference ?weights ?tol ~nu cps

@@ -78,7 +78,23 @@ val solve :
     level, typically the previous solve's cap padded to the known side of
     a monotone perturbation; a hint that does not straddle the root is
     detected in two probes and discarded, and {e any} hint — valid,
-    invalid, or absent — yields bit-identical output. *)
+    invalid, or absent — yields bit-identical output.
+
+    Failure travels the typed error channel (DESIGN.md §10): an
+    unbracketable work-conservation equation raises
+    [Po_guard.Po_error.Error] with kind [No_bracket] (the seed raised
+    {!Po_num.Roots.No_bracket}), and a Brent run that exhausts its
+    iteration budget raises kind [Non_convergence] instead of silently
+    returning the last iterate.  Context frames carry the solver name,
+    [nu] and the population size. *)
+
+val solve_checked :
+  ?context:context -> ?bracket:float * float -> ?weights:float array ->
+  ?tol:float -> nu:float -> Cp.t array ->
+  (solution, Po_guard.Po_error.t) result
+(** {!solve} with the error channel reified: [Error] carries the typed
+    failure ({!solve}'s [Po_guard.Po_error.Error] payload, or
+    [Invalid_scenario] for domain errors such as bad weights). *)
 
 val solve_reference :
   ?weights:float array -> ?tol:float -> nu:float -> Cp.t array -> solution

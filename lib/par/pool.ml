@@ -6,10 +6,18 @@
    output array, so scheduling order can never affect where a result
    lands.  A per-operation latch counts the helpers still running; the
    caller keeps working until the counter is exhausted, then blocks on
-   the latch until the last helper drains. *)
+   the latch until the last helper drains.
+
+   Failure semantics (DESIGN.md §10): an exception inside mapped work is
+   caught on the worker, recorded by chunk index, and re-raised in the
+   caller after all in-flight work drains — the queue never deadlocks
+   and the pool stays reusable.  A raw exception is wrapped as
+   [Po_guard.Po_error.Worker_crash] carrying its chunk; an already-typed
+   [Po_error.Error] passes through untouched so inner solver errors keep
+   their own provenance. *)
 
 type t = {
-  total_domains : int;
+  mutable total_domains : int;
   queue : (unit -> unit) Queue.t;
   mutex : Mutex.t;
   wake : Condition.t;  (* signalled on submit and on shutdown *)
@@ -35,16 +43,33 @@ let rec worker_loop pool =
   end
 
 let create ?domains () =
-  let total =
+  let requested =
     match domains with None -> default_domains () | Some d -> max 1 d
   in
   let pool =
-    { total_domains = total; queue = Queue.create ();
+    { total_domains = requested; queue = Queue.create ();
       mutex = Mutex.create (); wake = Condition.create ();
       workers = [||]; closed = false }
   in
-  pool.workers <-
-    Array.init (total - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  (* Domain.spawn can fail under resource pressure (the runtime caps
+     live domains); a pool that comes up with fewer workers still honours
+     every contract — the combinators degrade towards the serial path —
+     so spawn failure is a warning, not an error. *)
+  let spawned = ref [] in
+  (try
+     for _ = 2 to requested do
+       spawned := Domain.spawn (fun () -> worker_loop pool) :: !spawned
+     done
+   with exn ->
+     Po_guard.Warnings.emit
+       (Printf.sprintf
+          "Pool.create: domain spawn failed (%s); continuing with %d of %d \
+           domains"
+          (Printexc.to_string exn)
+          (List.length !spawned + 1)
+          requested));
+  pool.workers <- Array.of_list (List.rev !spawned);
+  pool.total_domains <- Array.length pool.workers + 1;
   pool
 
 let domains pool = pool.total_domains
@@ -127,7 +152,16 @@ let run_shared pool ~n ~chunk work_chunk =
   done;
   Mutex.unlock latch_mutex;
   match Atomic.get failed with
-  | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+  | Some { exn = Po_guard.Po_error.Error _ as exn; bt; _ } ->
+      (* Typed errors already carry their provenance (the chunked
+         combinators stamp the logical chunk index); pass through. *)
+      Printexc.raise_with_backtrace exn bt
+  | Some { chunk_start; exn; bt } ->
+      Printexc.raise_with_backtrace
+        (Po_guard.Po_error.Error
+           (Po_guard.Po_error.v
+              (Po_guard.Po_error.Worker_crash { chunk = chunk_start; exn })))
+        bt
   | None -> ()
 
 (* Chunks sized so each domain sees several, amortising queue traffic
@@ -164,18 +198,67 @@ let parallel_init pool n f =
 
 let default_chain_chunk = 16
 
-let chain_map ?(chunk_size = default_chain_chunk) pool ~step arr =
-  if chunk_size <= 0 then invalid_arg "Pool.chain_map: chunk_size <= 0";
-  let n = Array.length arr in
+(* The armed-fault site of the chunked combinators: keyed by the logical
+   chunk index, which is a pure function of the input length and
+   [chunk_size] — never of the pool — so an injected crash hits the same
+   chunk for any worker count, including the serial path. *)
+let fire_worker ci =
+  if Po_guard.Faultinject.fire Po_guard.Faultinject.Worker ~key:ci then
+    Po_guard.Po_error.fail
+      ~context:[ ("injected", "worker") ]
+      (Po_guard.Po_error.Worker_crash
+         { chunk = ci;
+           exn =
+             Po_guard.Faultinject.Injected_fault
+               (Printf.sprintf "worker crash at chunk %d" ci) })
+
+(* Shared chunk engine of [chunk_map] and [chain_map]: fixed layout,
+   optional per-chunk memo ([cached] consulted before computing,
+   [on_chunk] told about every freshly computed chunk — the checkpoint
+   journal hooks).  A cached chunk of the wrong length is recomputed, so
+   a stale or truncated journal can never corrupt a sweep. *)
+let run_chunks ~chunk_size ?cached ?on_chunk pool ~n ~compute =
+  if chunk_size <= 0 then invalid_arg "Pool.run_chunks: chunk_size <= 0";
   if n = 0 then [||]
   else begin
-    (* The chunk layout is a pure function of [n] and [chunk_size] —
-       never of the pool — so every chunk is the same warm-start chain
-       whether it runs serially or on any number of domains. *)
     let n_chunks = (n + chunk_size - 1) / chunk_size in
-    let run_chunk ci =
+    let eval ci =
       let start = ci * chunk_size in
       let stop = min n (start + chunk_size) in
+      let fresh () =
+        fire_worker ci;
+        let r =
+          Po_guard.Po_error.with_context
+            [ ("chunk", string_of_int ci) ]
+            (fun () -> compute ci ~start ~stop)
+        in
+        (match on_chunk with None -> () | Some h -> h ci r);
+        r
+      in
+      match cached with
+      | None -> fresh ()
+      | Some lookup -> (
+          match lookup ci with
+          | Some r when Array.length r = stop - start -> r
+          | Some _ | None -> fresh ())
+    in
+    let chunks = maybe_map pool eval (Array.init n_chunks Fun.id) in
+    Array.concat (Array.to_list chunks)
+  end
+
+let chunk_map ?(chunk_size = default_chain_chunk) ?cached ?on_chunk pool ~f
+    arr =
+  run_chunks ~chunk_size ?cached ?on_chunk pool ~n:(Array.length arr)
+    ~compute:(fun _ci ~start ~stop ->
+      Array.init (stop - start) (fun k -> f arr.(start + k)))
+
+let chain_map ?(chunk_size = default_chain_chunk) ?cached ?on_chunk pool
+    ~step arr =
+  (* The chunk layout is a pure function of [n] and [chunk_size] —
+     never of the pool — so every chunk is the same warm-start chain
+     whether it runs serially or on any number of domains. *)
+  run_chunks ~chunk_size ?cached ?on_chunk pool ~n:(Array.length arr)
+    ~compute:(fun _ci ~start ~stop ->
       let out = Array.make (stop - start) None in
       let prev = ref None in
       for i = start to stop - 1 do
@@ -185,11 +268,7 @@ let chain_map ?(chunk_size = default_chain_chunk) pool ~step arr =
       done;
       Array.map
         (function Some v -> v | None -> assert false (* loop filled all *))
-        out
-    in
-    let chunks = maybe_map pool run_chunk (Array.init n_chunks Fun.id) in
-    Array.concat (Array.to_list chunks)
-  end
+        out)
 
 let default_reduce_chunk = 16
 

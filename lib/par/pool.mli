@@ -22,7 +22,20 @@
     Operations are not re-entrant: do not call a pool combinator from
     inside a function being mapped by the same pool (a worker waiting on
     its own queue can deadlock).  The experiment layer only ever
-    parallelises one level of each sweep. *)
+    parallelises one level of each sweep.
+
+    {b Failure semantics (DESIGN.md §10).}  An exception raised inside
+    mapped work is caught on the worker, recorded by chunk index, and
+    re-raised in the caller after all in-flight work drains — the work
+    queue never deadlocks, remaining chunks are abandoned, and the pool
+    stays reusable for the next operation.  A raw exception surfaces as
+    [Po_guard.Po_error.Error] with kind [Worker_crash] carrying the
+    chunk that died and the original exception; an exception that is
+    already a typed [Po_error.Error] passes through untouched (the
+    chunked combinators stamp it with a ["chunk"] context frame).  If
+    [Domain.spawn] fails while building the pool, the pool comes up with
+    however many workers did spawn (possibly zero — the serial path) and
+    a warning is emitted through [Po_guard.Warnings]. *)
 
 type t
 (** A handle to a pool of worker domains. *)
@@ -34,7 +47,9 @@ val default_domains : unit -> int
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] workers (default
     {!default_domains}).  [domains <= 1] creates a pool with no workers
-    whose combinators run serially in the caller. *)
+    whose combinators run serially in the caller.  If a spawn fails the
+    pool degrades to the workers that did come up (warning through
+    [Po_guard.Warnings]); {!domains} reports the actual parallelism. *)
 
 val domains : t -> int
 (** Total parallelism of the pool (workers + the calling domain). *)
@@ -50,9 +65,11 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
 val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map pool f arr] is [Array.map f arr] evaluated across the
     pool's domains.  Order-preserving (see the determinism contract).
-    If any application of [f] raises, the exception with the smallest
+    If any application of [f] raises, the failure with the smallest
     chunk index is re-raised in the caller (with its backtrace) after
-    all in-flight work drains; remaining chunks are abandoned. *)
+    all in-flight work drains; remaining chunks are abandoned and the
+    pool stays reusable.  See the failure semantics above for how raw
+    exceptions are wrapped as [Worker_crash]. *)
 
 val maybe_map : t option -> ('a -> 'b) -> 'a array -> 'b array
 (** [maybe_map pool f arr] is {!parallel_map} through [pool] when one is
@@ -64,8 +81,31 @@ val parallel_init : t -> int -> (int -> 'a) -> 'a array
     pool's domains, with the same ordering and exception guarantees as
     {!parallel_map}. *)
 
+val chunk_map :
+  ?chunk_size:int ->
+  ?cached:(int -> 'b array option) ->
+  ?on_chunk:(int -> 'b array -> unit) ->
+  t option ->
+  f:('a -> 'b) ->
+  'a array ->
+  'b array
+(** [chunk_map pool ~f arr] is [Array.map f arr] evaluated in fixed
+    chunks of [chunk_size] (default 16) consecutive elements distributed
+    across the pool ([None] runs serially).  Unlike {!parallel_map}, the
+    chunk layout is a pure function of the input length and
+    [chunk_size] — never of the pool — which makes the chunk index a
+    stable coordinate for checkpointing: [cached ci] is consulted before
+    chunk [ci] is computed (a hit of the right length is returned
+    verbatim, anything else is recomputed), and [on_chunk ci result] is
+    called for every freshly computed chunk, possibly concurrently from
+    several domains.  The memo hooks must themselves be bit-transparent
+    (return exactly what [on_chunk] was given) for the determinism
+    contract to carry over. *)
+
 val chain_map :
   ?chunk_size:int ->
+  ?cached:(int -> 'b array option) ->
+  ?on_chunk:(int -> 'b array -> unit) ->
   t option ->
   step:('b option -> 'a -> 'b) ->
   'a array ->
@@ -81,7 +121,8 @@ val chain_map :
     any worker count {e provided} [step]'s output is determined by its
     arguments (a warm start may change which of several equilibria a
     solver lands on, but the chain structure — and hence the output — is
-    the same on every pool).  [chunk_size] must be positive. *)
+    the same on every pool).  [chunk_size] must be positive.  [cached] /
+    [on_chunk] are the same checkpoint-memo hooks as {!chunk_map}. *)
 
 val map_reduce :
   t ->

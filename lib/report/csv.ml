@@ -52,11 +52,4 @@ let of_series ~x_header series =
       in
       to_string ~headers ~rows
 
-let write_file ~path content =
-  let dir = Filename.dirname path in
-  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then
-    Sys.mkdir dir 0o755;
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content)
+let write_file ~path content = Writer.write_atomic ~path content

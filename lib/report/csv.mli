@@ -9,5 +9,7 @@ val of_series : x_header:string -> Series.t list -> string
 (** Same column layout as {!Table.of_series}, full float precision. *)
 
 val write_file : path:string -> string -> unit
-(** Write content to [path], creating parent directories as needed (one
-    level deep). *)
+(** Write content to [path] through {!Writer.write_atomic}: parent
+    directories are created recursively and the content lands via
+    temp-file + rename, so an interrupted run never leaves a truncated
+    CSV. *)

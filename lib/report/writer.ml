@@ -1,0 +1,61 @@
+(* The only module allowed to open files for writing (polint R6): every
+   result write funnels through [write_atomic]'s temp-file + rename, so
+   an interrupted run can never leave a truncated file behind. *)
+
+let io_fail ?context ~path reason =
+  Po_guard.Po_error.fail ?context (Po_guard.Po_error.Io_failure { path; reason })
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" then ()
+  else if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      io_fail ~path:dir "exists and is not a directory"
+  end
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error msg ->
+      (* A concurrent creator racing us to this component is fine. *)
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        io_fail ~path:dir msg
+  end
+
+let write_atomic ~path content =
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc content;
+         flush oc)
+   with Sys_error msg -> io_fail ~path:tmp msg);
+  (* The armed write fault fires in the crash window: temp written,
+     target not yet replaced — the reader-visible state must be "old
+     content or nothing". *)
+  if Po_guard.Faultinject.fire Po_guard.Faultinject.Write ~key:0 then
+    io_fail
+      ~context:[ ("injected", "write") ]
+      ~path "injected write failure before rename";
+  try Sys.rename tmp path with Sys_error msg -> io_fail ~path msg
+
+let append_line ~path line =
+  mkdir_p (Filename.dirname path);
+  try
+    let oc =
+      open_out_gen
+        [ Open_append; Open_creat; Open_wronly; Open_binary ]
+        0o644 path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+  with Sys_error msg -> io_fail ~path msg
+
+let remove_if_exists path =
+  if Sys.file_exists path then
+    try Sys.remove path with Sys_error msg -> io_fail ~path msg

@@ -1,0 +1,33 @@
+(** Crash-safe filesystem writes (DESIGN.md §10).
+
+    Every result file in the repository goes through this module
+    (enforced by polint rule R6): a reader can therefore assume that any
+    file it finds is complete — an interrupted run leaves either the old
+    content or nothing, never a truncated file.
+
+    Failures surface as [Po_guard.Po_error.Error] with kind
+    [Io_failure]; the armed fault site [write@k]
+    ({!Po_guard.Faultinject}) makes the [k]-th {!write_atomic} fail
+    between the temp write and the rename, which is exactly the window a
+    crash would hit. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing ancestors ([mkdir -p]).  Racing
+    creators are fine; a path component that exists as a non-directory
+    raises [Io_failure]. *)
+
+val write_atomic : path:string -> string -> unit
+(** Write [content] to [path] whole-or-not-at-all: parents are created,
+    the content goes to [path ^ ".tmp"], is flushed, and is renamed over
+    [path] (atomic within a filesystem).  A crash at any point leaves
+    [path] untouched or complete, never truncated. *)
+
+val append_line : path:string -> string -> unit
+(** Append [line ^ "\n"] to [path] (created if missing, parents too) and
+    flush before closing — the journal primitive.  Appends are not
+    atomic across processes; callers serialise concurrent appenders
+    (the checkpoint journal holds a mutex).  A torn final line from a
+    crash is tolerated by the journal parser. *)
+
+val remove_if_exists : string -> unit
+(** Delete a file, ignoring only "it was not there". *)

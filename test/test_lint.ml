@@ -1,5 +1,5 @@
 (* Fixture-driven tests for po_lint: embedded snippets that must trigger
-   each rule R1-R5, clean snippets that must not, suppression-comment and
+   each rule R1-R6, clean snippets that must not, suppression-comment and
    allowlist handling, and a whole-tree run asserting the repository
    itself lints clean. *)
 
@@ -125,6 +125,29 @@ let test_r5 () =
     (lint ~file:"lib/core/fixture.ml" ~has_mli:true "let x = 1");
   check_rules "bin module needs no .mli" []
     (lint ~file:"bin/fixture.ml" ~has_mli:false "let x = 1")
+
+(* ------------------------------------------------------------------ *)
+(* R6: raw file writes                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_r6 () =
+  check_rules "open_out in lib/" [ "R6" ]
+    (lint ~file:"lib/core/fixture.ml" {|let f p = open_out p|});
+  check_rules "open_out_bin in bin/" [ "R6" ]
+    (lint ~file:"bin/fixture.ml" {|let f p = open_out_bin p|});
+  check_rules "open_out_gen in bench/" [ "R6" ]
+    (lint ~file:"bench/fixture.ml"
+       {|let f p = open_out_gen [ Open_append ] 0o644 p|});
+  check_rules "Sys.mkdir" [ "R6" ]
+    (lint ~file:"lib/core/fixture.ml" {|let f p = Sys.mkdir p 0o755|});
+  check_rules "Unix.mkdir" [ "R6" ]
+    (lint ~file:"bin/fixture.ml" {|let f p = Unix.mkdir p 0o755|});
+  check_rules "open_in is a read, fine" []
+    (lint ~file:"lib/core/fixture.ml" {|let f p = open_in p|});
+  check_rules "lib/report is the writer layer, exempt" []
+    (lint ~file:"lib/report/fixture.ml" {|let f p = open_out p|});
+  check_rules "test/ writes fixtures freely" []
+    (lint ~file:"test/fixture.ml" {|let f p = open_out p|})
 
 (* ------------------------------------------------------------------ *)
 (* Suppression comments                                               *)
@@ -266,6 +289,7 @@ let () =
       ("R3", [ quick "wildcard handlers" test_r3 ]);
       ("R4", [ quick "console output in lib/" test_r4 ]);
       ("R5", [ quick "missing mli" test_r5 ]);
+      ("R6", [ quick "raw file writes" test_r6 ]);
       ( "suppressions",
         [ quick "same line" test_suppression_same_line;
           quick "line above" test_suppression_line_above;

@@ -72,7 +72,13 @@ let test_exception_propagation () =
               (fun i -> if i = 57 then raise (Boom i) else i)
               (Array.init 200 Fun.id));
          Alcotest.fail "expected Boom to propagate"
-       with Boom i -> Alcotest.(check int) "payload survives" 57 i);
+       with
+       | Po_guard.Po_error.Error
+           { kind = Po_guard.Po_error.Worker_crash { chunk; exn = Boom i };
+             _ } ->
+           Alcotest.(check int) "payload survives" 57 i;
+           Alcotest.(check bool) "chunk provenance recorded" true (chunk >= 0)
+       );
       (* The pool stays usable after a failed operation. *)
       Alcotest.(check (array int)) "pool alive after failure"
         [| 0; 2; 4 |]
