@@ -5,7 +5,8 @@
      ponet fig <id> [...]           regenerate a figure (table/plot/CSV)
      ponet claims                   run the theorem audits
      ponet regimes [...]            compare regulatory regimes
-     ponet simulate [...]           run the AIMD bottleneck simulation *)
+     ponet simulate [...]           run the AIMD bottleneck simulation
+     ponet bench-diff <a> <b>       gate on benchmark regressions *)
 
 open Cmdliner
 
@@ -119,8 +120,28 @@ let fig_cmd =
              geometry, so an injected fault fires at the same place for \
              any $(b,--jobs).")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Arm the tracer and export a Chrome trace-event JSON of this \
+             run to $(docv) (open in chrome://tracing or Perfetto).  The \
+             figure output itself is unchanged.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Arm the metrics registry and export a JSON snapshot \
+             (counters, gauges, histograms) plus the run manifest to \
+             $(docv).  Counter values are identical for any $(b,--jobs).")
+  in
   let run id params csv_dir no_plots resume checkpoint_dir no_checkpoint
-      inject =
+      inject trace_file metrics_file =
     (match inject with
     | None -> Po_guard.Faultinject.disarm ()
     | Some spec -> (
@@ -129,6 +150,9 @@ let fig_cmd =
         | Error msg ->
             Printf.eprintf "ponet fig: bad --inject spec: %s\n" msg;
             exit 2));
+    let observing = trace_file <> None || metrics_file <> None in
+    if trace_file <> None then Po_obs.Trace.arm ();
+    if observing then Po_obs.Metrics.arm ();
     let params =
       { params with
         Po_experiments.Common.checkpoint =
@@ -141,6 +165,44 @@ let fig_cmd =
         Printf.eprintf "unknown figure id %S; try 'ponet list'\n" id;
         exit 1
     | Some entry -> (
+        let t0 = if observing then Po_obs.Clock.now_s () else 0. in
+        (* Manifest provenance: enough to tell two exports apart
+           (DESIGN.md §11). *)
+        let export_observations () =
+          if observing then begin
+            let manifest =
+              Po_obs.Manifest.make ~figure:id
+                ~params_hash:
+                  (Po_obs.Manifest.params_hash
+                     ~n_cps:params.Po_experiments.Common.n_cps
+                     ~seed:params.Po_experiments.Common.seed
+                     ~sweep_points:params.Po_experiments.Common.sweep_points)
+                ~jobs:params.Po_experiments.Common.jobs
+                ~wall_s:(Po_obs.Clock.now_s () -. t0)
+                ~warnings:(Po_guard.Warnings.count ())
+                ()
+            in
+            let manifest_json = Po_obs.Manifest.to_json manifest in
+            (match trace_file with
+            | None -> ()
+            | Some path ->
+                Po_obs.Trace.export
+                  ~other:[ ("manifest", manifest_json) ]
+                  ~path ();
+                Printf.printf "wrote trace to %s\n" path);
+            match metrics_file with
+            | None -> ()
+            | Some path ->
+                Po_report.Writer.write_atomic ~path
+                  (Po_obs.Json.to_string
+                     (Po_obs.Json.Obj
+                        [ ("schema", Po_obs.Json.String "po-metrics-v1");
+                          ("manifest", manifest_json);
+                          ("metrics", Po_obs.Metrics.snapshot_json ()) ])
+                  ^ "\n");
+                Printf.printf "wrote metrics to %s\n" path
+          end
+        in
         match
           Po_guard.Po_error.capture (fun () ->
               let figure = entry.Po_experiments.Registry.generate ~params () in
@@ -152,8 +214,11 @@ let fig_cmd =
                   let written = Po_experiments.Common.csv_files ~dir figure in
                   List.iter (Printf.printf "wrote %s\n") written)
         with
-        | Ok () -> ()
+        | Ok () -> export_observations ()
         | Error e ->
+            (* A failed run still exports whatever it observed — that is
+               when a trace is most useful. *)
+            export_observations ();
             Printf.eprintf "ponet fig: %s\n" (Po_guard.Po_error.to_string e);
             (if not no_checkpoint then
                Printf.eprintf
@@ -166,7 +231,7 @@ let fig_cmd =
     (Cmd.info "fig" ~doc:"Regenerate one of the paper's figures")
     Term.(
       const run $ id $ params_term $ csv_dir $ no_plots $ resume
-      $ checkpoint_dir $ no_checkpoint $ inject)
+      $ checkpoint_dir $ no_checkpoint $ inject $ trace_file $ metrics_file)
 
 let claims_cmd =
   let run params =
@@ -319,6 +384,76 @@ let lint_cmd =
           source tree")
     Term.(const run $ paths $ allowlist)
 
+let bench_diff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline po-bench-v1 JSON file.")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current po-bench-v1 JSON file.")
+  in
+  let max_slowdown =
+    Arg.(
+      value
+      & opt float Po_obs.Bench_diff.default_thresholds.max_slowdown_pct
+      & info [ "max-slowdown" ] ~docv:"PCT"
+          ~doc:"Fail when a kernel's ns_per_run grows by more than $(docv)%.")
+  in
+  let max_speedup_drop =
+    Arg.(
+      value
+      & opt float Po_obs.Bench_diff.default_thresholds.max_speedup_drop_pct
+      & info [ "max-speedup-drop" ] ~docv:"PCT"
+          ~doc:
+            "Fail when a figure's parallel speedup drops by more than \
+             $(docv)%.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the comparison table to $(docv).")
+  in
+  let run baseline current max_slowdown_pct max_speedup_drop_pct report =
+    let thresholds =
+      { Po_obs.Bench_diff.max_slowdown_pct; max_speedup_drop_pct }
+    in
+    match
+      Po_obs.Bench_diff.compare_files ~thresholds ~baseline ~current ()
+    with
+    | Error msg ->
+        Printf.eprintf "ponet bench-diff: %s\n" msg;
+        exit 2
+    | Ok r ->
+        let table = Po_obs.Bench_diff.render r in
+        print_string table;
+        (match report with
+        | None -> ()
+        | Some path -> Po_report.Writer.write_atomic ~path table);
+        if Po_obs.Bench_diff.has_regression r then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two po-bench-v1 benchmark files and fail on regressions"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Compares the benchmark JSON emitted by the bench runner \
+              ($(b,bench/main.ml --bench-only), written to \
+              results/bench.json) against a committed baseline.  Exits 1 \
+              when any kernel slows down or any sweep speedup drops past \
+              its threshold, 2 on unreadable or non-po-bench-v1 input." ])
+    Term.(
+      const run $ baseline $ current $ max_slowdown $ max_speedup_drop
+      $ report)
+
 let simulate_cmd =
   let nu =
     Arg.(
@@ -359,4 +494,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; fig_cmd; claims_cmd; regimes_cmd; welfare_cmd;
-            ensemble_cmd; simulate_cmd; lint_cmd ]))
+            ensemble_cmd; simulate_cmd; lint_cmd; bench_diff_cmd ]))

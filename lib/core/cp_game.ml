@@ -8,6 +8,28 @@ type solution_concept =
   | Competitive of float
   | Expost_nash
 
+(* Observability counters (DESIGN.md §11).  Every increment is tied to
+   a logical step of one game solve — a pure function of that solve's
+   inputs — so totals are jobs-invariant; disarmed each costs one
+   atomic load. *)
+let m_solves = Po_obs.Metrics.counter "cp_game.solves"
+
+let m_sync_rounds = Po_obs.Metrics.counter "cp_game.sync_rounds"
+
+let m_async_passes = Po_obs.Metrics.counter "cp_game.async_passes"
+
+let m_nash_passes = Po_obs.Metrics.counter "cp_game.nash_passes"
+
+let m_moves = Po_obs.Metrics.counter "cp_game.moves"
+
+let m_class_hits = Po_obs.Metrics.counter "cp_game.class_memo_hits"
+
+let m_class_misses = Po_obs.Metrics.counter "cp_game.class_memo_misses"
+
+let m_solo_hits = Po_obs.Metrics.counter "cp_game.solo_memo_hits"
+
+let m_solo_misses = Po_obs.Metrics.counter "cp_game.solo_memo_misses"
+
 type outcome = {
   strategy : Strategy.t;
   nu : float;
@@ -128,8 +150,11 @@ let class_solutions eng ~nu_o ~nu_p cps partition =
   | Some memo -> (
       let key = Partition.key partition in
       match Hashtbl.find_opt memo key with
-      | Some pair -> pair
+      | Some pair ->
+          Po_obs.Metrics.incr m_class_hits;
+          pair
       | None ->
+          Po_obs.Metrics.incr m_class_misses;
           let pair = compute () in
           Hashtbl.replace memo key pair;
           pair)
@@ -169,8 +194,11 @@ let solo_rho eng ~premium ~nu_class (cp : Cp.t) =
   | None -> compute ()
   | Some memo -> (
       match Hashtbl.find_opt memo cp.Cp.id with
-      | Some rho -> rho
+      | Some rho ->
+          Po_obs.Metrics.incr m_solo_hits;
+          rho
       | None ->
+          Po_obs.Metrics.incr m_solo_misses;
           let rho = compute () in
           Hashtbl.replace memo cp.Cp.id rho;
           rho)
@@ -218,6 +246,7 @@ let outcome_of_partition ~nu ~strategy cps partition =
 (* One simultaneous best-response round: every CP re-decides against the
    current water levels.  Returns the new membership vector. *)
 let simultaneous_round eng ~nu ~strategy cps partition =
+  Po_obs.Metrics.incr m_sync_rounds;
   let nu_o, nu_p = class_capacities ~nu ~strategy in
   let c = Strategy.c strategy in
   let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p cps partition in
@@ -253,6 +282,7 @@ let default_hysteresis = 1e-3
    membership shifts the water level past its indifference point would
    flip for ever.  Returns the partition and whether any CP moved. *)
 let asynchronous_pass ?(hysteresis = 0.) eng ~nu ~strategy cps partition =
+  Po_obs.Metrics.incr m_async_passes;
   let nu_o, nu_p = class_capacities ~nu ~strategy in
   let c = Strategy.c strategy in
   let current = ref partition in
@@ -296,6 +326,7 @@ let asynchronous_pass ?(hysteresis = 0.) eng ~nu ~strategy cps partition =
         else u_premium > u_ordinary +. margin u_ordinary
       in
       if wants_premium <> in_premium then begin
+        Po_obs.Metrics.incr m_moves;
         current := Partition.move !current i ~premium:wants_premium;
         n_premium := !n_premium + (if wants_premium then 1 else -1);
         moved := true;
@@ -364,6 +395,7 @@ let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy cps =
   let nu_o, nu_p = class_capacities ~nu ~strategy in
   let c = Strategy.c strategy in
   let pass partition =
+    Po_obs.Metrics.incr m_nash_passes;
     let current = ref partition in
     let moved = ref false in
     (* Class membership, solutions and the index->position map change
@@ -402,6 +434,7 @@ let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy cps =
             (cp.Cp.v -. c) *. rho_dev > cp.Cp.v *. rho_own
         in
         if wants_premium <> Partition.in_premium !current i then begin
+          Po_obs.Metrics.incr m_moves;
           current := Partition.move !current i ~premium:wants_premium;
           moved := true;
           note_move eng ~to_premium:wants_premium
@@ -430,6 +463,7 @@ let solve_nash ?init ?max_rounds ~nu ~strategy cps =
 
 let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy cps =
   if nu < 0. then invalid_arg "Cp_game.solve: nu < 0";
+  Po_obs.Metrics.incr m_solves;
   let init =
     match init with Some p -> p | None -> default_init ~strategy cps
   in

@@ -16,6 +16,15 @@ type params = {
   checkpoint : checkpoint option;
 }
 
+(* Observability (DESIGN.md §11).  Sweep and checkpoint counters sit at
+   the figure-scope level — one increment per logical sweep/journal
+   event, independent of the worker count. *)
+let m_sweeps = Po_obs.Metrics.counter "sweep.sweeps"
+
+let m_journalled = Po_obs.Metrics.counter "sweep.chunks_journalled"
+
+let m_replayed = Po_obs.Metrics.counter "sweep.journals_loaded"
+
 let default_params =
   { n_cps = 1000; seed = 42; sweep_points = 33; jobs = 1; checkpoint = None }
 
@@ -86,7 +95,10 @@ let with_figure_scope figure f =
   Fun.protect
     ~finally:(fun () -> scope := None)
     (fun () ->
-      let result = f () in
+      let result =
+        Po_obs.Trace.with_span ~args:[ ("figure", figure) ] ("figure:" ^ figure)
+          f
+      in
       (* Success: the figure's journals have served their purpose. *)
       List.iter Po_report.Writer.remove_if_exists !(st.journals);
       result)
@@ -112,6 +124,8 @@ let hex_decode s =
 let journal_mutex = Mutex.create ()
 
 let append_chunk path ci r =
+  Po_obs.Metrics.incr m_journalled;
+  Po_obs.Trace.instant ~args:[ ("chunk", string_of_int ci) ] "checkpoint";
   let line =
     Printf.sprintf "v1 %d %s" ci (hex_encode (Marshal.to_string r []))
   in
@@ -177,7 +191,9 @@ let journal_hooks params ~n ~chunk_size =
       let cached =
         if cp.resume then
           Option.map
-            (fun tbl ci -> Hashtbl.find_opt tbl ci)
+            (fun tbl ->
+              Po_obs.Metrics.incr m_replayed;
+              fun ci -> Hashtbl.find_opt tbl ci)
             (load_journal path)
         else None
       in
@@ -187,16 +203,27 @@ let journal_hooks params ~n ~chunk_size =
 let default_chunk = 16
 
 let sweep_par ?(chunk_size = default_chunk) params f arr =
+  Po_obs.Metrics.incr m_sweeps;
   let cached, on_chunk =
     journal_hooks params ~n:(Array.length arr) ~chunk_size
   in
-  Po_par.Pool.chunk_map ~chunk_size ?cached ?on_chunk (pool params) ~f arr
+  Po_obs.Trace.with_span
+    ~args:[ ("points", string_of_int (Array.length arr)) ]
+    "sweep"
+    (fun () ->
+      Po_par.Pool.chunk_map ~chunk_size ?cached ?on_chunk (pool params) ~f arr)
 
 let sweep_chained ?(chunk_size = default_chunk) params ~step arr =
+  Po_obs.Metrics.incr m_sweeps;
   let cached, on_chunk =
     journal_hooks params ~n:(Array.length arr) ~chunk_size
   in
-  Po_par.Pool.chain_map ~chunk_size ?cached ?on_chunk (pool params) ~step arr
+  Po_obs.Trace.with_span
+    ~args:[ ("points", string_of_int (Array.length arr)) ]
+    "sweep_chained"
+    (fun () ->
+      Po_par.Pool.chain_map ~chunk_size ?cached ?on_chunk (pool params) ~step
+        arr)
 
 let sweep_serpentine ?chunk_size params ~rows ~cols ~step =
   let n_rows = Array.length rows and n_cols = Array.length cols in

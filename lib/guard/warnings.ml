@@ -4,5 +4,32 @@
    stream on stdout. *)
 let handler = ref (fun msg -> prerr_endline ("warning: " ^ msg))
 
+(* Every emission is also tallied and retained, independent of the
+   handler, so the run manifest can report a warning count and tests can
+   assert on degradation messages without installing a handler.  The
+   retained list is unbounded, which is fine: warnings are exceptional
+   by construction — a run that emits thousands has bigger problems
+   than memory. *)
+let counter = Atomic.make 0
+
+let retained : string list ref = ref [] (* newest first *)
+
+let retained_mutex = Mutex.create ()
+
 let set_handler f = handler := f
-let emit msg = !handler msg
+
+let emit msg =
+  Atomic.incr counter;
+  Mutex.lock retained_mutex;
+  retained := msg :: !retained;
+  Mutex.unlock retained_mutex;
+  !handler msg
+
+let count () = Atomic.get counter
+
+let drain () =
+  Mutex.lock retained_mutex;
+  let msgs = List.rev !retained in
+  retained := [];
+  Mutex.unlock retained_mutex;
+  msgs

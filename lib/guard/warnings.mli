@@ -4,7 +4,18 @@
     Library code must not print (polint R4), but a warning that
     disappears is worse than one that interleaves, so the sink is a
     process-global handler: stderr by default, replaceable by embedders
-    and silenced in tests that expect the degradation. *)
+    and silenced in tests that expect the degradation.
+
+    Independently of the handler, every emission is counted and
+    retained so the run manifest ({!Po_obs.Manifest}) can report how
+    many warnings a run produced and tests can inspect them. *)
 
 val set_handler : (string -> unit) -> unit
 val emit : string -> unit
+
+val count : unit -> int
+(** Total emissions since process start ({!drain} does not reset it). *)
+
+val drain : unit -> string list
+(** Retained messages in emission order; clears the retained list (the
+    count is preserved). *)

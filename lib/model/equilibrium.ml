@@ -20,6 +20,20 @@ let check_weights cps weights =
     (fun w -> if w <= 0. then invalid_arg "Equilibrium: weight <= 0")
     weights
 
+(* Observability counters (DESIGN.md §11).  All are incremented once
+   per logical solve/decision, independent of which domain runs the
+   solve, so snapshots are jobs-invariant; disarmed they cost one
+   atomic load each. *)
+let m_solves = Po_obs.Metrics.counter "equilibrium.solves"
+
+let m_iterations = Po_obs.Metrics.counter "equilibrium.iterations"
+
+let m_uncongested = Po_obs.Metrics.counter "equilibrium.uncongested"
+
+let m_hint_used = Po_obs.Metrics.counter "equilibrium.bracket_hint_used"
+
+let m_hint_discarded = Po_obs.Metrics.counter "equilibrium.bracket_hint_discarded"
+
 let theta_at_cap (cp : Cp.t) w cap =
   if Float.equal cap Float.infinity then cp.Cp.theta_hat
   else Float.min cp.Cp.theta_hat (w *. cap)
@@ -192,16 +206,24 @@ let congested_cap ~aggregate ~bracket ~tol ~nu ctx =
       | Some (b_lo, b_hi) ->
           let b_lo = Float.max b_lo 0. in
           let b_hi = Float.min b_hi (grid_point n) in
-          if not (b_lo < b_hi && Float.is_finite b_lo) then (0, n)
+          if not (b_lo < b_hi && Float.is_finite b_lo) then begin
+            Po_obs.Metrics.incr m_hint_discarded;
+            (0, n)
+          end
           else begin
             let k_lo = saturated_count ctx b_lo in
             let k_hi =
               (* Smallest k with grid_point k >= b_hi. *)
               min n (saturated_count ctx b_hi + 1)
             in
-            if k_lo < k_hi && g_at k_lo < 0. && g_at k_hi >= 0. then
+            if k_lo < k_hi && g_at k_lo < 0. && g_at k_hi >= 0. then begin
+              Po_obs.Metrics.incr m_hint_used;
               (k_lo, k_hi)
-            else (0, n)
+            end
+            else begin
+              Po_obs.Metrics.incr m_hint_discarded;
+              (0, n)
+            end
           end
     in
     let lo = ref lo and hi = ref hi in
@@ -219,6 +241,7 @@ let solve_generic ~aggregate ?context:ctx ?bracket ?weights ?(tol = 1e-12)
   let n = Array.length cps in
   if n = 0 then empty
   else begin
+    Po_obs.Metrics.incr m_solves;
     let weights =
       match weights with
       | Some w ->
@@ -229,8 +252,10 @@ let solve_generic ~aggregate ?context:ctx ?bracket ?weights ?(tol = 1e-12)
     let unconstrained =
       Array.fold_left (fun acc cp -> acc +. Cp.lambda_hat_per_capita cp) 0. cps
     in
-    if nu >= unconstrained then
+    if nu >= unconstrained then begin
+      Po_obs.Metrics.incr m_uncongested;
       of_cap cps weights ~congested:false Float.infinity
+    end
     else begin
       let frames =
         [ ("solver", "equilibrium"); ("nu", Printf.sprintf "%.17g" nu);
@@ -254,6 +279,7 @@ let solve_generic ~aggregate ?context:ctx ?bracket ?weights ?(tol = 1e-12)
       (* The seed discarded [converged] and used the last iterate; a
          water level that silently missed its tolerance would poison
          every welfare number downstream, so surface it. *)
+      Po_obs.Metrics.add m_iterations outcome.Po_num.Roots.iterations;
       if not outcome.Po_num.Roots.converged then
         Po_guard.Po_error.fail ~context:frames
           (Po_guard.Po_error.Non_convergence

@@ -1,0 +1,176 @@
+(* Regression comparison of two po-bench-v1 files (bench/main.ml emits
+   them as results/bench.json).
+
+   Kernels regress when ns_per_run grows past the slowdown threshold;
+   sweep rows regress when the parallel speedup drops past the drop
+   threshold.  Rows with a non-finite or null reading on either side
+   are reported but never gate — a machine that cannot produce a
+   reading is noise, not a regression. *)
+
+type thresholds = { max_slowdown_pct : float; max_speedup_drop_pct : float }
+
+(* Defaults are deliberately loose: micro-benchmarks on shared CI
+   runners jitter by tens of percent; the gate exists to catch
+   order-of-magnitude mistakes (an accidental O(n^2), a dropped memo),
+   not 5% drift. *)
+let default_thresholds = { max_slowdown_pct = 25.0; max_speedup_drop_pct = 30.0 }
+
+type row = {
+  name : string;
+  section : [ `Kernel | `Sweep ];
+  baseline : float;
+  current : float;
+  change_pct : float;
+      (* kernels: slowdown (+ = slower); sweeps: speedup drop (+ = worse) *)
+  regressed : bool;
+}
+
+type report = {
+  rows : row list;
+  only_baseline : string list;
+  only_current : string list;
+  thresholds : thresholds;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Parsing                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed %s" what)
+
+let parse_section ~section ~name_key ~value_key json =
+  match Json.member section json with
+  | None -> Ok [] (* older files may omit a section entirely *)
+  | Some rows ->
+      let* rows = require (section ^ " array") (Json.to_list rows) in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | row :: rest ->
+            let* name =
+              require
+                (Printf.sprintf "%s.%s" section name_key)
+                (Option.bind (Json.member name_key row) Json.to_str)
+            in
+            let value =
+              (* null / missing readings survive as nan and never gate *)
+              match Option.bind (Json.member value_key row) Json.to_float with
+              | Some v -> v
+              | None -> Float.nan
+            in
+            go ((name, value) :: acc) rest
+      in
+      go [] rows
+
+let parse_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | src ->
+      let* json =
+        Result.map_error (fun e -> Printf.sprintf "%s: %s" path e)
+          (Json.of_string src)
+      in
+      let* schema =
+        require "schema field" (Option.bind (Json.member "schema" json) Json.to_str)
+      in
+      if schema <> "po-bench-v1" then
+        Error (Printf.sprintf "%s: unsupported schema %S" path schema)
+      else
+        let* kernels =
+          parse_section ~section:"kernels" ~name_key:"name"
+            ~value_key:"ns_per_run" json
+        in
+        let* sweeps =
+          parse_section ~section:"sweep_speedup" ~name_key:"figure"
+            ~value_key:"speedup" json
+        in
+        Ok (kernels, sweeps)
+
+(* ---------------------------------------------------------------- *)
+(* Comparison                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let pct_change ~baseline ~current =
+  if Float.is_finite baseline && Float.is_finite current && baseline > 0. then
+    100. *. ((current -. baseline) /. baseline)
+  else Float.nan
+
+let compare_rows ~section ~threshold ~worse_when_higher baseline current =
+  let matched, only_b =
+    List.partition_map
+      (fun (name, b) ->
+        match List.assoc_opt name current with
+        | Some c -> Left (name, b, c)
+        | None -> Right name)
+      baseline
+  in
+  let only_c =
+    List.filter_map
+      (fun (name, _) ->
+        if List.mem_assoc name baseline then None else Some name)
+      current
+  in
+  let rows =
+    List.map
+      (fun (name, b, c) ->
+        let raw = pct_change ~baseline:b ~current:c in
+        (* Normalise so + always means "worse". *)
+        let change = if worse_when_higher then raw else -.raw in
+        let regressed = Float.is_finite change && change > threshold in
+        { name; section; baseline = b; current = c; change_pct = change;
+          regressed })
+      matched
+  in
+  (rows, only_b, only_c)
+
+let compare_files ?(thresholds = default_thresholds) ~baseline ~current () =
+  let* bk, bs = parse_file baseline in
+  let* ck, cs = parse_file current in
+  let krows, kb, kc =
+    compare_rows ~section:`Kernel ~threshold:thresholds.max_slowdown_pct
+      ~worse_when_higher:true bk ck
+  in
+  let srows, sb, sc =
+    compare_rows ~section:`Sweep ~threshold:thresholds.max_speedup_drop_pct
+      ~worse_when_higher:false bs cs
+  in
+  Ok
+    { rows = krows @ srows; only_baseline = kb @ sb; only_current = kc @ sc;
+      thresholds }
+
+let regressions r = List.filter (fun row -> row.regressed) r.rows
+
+let has_regression r = List.exists (fun row -> row.regressed) r.rows
+
+(* ---------------------------------------------------------------- *)
+(* Rendering                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let render r =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let fnum v = if Float.is_finite v then Printf.sprintf "%.4g" v else "n/a" in
+  line "bench-diff (po-bench-v1): thresholds slowdown > %.1f%%, speedup drop > %.1f%%"
+    r.thresholds.max_slowdown_pct r.thresholds.max_speedup_drop_pct;
+  line "%-40s %12s %12s %9s  %s" "name" "baseline" "current" "change%" "";
+  List.iter
+    (fun row ->
+      let label =
+        match row.section with `Kernel -> row.name | `Sweep -> "sweep:" ^ row.name
+      in
+      line "%-40s %12s %12s %9s  %s" label (fnum row.baseline)
+        (fnum row.current)
+        (if Float.is_finite row.change_pct then
+           Printf.sprintf "%+.1f" row.change_pct
+         else "n/a")
+        (if row.regressed then "REGRESSED" else "ok"))
+    r.rows;
+  List.iter (fun n -> line "only in baseline: %s" n) r.only_baseline;
+  List.iter (fun n -> line "only in current:  %s" n) r.only_current;
+  let regs = regressions r in
+  if regs = [] then line "no regressions"
+  else line "%d regression(s)" (List.length regs);
+  Buffer.contents buf

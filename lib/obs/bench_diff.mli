@@ -1,0 +1,47 @@
+(** Regression comparison of two po-bench-v1 JSON files (the format
+    [bench/main.ml] writes to [results/bench.json]).
+
+    Kernel rows regress when [ns_per_run] grows by more than
+    [max_slowdown_pct]; sweep rows regress when the parallel [speedup]
+    drops by more than [max_speedup_drop_pct].  Rows whose reading is
+    [null]/non-finite on either side are listed but never gate.  The
+    CLI front end is [ponet bench-diff]. *)
+
+type thresholds = { max_slowdown_pct : float; max_speedup_drop_pct : float }
+
+val default_thresholds : thresholds
+(** Slowdown 25%, speedup drop 30% — loose on purpose: the gate catches
+    order-of-magnitude mistakes, not CI-runner jitter. *)
+
+type row = {
+  name : string;
+  section : [ `Kernel | `Sweep ];
+  baseline : float;
+  current : float;
+  change_pct : float;  (** normalised so positive always means worse *)
+  regressed : bool;
+}
+
+type report = {
+  rows : row list;
+  only_baseline : string list;  (** rows that disappeared *)
+  only_current : string list;  (** rows with no baseline — never gate *)
+  thresholds : thresholds;
+}
+
+val compare_files :
+  ?thresholds:thresholds ->
+  baseline:string ->
+  current:string ->
+  unit ->
+  (report, string) result
+(** [Error] covers unreadable files, parse failures and schema
+    mismatches (anything other than ["po-bench-v1"]). *)
+
+val regressions : report -> row list
+
+val has_regression : report -> bool
+
+val render : report -> string
+(** Human-readable table (the caller decides where it goes; this module
+    never prints). *)

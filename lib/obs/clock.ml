@@ -1,0 +1,10 @@
+(* The observability clock: the single place in the library tree that is
+   allowed to read wall time (polint R2 exemption, see polint.allow).
+   Every other module — including the instrumented hot paths in lib/par,
+   lib/model and lib/core — obtains time exclusively through this module,
+   so the determinism audit stays a one-file read: timestamps feed traces
+   and timing histograms only, never figure data. *)
+
+let now_s () = Unix.gettimeofday ()
+
+let now_us () = 1e6 *. now_s ()

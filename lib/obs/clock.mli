@@ -1,0 +1,14 @@
+(** Wall-clock reads for the observability layer (DESIGN.md §11).
+
+    This is the only module outside [test/] permitted to read ambient
+    time (allowlisted for polint R2): spans and timing histograms are
+    {e products} of a run, never inputs to one, so confining every clock
+    read here keeps the bit-reproducibility argument auditable — if a
+    result depended on time, the dependency would have to flow through
+    this interface and would be visible at the call site. *)
+
+val now_s : unit -> float
+(** Wall time in seconds (Unix epoch). *)
+
+val now_us : unit -> float
+(** Wall time in microseconds — the unit Chrome trace events use. *)

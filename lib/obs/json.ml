@@ -1,0 +1,273 @@
+(* A minimal JSON value type with a recursive-descent parser and a
+   printer.  The repo deliberately has no JSON dependency; the
+   observability layer needs one for three small, fully controlled
+   inputs: results/bench.json (schema po-bench-v1), exported Chrome
+   trace files, and metrics snapshots.  Object member order is preserved
+   (association list) so emitted files are deterministic and diffable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else if Float.is_finite v then
+    (* Shortest representation that round-trips a double. *)
+    Printf.sprintf "%.17g" v
+  else "null" (* JSON has no nan/infinity; null is the conventional stand-in *)
+
+let rec print_to buf ~indent ~level v =
+  let pad n = String.make (indent * n) ' ' in
+  let sep_open, sep_item, sep_close =
+    if indent = 0 then ("", "", "")
+    else ("\n" ^ pad (level + 1), "\n" ^ pad (level + 1), "\n" ^ pad level)
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number v -> Buffer.add_string buf (number_to_string v)
+  | String s -> escape_to buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          Buffer.add_string buf (if i = 0 then sep_open else "," ^ sep_item);
+          print_to buf ~indent ~level:(level + 1) item)
+        items;
+      Buffer.add_string buf sep_close;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          Buffer.add_string buf (if i = 0 then sep_open else "," ^ sep_item);
+          escape_to buf k;
+          Buffer.add_string buf ": ";
+          print_to buf ~indent ~level:(level + 1) item)
+        members;
+      Buffer.add_string buf sep_close;
+      Buffer.add_char buf '}'
+
+let to_string ?(indent = 2) v =
+  let buf = Buffer.create 256 in
+  print_to buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some got when Char.equal got c -> advance cur
+  | _ -> error cur (Printf.sprintf "expected %C" c)
+
+let parse_literal cur word value =
+  if
+    cur.pos + String.length word <= String.length cur.src
+    && String.equal (String.sub cur.src cur.pos (String.length word)) word
+  then begin
+    cur.pos <- cur.pos + String.length word;
+    value
+  end
+  else error cur (Printf.sprintf "expected %s" word)
+
+let parse_string_body cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' ->
+        advance cur;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | None -> error cur "unterminated escape"
+        | Some c ->
+            advance cur;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if cur.pos + 4 > String.length cur.src then
+                  error cur "truncated \\u escape";
+                let hex = String.sub cur.src cur.pos 4 in
+                cur.pos <- cur.pos + 4;
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some c -> c
+                  | None -> error cur "bad \\u escape"
+                in
+                (* Encode the code point as UTF-8 (BMP only; surrogate
+                   pairs in our own files never occur, lone surrogates
+                   are mapped to U+FFFD). *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else if code >= 0xD800 && code <= 0xDFFF then
+                  Buffer.add_string buf "\xEF\xBF\xBD"
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | c -> error cur (Printf.sprintf "bad escape \\%c" c));
+            loop ())
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let number_char = function
+  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+  | _ -> false
+
+let parse_number cur =
+  let start = cur.pos in
+  while (match peek cur with Some c -> number_char c | None -> false) do
+    advance cur
+  done;
+  let text = String.sub cur.src start (cur.pos - start) in
+  match float_of_string_opt text with
+  | Some v -> Number v
+  | None -> error cur (Printf.sprintf "bad number %S" text)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> error cur "unexpected end of input"
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws cur;
+          let key = parse_string_body cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance cur;
+              List.rev ((key, v) :: acc)
+          | _ -> error cur "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              items (v :: acc)
+          | Some ']' ->
+              advance cur;
+              List.rev (v :: acc)
+          | _ -> error cur "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '"' -> String (parse_string_body cur)
+  | Some 't' -> parse_literal cur "true" (Bool true)
+  | Some 'f' -> parse_literal cur "false" (Bool false)
+  | Some 'n' -> parse_literal cur "null" Null
+  | Some _ -> parse_number cur
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  match parse_value cur with
+  | v ->
+      skip_ws cur;
+      if cur.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" cur.pos)
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj members -> List.assoc_opt key members
+  | _ -> None
+
+let to_list = function List items -> Some items | _ -> None
+
+let to_float = function Number v -> Some v | _ -> None
+
+let to_str = function String s -> Some s | _ -> None

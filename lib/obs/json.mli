@@ -1,0 +1,31 @@
+(** Minimal JSON values: a printer for the files the observability layer
+    emits (trace exports, metrics snapshots) and a parser for the ones it
+    reads back (results/bench.json for {!Bench_diff}, trace files in
+    tests).  No external dependency; object member order is preserved so
+    output is deterministic and diffable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render with the given indent (default 2; [0] renders compactly on
+    one line).  Non-finite numbers print as [null] — JSON has no
+    [nan]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error is a human-readable
+    message with a byte offset. *)
+
+val member : string -> t -> t option
+(** Object member lookup ([None] on non-objects and missing keys). *)
+
+val to_list : t -> t list option
+
+val to_float : t -> float option
+
+val to_str : t -> string option

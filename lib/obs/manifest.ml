@@ -1,0 +1,54 @@
+(* Run manifest: enough provenance to tell two result files apart
+   (DESIGN.md §11).  Attached to every armed figure run — embedded in
+   the trace export's "otherData" and the metrics snapshot. *)
+
+type t = {
+  figure : string;
+  git : string;
+  params_hash : string;
+  jobs : int;
+  wall_s : float;
+  warnings : int;
+}
+
+(* FNV-1a over a canonical rendering of the run parameters.  Stable
+   across runs and platforms (pure integer arithmetic on the bytes of a
+   deterministic string); not cryptographic — it only needs to make
+   accidental parameter drift visible. *)
+let fnv1a s =
+  (* 64-bit FNV offset basis truncated to OCaml's 63-bit int. *)
+  let h = ref 0x0bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  (* Mask to 62 bits so the rendering is identical on any boxing. *)
+  Printf.sprintf "%016x" (!h land 0x3fffffffffffffff)
+
+let params_hash ~n_cps ~seed ~sweep_points =
+  fnv1a (Printf.sprintf "n_cps=%d;seed=%d;sweep_points=%d" n_cps seed sweep_points)
+
+(* "git describe" runs once per armed run, outside any timed region; a
+   missing git binary or a non-repo directory degrades to "unknown". *)
+let git_describe () =
+  match
+    Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+  with
+  | exception Unix.Unix_error _ -> "unknown"
+  | ic -> (
+      let line = try Some (input_line ic) with End_of_file -> None in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, Some l when String.trim l <> "" -> String.trim l
+      | _ -> "unknown")
+
+let make ~figure ~params_hash ~jobs ~wall_s ~warnings () =
+  { figure; git = git_describe (); params_hash; jobs; wall_s; warnings }
+
+let to_json m =
+  Json.Obj
+    [ ("figure", Json.String m.figure); ("git", Json.String m.git);
+      ("params_hash", Json.String m.params_hash);
+      ("jobs", Json.Number (float_of_int m.jobs));
+      ("wall_s", Json.Number m.wall_s);
+      ("warnings", Json.Number (float_of_int m.warnings)) ]

@@ -1,0 +1,29 @@
+(** Run manifest: provenance attached to every armed figure run —
+    embedded in the trace export's ["otherData"] and alongside the
+    metrics snapshot (DESIGN.md §11). *)
+
+type t = {
+  figure : string;
+  git : string;  (** [git describe --always --dirty], or ["unknown"] *)
+  params_hash : string;
+  jobs : int;
+  wall_s : float;
+  warnings : int;  (** {!Po_guard.Warnings.count} at export time *)
+}
+
+val params_hash : n_cps:int -> seed:int -> sweep_points:int -> string
+(** Stable (FNV-1a) hash of the run parameters — makes accidental
+    parameter drift between two result files visible at a glance. *)
+
+val make :
+  figure:string ->
+  params_hash:string ->
+  jobs:int ->
+  wall_s:float ->
+  warnings:int ->
+  unit ->
+  t
+(** Fills in [git] by shelling out to [git describe]; degrades to
+    ["unknown"] when git or the repository is unavailable. *)
+
+val to_json : t -> Json.t

@@ -1,0 +1,79 @@
+(** Domain-safe metrics registry: named counters, gauges and
+    fixed-bucket histograms (DESIGN.md §11).
+
+    Updates are sharded per domain (no lock on the hot path) and merged
+    at snapshot time with commutative operations — counters and
+    histogram buckets {e sum}, gauges take the {e max} over the shards
+    that set them — so a merged reading cannot depend on which domain
+    executed which chunk.  Combined with the jobs-invariant chunk layout
+    of the sweep combinators (DESIGN.md §6), {b counter snapshots are
+    bit-identical for any [--jobs]}; gauges and timing histograms
+    describe the run (pool size, wall time per chunk) and are exempt
+    from that contract.
+
+    Disarmed (the default), every update costs one atomic load — the
+    same pattern as {!Po_guard.Faultinject}.  Snapshots are only
+    meaningful at quiescence (after the pool has drained). *)
+
+val arm : unit -> unit
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : string -> counter
+(** Register (or look up) a counter.  Registration is idempotent per
+    name; re-registering a name under a different kind raises
+    [Invalid_argument].  Names follow the dotted scheme of
+    DESIGN.md §11 ([subsystem.event], e.g. ["equilibrium.solves"]). *)
+
+val gauge : string -> gauge
+
+val default_buckets : float array
+(** Decades of seconds from 1 µs to 100 s — the default for timing
+    histograms. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** [buckets] are upper bounds (sorted internally); one overflow bucket
+    is appended.  Default {!default_buckets}. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val set : gauge -> float -> unit
+(** Gauges merge across shards by [max]; a shard that never set the
+    gauge does not participate. *)
+
+val observe : histogram -> float -> unit
+
+val time_s : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk; when armed, observe its wall-clock duration in
+    seconds (through {!Clock}).  Disarmed this is exactly the thunk. *)
+
+type value =
+  | Counter of int
+  | Gauge of float  (** [nan] when no shard ever set it *)
+  | Histogram of { bounds : float array; counts : int array; sum : float }
+      (** [counts] has one entry per bound plus a final overflow
+          bucket *)
+
+val snapshot : unit -> (string * value) list
+(** Merged view of all shards, sorted by name. *)
+
+val counters : unit -> (string * int) list
+(** Just the counters — the deterministic section ({!snapshot} order). *)
+
+val reset : unit -> unit
+(** Zero every shard (counters, gauges, histograms); registrations are
+    kept.  Call between runs, at quiescence. *)
+
+val snapshot_json : unit -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] —
+    the po-metrics-v1 body. *)

@@ -1,0 +1,51 @@
+(** Span-based tracer with deterministic span ids, exporting Chrome
+    trace-event JSON (load the file at [chrome://tracing] or
+    [https://ui.perfetto.dev]); see DESIGN.md §11.
+
+    Spans nest per domain: {!with_span} pushes onto a domain-local
+    stack, so the parent of a span is whatever span the same domain is
+    currently inside.  Ids are per-domain sequence numbers — structural,
+    not temporal — so the id/parent graph of a serial run is a pure
+    function of the code path; only [ts]/[dur] carry wall time.
+
+    Disarmed (the default), {!with_span} costs one atomic load and runs
+    the thunk untouched. *)
+
+val arm : unit -> unit
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span (a complete ["ph": "X"]
+    trace event).  The span is recorded even when [f] raises. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** A zero-duration ["ph": "i"] event (e.g. a checkpoint append). *)
+
+val reset : unit -> unit
+(** Drop all recorded events and restart id assignment.  Call at
+    quiescence. *)
+
+type event = {
+  name : string;
+  phase : [ `Span of float  (** duration, µs *) | `Instant ];
+  ts_us : float;
+  tid : int;
+  id : int;
+  parent : int;  (** [-1] at a domain's root *)
+  args : (string * string) list;
+}
+
+val events : unit -> event list
+(** All recorded events in (tid, id) order — structural, so the order is
+    reproducible for a serial run. *)
+
+val to_json : ?other:(string * Json.t) list -> unit -> Json.t
+(** The Chrome trace object: [{"traceEvents": [...], "displayTimeUnit":
+    "ms", "otherData": {...}}]; [other] (e.g. the run manifest) lands in
+    ["otherData"]. *)
+
+val export : ?other:(string * Json.t) list -> path:string -> unit -> unit
+(** Write {!to_json} through {!Po_report.Writer.write_atomic}. *)

@@ -16,6 +16,19 @@
    [Po_error.Error] passes through untouched so inner solver errors keep
    their own provenance. *)
 
+(* Observability (DESIGN.md §11).  The chunk counters live at the
+   [run_chunks] level because the chunk layout is a pure function of
+   the input length and [chunk_size] — never of the pool — so their
+   totals are jobs-invariant.  The gauge and the timing histogram
+   describe the machine and are exempt from that contract. *)
+let m_chunks_computed = Po_obs.Metrics.counter "pool.chunks_computed"
+
+let m_chunks_cached = Po_obs.Metrics.counter "pool.chunks_cached"
+
+let m_domains = Po_obs.Metrics.gauge "pool.domains"
+
+let m_chunk_s = Po_obs.Metrics.histogram "pool.chunk_s"
+
 type t = {
   mutable total_domains : int;
   queue : (unit -> unit) Queue.t;
@@ -70,6 +83,7 @@ let create ?domains () =
           requested));
   pool.workers <- Array.of_list (List.rev !spawned);
   pool.total_domains <- Array.length pool.workers + 1;
+  Po_obs.Metrics.set m_domains (float_of_int pool.total_domains);
   pool
 
 let domains pool = pool.total_domains
@@ -226,11 +240,13 @@ let run_chunks ~chunk_size ?cached ?on_chunk pool ~n ~compute =
       let start = ci * chunk_size in
       let stop = min n (start + chunk_size) in
       let fresh () =
+        Po_obs.Metrics.incr m_chunks_computed;
         fire_worker ci;
         let r =
-          Po_guard.Po_error.with_context
-            [ ("chunk", string_of_int ci) ]
-            (fun () -> compute ci ~start ~stop)
+          Po_obs.Metrics.time_s m_chunk_s (fun () ->
+              Po_guard.Po_error.with_context
+                [ ("chunk", string_of_int ci) ]
+                (fun () -> compute ci ~start ~stop))
         in
         (match on_chunk with None -> () | Some h -> h ci r);
         r
@@ -239,7 +255,9 @@ let run_chunks ~chunk_size ?cached ?on_chunk pool ~n ~compute =
       | None -> fresh ()
       | Some lookup -> (
           match lookup ci with
-          | Some r when Array.length r = stop - start -> r
+          | Some r when Array.length r = stop - start ->
+              Po_obs.Metrics.incr m_chunks_cached;
+              r
           | Some _ | None -> fresh ())
     in
     let chunks = maybe_map pool eval (Array.init n_chunks Fun.id) in

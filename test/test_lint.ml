@@ -273,6 +273,32 @@ let test_repo_tree_clean () =
             "the repository lints clean" []
             (List.map Diagnostic.to_string diags))
 
+(* The repository's own allowlist exempts the observability clock
+   (lib/obs/clock.ml) from R2; that exemption must not leak — ambient
+   clock reads anywhere else in the library tree still fire.  Guards the
+   Po_obs.Clock funnel: code that wants time must call through it, and
+   R2 keeps enforcing that everywhere the allowlist does not name. *)
+let test_allowlist_clock_exemption_is_narrow () =
+  let repo_allowlist =
+    match repo_root () with
+    | None -> Alcotest.fail "no dune-project found above the test cwd"
+    | Some root -> (
+        match
+          Suppress.load_allowlist (Filename.concat root "polint.allow")
+        with
+        | Ok a -> a
+        | Error e -> Alcotest.fail e)
+  in
+  check_rules "the obs clock itself is exempt" []
+    (Lint.lint_source ~file:"lib/obs/clock.ml" ~allowlist:repo_allowlist
+       "let now_s () = Unix.gettimeofday ()");
+  check_rules "ambient clock use in lib/model still fires" [ "R2" ]
+    (Lint.lint_source ~file:"lib/model/fixture.ml" ~allowlist:repo_allowlist
+       "let t () = Unix.gettimeofday ()");
+  check_rules "ambient clock use elsewhere in lib/obs still fires" [ "R2" ]
+    (Lint.lint_source ~file:"lib/obs/trace.ml" ~allowlist:repo_allowlist
+       "let t () = Sys.time ()")
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -304,4 +330,7 @@ let () =
           quick "comments and blanks" test_allowlist_comments_and_blanks ]
       );
       ("parse", [ quick "syntax error" test_parse_error_reported ]);
-      ("tree", [ quick "repository lints clean" test_repo_tree_clean ]) ]
+      ( "tree",
+        [ quick "repository lints clean" test_repo_tree_clean;
+          quick "clock exemption is narrow"
+            test_allowlist_clock_exemption_is_narrow ] ) ]

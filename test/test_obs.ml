@@ -1,0 +1,454 @@
+(* Tests for the observability subsystem (lib/obs): metrics semantics,
+   the counter determinism contract, trace export well-formedness, the
+   JSON codec, bench-diff gating and the manifest — plus the satellite
+   guarantees on Po_report.Writer.append_line and Po_guard.Warnings. *)
+
+open Po_obs
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "po_obs_test_%d" (Unix.getpid ()))
+  in
+  Po_report.Writer.mkdir_p dir;
+  f dir
+
+(* Arm/observe/disarm around a thunk, leaving the registry clean for the
+   next test: metrics state is process-global. *)
+let observed f =
+  Metrics.reset ();
+  Metrics.arm ();
+  Fun.protect ~finally:(fun () -> Metrics.disarm ()) f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_disarmed_noop () =
+  let c = Metrics.counter "test.disarmed" in
+  Metrics.reset ();
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check (list (pair string int)))
+    "disarmed updates vanish" []
+    (List.filter (fun (n, _) -> n = "test.disarmed")
+       (List.filter (fun (_, v) -> v <> 0) (Metrics.counters ())))
+
+let test_metrics_counter_armed () =
+  let c = Metrics.counter "test.counter" in
+  observed (fun () ->
+      Metrics.incr c;
+      Metrics.add c 41);
+  Alcotest.(check (option int))
+    "counts while armed" (Some 42)
+    (List.assoc_opt "test.counter" (Metrics.counters ()))
+
+let test_metrics_gauge_max_merge () =
+  let g = Metrics.gauge "test.gauge" in
+  observed (fun () ->
+      Metrics.set g 3.;
+      Metrics.set g 7.;
+      (* A second domain's shard participates through max. *)
+      Domain.join (Domain.spawn (fun () -> Metrics.set g 5.)));
+  match List.assoc_opt "test.gauge" (Metrics.snapshot ()) with
+  | Some (Metrics.Gauge v) -> Alcotest.(check (float 0.)) "max wins" 7. v
+  | _ -> Alcotest.fail "gauge missing from snapshot"
+
+let test_metrics_histogram_buckets () =
+  let h = Metrics.histogram ~buckets:[| 1.; 10. |] "test.hist" in
+  observed (fun () -> List.iter (Metrics.observe h) [ 0.5; 5.; 500. ]);
+  match List.assoc_opt "test.hist" (Metrics.snapshot ()) with
+  | Some (Metrics.Histogram { bounds; counts; sum }) ->
+      Alcotest.(check (array (float 0.))) "bounds" [| 1.; 10. |] bounds;
+      Alcotest.(check (array int)) "one per bucket + overflow" [| 1; 1; 1 |]
+        counts;
+      Alcotest.(check (float 1e-12)) "sum" 505.5 sum
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let test_metrics_kind_clash () =
+  let (_ : Metrics.counter) = Metrics.counter "test.clash" in
+  match Metrics.gauge "test.clash" with
+  | (_ : Metrics.gauge) -> Alcotest.fail "kind clash must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_metrics_reset () =
+  let c = Metrics.counter "test.reset" in
+  observed (fun () -> Metrics.incr c);
+  Metrics.reset ();
+  Alcotest.(check (option int))
+    "reset zeroes" (Some 0)
+    (List.assoc_opt "test.reset" (Metrics.counters ()))
+
+let test_metrics_registration_idempotent () =
+  let a = Metrics.counter "test.idem" in
+  let b = Metrics.counter "test.idem" in
+  observed (fun () ->
+      Metrics.incr a;
+      Metrics.incr b);
+  Alcotest.(check (option int))
+    "same slot" (Some 2)
+    (List.assoc_opt "test.idem" (Metrics.counters ()))
+
+(* ------------------------------------------------------------------ *)
+(* Counter determinism across --jobs (the acceptance criterion)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Counters are incremented only at jobs-invariant layers (per logical
+   solve, per chunk of the fixed chunk layout), so a full figure
+   generation must produce bit-identical counter snapshots at any
+   worker count.  Gauges and timing histograms are exempt — this test
+   deliberately reads only the counters section. *)
+let figure_counters jobs =
+  Metrics.reset ();
+  Metrics.arm ();
+  Fun.protect
+    ~finally:(fun () -> Metrics.disarm ())
+    (fun () ->
+      ignore
+        (Po_experiments.Fig04.generate
+           ~params:{ Po_experiments.Common.quick_params with jobs }
+           ());
+      Metrics.counters ())
+
+let test_counters_jobs_invariant () =
+  let serial = figure_counters 1 in
+  Alcotest.(check bool)
+    "serial run counted something" true
+    (List.exists (fun (_, v) -> v > 0) serial);
+  Alcotest.(check (list (pair string int))) "jobs=4 identical" serial
+    (figure_counters 4)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let traced f =
+  Trace.reset ();
+  Trace.arm ();
+  Fun.protect ~finally:(fun () -> Trace.disarm ()) f
+
+let test_trace_disarmed_noop () =
+  Trace.reset ();
+  Trace.with_span "quiet" (fun () -> ());
+  Alcotest.(check int) "no events recorded" 0 (List.length (Trace.events ()))
+
+let test_trace_nesting_and_ids () =
+  traced (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner" (fun () -> ());
+          Trace.instant "mark"));
+  match Trace.events () with
+  | [ a; b; c ] ->
+      (* Structural order is (tid, id): outer claimed id 0 first. *)
+      Alcotest.(check string) "outer first" "outer" a.Trace.name;
+      Alcotest.(check string) "inner second" "inner" b.Trace.name;
+      Alcotest.(check string) "instant third" "mark" c.Trace.name;
+      Alcotest.(check int) "outer is a root" (-1) a.Trace.parent;
+      Alcotest.(check int) "inner nests under outer" a.Trace.id b.Trace.parent;
+      Alcotest.(check int) "instant nests under outer" a.Trace.id c.Trace.parent
+  | events ->
+      Alcotest.failf "expected 3 events, got %d" (List.length events)
+
+let test_trace_span_survives_raise () =
+  traced (fun () ->
+      (try Trace.with_span "raiser" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Trace.with_span "after" (fun () -> ()));
+  match Trace.events () with
+  | [ a; b ] ->
+      Alcotest.(check string) "raising span recorded" "raiser" a.Trace.name;
+      Alcotest.(check int) "stack unwound: after is a root" (-1)
+        b.Trace.parent
+  | events ->
+      Alcotest.failf "expected 2 events, got %d" (List.length events)
+
+let test_trace_export_parses_back () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "trace.json" in
+      traced (fun () ->
+          Trace.with_span "outer" (fun () -> Trace.with_span "inner" ignore));
+      Trace.export ~other:[ ("note", Json.String "test") ] ~path ();
+      let src = In_channel.with_open_bin path In_channel.input_all in
+      match Json.of_string src with
+      | Error msg -> Alcotest.failf "exported trace does not parse: %s" msg
+      | Ok json -> (
+          match Option.bind (Json.member "traceEvents" json) Json.to_list with
+          | None -> Alcotest.fail "traceEvents missing"
+          | Some events ->
+              Alcotest.(check int) "two events" 2 (List.length events);
+              let names =
+                List.filter_map
+                  (fun e -> Option.bind (Json.member "name" e) Json.to_str)
+                  events
+              in
+              Alcotest.(check (list string))
+                "names survive the round trip" [ "outer"; "inner" ] names;
+              List.iter
+                (fun e ->
+                  Alcotest.(check (option string))
+                    "complete event" (Some "X")
+                    (Option.bind (Json.member "ph" e) Json.to_str))
+                events;
+              Alcotest.(check (option string))
+                "otherData carried through" (Some "test")
+                (Option.bind (Json.member "otherData" json) (fun o ->
+                     Option.bind (Json.member "note" o) Json.to_str))))
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [ ("s", Json.String "a \"quoted\"\nline");
+        ("n", Json.Number 1.5);
+        ("i", Json.Number 42.);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Number 0.1; Json.Obj [] ]) ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round trip" true (v = v')
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+
+let test_json_nonfinite_is_null () =
+  Alcotest.(check string) "nan -> null" "null"
+    (Json.to_string ~indent:0 (Json.Number Float.nan))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun src ->
+      match Json.of_string src with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" src
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+(* ------------------------------------------------------------------ *)
+(* bench-diff                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_file dir name ~solve_ns ~speedup =
+  let path = Filename.concat dir name in
+  Po_report.Writer.write_atomic ~path
+    (Printf.sprintf
+       {|{
+  "schema": "po-bench-v1",
+  "jobs": 4,
+  "kernels": [
+    {"name": "solve", "ns_per_run": %s},
+    {"name": "stable", "ns_per_run": 100.0}
+  ],
+  "sweep_speedup": [
+    {"figure": "fig5", "serial_s": 1.0, "parallel_s": 0.5, "speedup": %s}
+  ]
+}|}
+       solve_ns speedup);
+  path
+
+let test_bench_diff_no_regression () =
+  with_tmp_dir (fun dir ->
+      let baseline = bench_file dir "base.json" ~solve_ns:"1000.0" ~speedup:"2.0" in
+      let current = bench_file dir "cur.json" ~solve_ns:"1100.0" ~speedup:"1.9" in
+      match Bench_diff.compare_files ~baseline ~current () with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+          Alcotest.(check bool)
+            "within thresholds" false
+            (Bench_diff.has_regression r);
+          Alcotest.(check int) "all rows compared" 3 (List.length r.rows))
+
+let test_bench_diff_kernel_regression () =
+  with_tmp_dir (fun dir ->
+      let baseline = bench_file dir "base.json" ~solve_ns:"1000.0" ~speedup:"2.0" in
+      let current = bench_file dir "cur.json" ~solve_ns:"2000.0" ~speedup:"2.0" in
+      match Bench_diff.compare_files ~baseline ~current () with
+      | Error msg -> Alcotest.fail msg
+      | Ok r -> (
+          match Bench_diff.regressions r with
+          | [ row ] ->
+              Alcotest.(check string) "the slow kernel" "solve" row.name;
+              Alcotest.(check (float 1e-9)) "slowdown pct" 100. row.change_pct
+          | rows ->
+              Alcotest.failf "expected 1 regression, got %d" (List.length rows)))
+
+let test_bench_diff_speedup_regression () =
+  with_tmp_dir (fun dir ->
+      let baseline = bench_file dir "base.json" ~solve_ns:"1000.0" ~speedup:"4.0" in
+      let current = bench_file dir "cur.json" ~solve_ns:"1000.0" ~speedup:"1.0" in
+      match Bench_diff.compare_files ~baseline ~current () with
+      | Error msg -> Alcotest.fail msg
+      | Ok r -> (
+          match Bench_diff.regressions r with
+          | [ row ] ->
+              Alcotest.(check string) "the sweep row" "fig5" row.name;
+              Alcotest.(check (float 1e-9)) "drop pct" 75. row.change_pct
+          | rows ->
+              Alcotest.failf "expected 1 regression, got %d" (List.length rows)))
+
+let test_bench_diff_threshold_configurable () =
+  with_tmp_dir (fun dir ->
+      let baseline = bench_file dir "base.json" ~solve_ns:"1000.0" ~speedup:"2.0" in
+      let current = bench_file dir "cur.json" ~solve_ns:"1100.0" ~speedup:"2.0" in
+      let thresholds =
+        { Bench_diff.max_slowdown_pct = 5.; max_speedup_drop_pct = 5. }
+      in
+      match Bench_diff.compare_files ~thresholds ~baseline ~current () with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+          Alcotest.(check bool)
+            "10% slowdown trips a 5% threshold" true
+            (Bench_diff.has_regression r))
+
+let test_bench_diff_null_never_gates () =
+  with_tmp_dir (fun dir ->
+      let baseline = bench_file dir "base.json" ~solve_ns:"1000.0" ~speedup:"2.0" in
+      let current = bench_file dir "cur.json" ~solve_ns:"null" ~speedup:"null" in
+      match Bench_diff.compare_files ~baseline ~current () with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+          Alcotest.(check bool)
+            "unreadable readings do not gate" false
+            (Bench_diff.has_regression r))
+
+let test_bench_diff_schema_mismatch () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "bad.json" in
+      Po_report.Writer.write_atomic ~path {|{"schema": "po-bench-v2"}|};
+      match Bench_diff.compare_files ~baseline:path ~current:path () with
+      | Ok _ -> Alcotest.fail "schema mismatch must be an error"
+      | Error _ -> ())
+
+let test_bench_diff_disjoint_rows () =
+  with_tmp_dir (fun dir ->
+      let baseline = Filename.concat dir "base.json" in
+      let current = Filename.concat dir "cur.json" in
+      Po_report.Writer.write_atomic ~path:baseline
+        {|{"schema": "po-bench-v1", "kernels": [{"name": "old", "ns_per_run": 1.0}]}|};
+      Po_report.Writer.write_atomic ~path:current
+        {|{"schema": "po-bench-v1", "kernels": [{"name": "new", "ns_per_run": 1.0}]}|};
+      match Bench_diff.compare_files ~baseline ~current () with
+      | Error msg -> Alcotest.fail msg
+      | Ok r ->
+          Alcotest.(check (list string)) "vanished" [ "old" ] r.only_baseline;
+          Alcotest.(check (list string)) "appeared" [ "new" ] r.only_current;
+          Alcotest.(check bool)
+            "disjoint rows never gate" false
+            (Bench_diff.has_regression r))
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_manifest_params_hash_stable () =
+  let h = Manifest.params_hash ~n_cps:1000 ~seed:42 ~sweep_points:33 in
+  Alcotest.(check string) "pure function of the params" h
+    (Manifest.params_hash ~n_cps:1000 ~seed:42 ~sweep_points:33);
+  Alcotest.(check bool)
+    "sensitive to every field" false
+    (h = Manifest.params_hash ~n_cps:1000 ~seed:43 ~sweep_points:33)
+
+let test_manifest_json_shape () =
+  let m =
+    { Manifest.figure = "fig5"; git = "abc123"; params_hash = "deadbeef";
+      jobs = 4; wall_s = 1.5; warnings = 0 }
+  in
+  let json = Manifest.to_json m in
+  Alcotest.(check (option string))
+    "figure" (Some "fig5")
+    (Option.bind (Json.member "figure" json) Json.to_str);
+  Alcotest.(check (option (float 0.)))
+    "jobs" (Some 4.)
+    (Option.bind (Json.member "jobs" json) Json.to_float)
+
+(* ------------------------------------------------------------------ *)
+(* Satellites: Writer.append_line, Warnings count/drain               *)
+(* ------------------------------------------------------------------ *)
+
+let test_append_line_preserves_existing_file () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "existing.txt" in
+      (* A pre-existing non-journal file: append must extend it in
+         place, not truncate or replace it. *)
+      Po_report.Writer.write_atomic ~path "first line\n";
+      Po_report.Writer.append_line ~path "second line";
+      Po_report.Writer.append_line ~path "third line";
+      let content = In_channel.with_open_bin path In_channel.input_all in
+      Alcotest.(check string)
+        "appended after the original content"
+        "first line\nsecond line\nthird line\n" content)
+
+let test_append_line_creates_missing_file () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat (Filename.concat dir "fresh") "new.txt" in
+      Po_report.Writer.remove_if_exists path;
+      Po_report.Writer.append_line ~path "only line";
+      Alcotest.(check string)
+        "created with the line" "only line\n"
+        (In_channel.with_open_bin path In_channel.input_all))
+
+let test_warnings_count_and_drain () =
+  let before = Po_guard.Warnings.count () in
+  Po_guard.Warnings.set_handler (fun _ -> ());
+  Po_guard.Warnings.emit "degradation one";
+  Po_guard.Warnings.emit "degradation two";
+  Alcotest.(check int)
+    "count tracks emissions" (before + 2)
+    (Po_guard.Warnings.count ());
+  let drained = Po_guard.Warnings.drain () in
+  Alcotest.(check bool)
+    "drain ends with the new messages in order" true
+    (let n = List.length drained in
+     n >= 2
+     && List.filteri (fun i _ -> i >= n - 2) drained
+        = [ "degradation one"; "degradation two" ]);
+  Alcotest.(check (list string)) "drain clears" [] (Po_guard.Warnings.drain ());
+  Alcotest.(check int)
+    "count survives drain" (before + 2)
+    (Po_guard.Warnings.count ())
+
+let () =
+  Alcotest.run "po_obs"
+    [ ( "metrics",
+        [ quick "disarmed is a no-op" test_metrics_disarmed_noop;
+          quick "counter counts when armed" test_metrics_counter_armed;
+          quick "gauges merge by max" test_metrics_gauge_max_merge;
+          quick "histogram buckets" test_metrics_histogram_buckets;
+          quick "kind clash raises" test_metrics_kind_clash;
+          quick "reset zeroes" test_metrics_reset;
+          quick "registration idempotent" test_metrics_registration_idempotent
+        ] );
+      ( "determinism",
+        [ quick "figure counters identical across jobs"
+            test_counters_jobs_invariant ] );
+      ( "trace",
+        [ quick "disarmed is a no-op" test_trace_disarmed_noop;
+          quick "nesting and structural ids" test_trace_nesting_and_ids;
+          quick "span survives a raise" test_trace_span_survives_raise;
+          quick "export parses back" test_trace_export_parses_back ] );
+      ( "json",
+        [ quick "round trip" test_json_round_trip;
+          quick "non-finite renders null" test_json_nonfinite_is_null;
+          quick "malformed inputs rejected" test_json_parse_errors ] );
+      ( "bench-diff",
+        [ quick "no regression within thresholds" test_bench_diff_no_regression;
+          quick "kernel slowdown gates" test_bench_diff_kernel_regression;
+          quick "speedup drop gates" test_bench_diff_speedup_regression;
+          quick "thresholds configurable" test_bench_diff_threshold_configurable;
+          quick "null readings never gate" test_bench_diff_null_never_gates;
+          quick "schema mismatch is an error" test_bench_diff_schema_mismatch;
+          quick "disjoint rows reported, not gated" test_bench_diff_disjoint_rows
+        ] );
+      ( "manifest",
+        [ quick "params hash stable and sensitive"
+            test_manifest_params_hash_stable;
+          quick "json shape" test_manifest_json_shape ] );
+      ( "satellites",
+        [ quick "append_line preserves an existing file"
+            test_append_line_preserves_existing_file;
+          quick "append_line creates a missing file"
+            test_append_line_creates_missing_file;
+          quick "warnings count and drain" test_warnings_count_and_drain ] )
+    ]
