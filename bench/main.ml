@@ -151,7 +151,19 @@ let kernels () =
       (Staged.stage (fun () -> ignore (Po_netsim.Sim.run sim_cfg)));
     Test.make ~name:"ensemble_generate_1000cp"
       (Staged.stage (fun () ->
-           ignore (Po_workload.Ensemble.paper_ensemble ~n:1000 ~seed:7 ()))) ]
+           ignore (Po_workload.Ensemble.paper_ensemble ~n:1000 ~seed:7 ())));
+    (* polint's parsetree stage over lib/, serial and fanned out on a
+       po_par pool — the outputs are byte-identical by construction
+       (test_lint's jobs-invariance test verifies; this row measures).
+       Parsing serializes on the compiler's global lexer state and the
+       jobs row pays pool spin-up per run, so the parallel row is the
+       honest cost of `--jobs` at lib/-tree scale, not a speedup claim. *)
+    Test.make ~name:"polint_parsetree_lib_serial"
+      (Staged.stage (fun () ->
+           ignore (Po_lint.Lint.lint_tree ~root:"." [ "lib" ])));
+    Test.make ~name:"polint_parsetree_lib_jobs4"
+      (Staged.stage (fun () ->
+           ignore (Po_lint.Lint.lint_tree ~root:"." ~jobs:4 [ "lib" ]))) ]
 
 let run_microbenchmarks () =
   let instance = Toolkit.Instance.monotonic_clock in

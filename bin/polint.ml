@@ -1,10 +1,15 @@
 (* The polint driver — the repo's determinism & float-safety linter.
 
    Walks the given source roots (default: lib bin bench test examples),
-   applies the rule catalogue R1-R5 (see DESIGN.md section 7 or
-   --list-rules) and prints one 'file:line:col [rule-id] message' line
-   per violation.  Exit codes: 0 clean, 1 violations, 2 configuration
-   error. *)
+   applies the rule catalogue (see DESIGN.md section 7 or --list-rules)
+   and prints one 'file:line:col [rule-id] message' line per violation.
+   R1-R6 need only the sources; --typed additionally loads the .cmt
+   trees from the last dune build and runs the interprocedural rules
+   R7-R10 (call-graph reachability, witness chains in the output).
+
+   Exit codes: 0 clean, 1 violations (or stale suppressions under
+   --check-allowlist), 2 configuration error — including malformed
+   suppression directives and files that do not parse. *)
 
 open Cmdliner
 
@@ -39,12 +44,61 @@ let rules_arg =
     value
     & opt (some string) None
     & info [ "rules" ] ~docv:"IDS"
-        ~doc:"Comma-separated rule ids to check (default: all of R1-R5).")
+        ~doc:
+          "Comma-separated rule ids to check (default: all of R1-R10; \
+           R7-R10 only fire together with $(b,--typed)).")
 
 let list_rules_arg =
   Arg.(
     value & flag
     & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
+
+let typed_arg =
+  Arg.(
+    value & flag
+    & info [ "typed" ]
+        ~doc:
+          "Also run the typed-tree rules (R7-R10) over the .cmt files of \
+           the last dune build.  While the typed pass has units to \
+           analyze, R9 supersedes the syntactic R1.")
+
+let build_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "build-dir" ] ~docv:"DIR"
+        ~doc:
+          "Where to look for .cmt files (default: \
+           $(b,<root>/_build/default)).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Lint files on N domains of a po_par pool.  Output is \
+           identical for any N.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,text) (one line per finding, call chains \
+           indented) or $(b,json) (the polint-v1 envelope with precise \
+           locations and witness arrays).")
+
+let check_allowlist_arg =
+  Arg.(
+    value & flag
+    & info [ "check-allowlist" ]
+        ~doc:
+          "Audit suppressions instead of failing on findings: exit 1 if \
+           any polint.allow entry or inline 'polint: allow' directive \
+           matched nothing.  Implies $(b,--typed), so entries for R7-R10 \
+           count as used.")
 
 let parse_rules = function
   | None -> Ok None
@@ -70,7 +124,46 @@ let print_catalogue () =
         m.rationale)
     Po_lint.Rule.catalogue
 
-let run paths root allowlist rules_csv list_rules =
+let is_meta (d : Po_lint.Diagnostic.t) =
+  match d.Po_lint.Diagnostic.rule with
+  | "parse" | "suppress" -> true
+  | _ -> false
+
+let render format diags =
+  match format with
+  | `Json -> print_endline (Po_lint.Diagnostic.list_to_json diags)
+  | `Text ->
+      List.iter
+        (fun d -> print_endline (Po_lint.Diagnostic.to_string d))
+        diags
+
+let report_stale (r : Po_lint.Lint.report) =
+  List.iter
+    (fun (e : Po_lint.Suppress.allow_entry) ->
+      Printf.printf "polint.allow:%d stale entry: %s %s (%s)\n"
+        e.Po_lint.Suppress.lineno
+        (Po_lint.Rule.to_string e.Po_lint.Suppress.rule)
+        e.Po_lint.Suppress.path e.Po_lint.Suppress.reason)
+    r.Po_lint.Lint.stale_allows;
+  List.iter
+    (fun (file, line) ->
+      Printf.printf "%s:%d stale inline suppression: matches nothing\n" file
+        line)
+    r.Po_lint.Lint.stale_directives;
+  let n =
+    List.length r.Po_lint.Lint.stale_allows
+    + List.length r.Po_lint.Lint.stale_directives
+  in
+  if n = 0 then 0
+  else begin
+    Printf.eprintf
+      "polint: %d stale suppression%s — remove or re-justify\n" n
+      (if n = 1 then "" else "s");
+    1
+  end
+
+let run paths root allowlist rules_csv list_rules typed build_dir jobs format
+    check_allowlist =
   if list_rules then begin
     print_catalogue ();
     0
@@ -81,29 +174,39 @@ let run paths root allowlist rules_csv list_rules =
         prerr_endline ("polint: " ^ msg);
         2
     | Ok rules -> (
+        let typed = typed || check_allowlist in
         match
-          Po_lint.Lint.run ~root ?allowlist_path:allowlist ?rules ~paths ()
+          Po_lint.Lint.run ~root ?allowlist_path:allowlist ?rules ~paths
+            ~typed ?build_dir ?jobs ()
         with
         | Error msg ->
             prerr_endline ("polint: " ^ msg);
             2
-        | Ok [] -> 0
-        | Ok diags ->
+        | Ok r ->
             List.iter
-              (fun d -> print_endline (Po_lint.Diagnostic.to_string d))
-              diags;
-            Printf.eprintf "polint: %d violation%s\n" (List.length diags)
-              (if List.length diags = 1 then "" else "s");
-            1)
+              (fun note -> Printf.eprintf "polint: note: %s\n" note)
+              r.Po_lint.Lint.typed_notes;
+            if check_allowlist then report_stale r
+            else begin
+              let diags = r.Po_lint.Lint.diagnostics in
+              render format diags;
+              if diags = [] then 0
+              else begin
+                Printf.eprintf "polint: %d violation%s\n" (List.length diags)
+                  (if List.length diags = 1 then "" else "s");
+                if List.exists is_meta diags then 2 else 1
+              end
+            end)
 
 let cmd =
   let doc =
     "static determinism & float-safety linter for the public-option tree"
   in
   Cmd.v
-    (Cmd.info "polint" ~version:"1.0.0" ~doc)
+    (Cmd.info "polint" ~version:"2.0.0" ~doc)
     Term.(
       const run $ paths_arg $ root_arg $ allowlist_arg $ rules_arg
-      $ list_rules_arg)
+      $ list_rules_arg $ typed_arg $ build_dir_arg $ jobs_arg $ format_arg
+      $ check_allowlist_arg)
 
 let () = exit (Cmd.eval' cmd)

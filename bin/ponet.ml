@@ -363,26 +363,62 @@ let lint_cmd =
             "Per-rule allowlist file (default: polint.allow when \
              present).")
   in
-  let run paths allowlist =
-    match Po_lint.Lint.run ?allowlist_path:allowlist ~paths () with
+  let typed =
+    Arg.(
+      value & flag
+      & info [ "typed" ]
+          ~doc:
+            "Also run the typed-tree rules (R7-R10) over the .cmt files \
+             of the last dune build.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Lint files on N domains of a po_par pool; output is \
+             identical for any N.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the polint-v1 JSON envelope.")
+  in
+  let run paths allowlist typed jobs json =
+    match
+      Po_lint.Lint.run ?allowlist_path:allowlist ~paths ~typed ?jobs ()
+    with
     | Error msg ->
         prerr_endline ("ponet lint: " ^ msg);
         exit 2
-    | Ok [] -> ()
-    | Ok diags ->
+    | Ok r -> (
         List.iter
-          (fun d -> print_endline (Po_lint.Diagnostic.to_string d))
-          diags;
-        Printf.eprintf "ponet lint: %d violation%s\n" (List.length diags)
-          (if List.length diags = 1 then "" else "s");
-        exit 1
+          (fun note -> Printf.eprintf "ponet lint: note: %s\n" note)
+          r.Po_lint.Lint.typed_notes;
+        match r.Po_lint.Lint.diagnostics with
+        | [] -> if json then print_endline (Po_lint.Diagnostic.list_to_json [])
+        | diags ->
+            if json then print_endline (Po_lint.Diagnostic.list_to_json diags)
+            else
+              List.iter
+                (fun d -> print_endline (Po_lint.Diagnostic.to_string d))
+                diags;
+            Printf.eprintf "ponet lint: %d violation%s\n" (List.length diags)
+              (if List.length diags = 1 then "" else "s");
+            let meta (d : Po_lint.Diagnostic.t) =
+              match d.Po_lint.Diagnostic.rule with
+              | "parse" | "suppress" -> true
+              | _ -> false
+            in
+            exit (if List.exists meta diags then 2 else 1))
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run polint, the determinism & float-safety linter, over the \
           source tree")
-    Term.(const run $ paths $ allowlist)
+    Term.(const run $ paths $ allowlist $ typed $ jobs $ json)
 
 let bench_diff_cmd =
   let baseline =

@@ -100,7 +100,7 @@ type engine = {
   eq :
     bracket:(float * float) option -> nu:float -> Cp.t array ->
     Equilibrium.solution;
-  (* polint: allow R2 — audited: all three engine tables are pure memos
+  (* R2-audit (no directive needed; only find_opt/add/mem/replace): all three engine tables are pure memos
      used through find_opt/replace only, never iterated, so Hashtbl order
      cannot reach any result. *)
   class_memo :
@@ -469,7 +469,7 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy cps =
   in
   if Partition.size init <> Array.length cps then
     invalid_arg "Cp_game.solve: init partition size mismatch";
-  (* polint: allow R2 — audited: cycle-detection set over partition keys;
+  (* R2-audit (no directive needed; only find_opt/add/mem/replace): cycle-detection set over partition keys;
      only mem/add are used, nothing is ever iterated, so Hashtbl order
      cannot influence which partition the solver settles on. *)
   let seen = Hashtbl.create 64 in

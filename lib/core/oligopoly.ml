@@ -79,7 +79,7 @@ let capacity_for_level curve level =
     done;
     let i = !idx in
     let y0 = curve.phis.(i - 1) and y1 = curve.phis.(i) in
-    if y1 = y0 then Some curve.nus.(i)
+    if Float.equal y1 y0 then Some curve.nus.(i)
     else
       Some
         (curve.nus.(i - 1)
@@ -203,7 +203,7 @@ let solve_checked ?pool ?curve_points ?prices config cps =
 
 (* The surplus curve of a strategy is independent of the rival profile, so
    searches over a strategy menu cache one curve per strategy. *)
-(* polint: allow R2 — audited: the curve cache is keyed by
+(* R2-audit (no directive needed; only find_opt/add/mem/replace): the curve cache is keyed by
    Strategy.to_string and only ever read back through find_opt/add; it is
    never iterated, so Hashtbl order cannot reach any result. *)
 let cached_solve ?pool ~curve_points ~nu_sat ~cache config cps =
@@ -271,7 +271,7 @@ let market_share_nash ?pool ?(rounds = 10) ?strategies ?(curve_points = 90)
   in
   let n = Array.length config.isps in
   let nu_sat = Float.max (unconstrained_nu cps) 1e-9 in
-  (* polint: allow R2 — audited: per-search curve cache, find_opt/add
+  (* R2-audit (no directive needed; only find_opt/add/mem/replace): per-search curve cache, find_opt/add
      only (see cached_solve); never iterated. *)
   let cache = Hashtbl.create 16 in
   let solve_cached cfg =
@@ -334,8 +334,8 @@ let check_lemma4 ?(tol = 5e-3) config cps =
   let bad = ref None in
   Array.iteri
     (fun i isp ->
-      if !bad = None && Float.abs (eq.shares.(i) -. isp.gamma) > tol then
-        bad := Some (i, isp.gamma, eq.shares.(i)))
+      if Option.is_none !bad && Float.abs (eq.shares.(i) -. isp.gamma) > tol
+      then bad := Some (i, isp.gamma, eq.shares.(i)))
     config.isps;
   match !bad with
   | None -> Ok ()
@@ -370,7 +370,7 @@ let theorem6_audit ?pool ?strategies ?epsilon_nus ~i config cps =
           ()
   in
   let nu_sat = Float.max (unconstrained_nu cps) 1e-9 in
-  (* polint: allow R2 — audited: per-audit curve cache, find_opt/add only
+  (* R2-audit (no directive needed; only find_opt/add/mem/replace): per-audit curve cache, find_opt/add only
      (see cached_solve); never iterated. *)
   let cache = Hashtbl.create 16 in
   let evaluated =

@@ -13,7 +13,7 @@ let public_option = { kappa = 0.; c = 0. }
 let is_public_option t = Float.equal t.kappa 0. && Float.equal t.c 0.
 let is_neutral t = Float.equal t.kappa 0. || Float.equal t.c 0.
 
-let equal a b = a.kappa = b.kappa && a.c = b.c
+let equal a b = Float.equal a.kappa b.kappa && Float.equal a.c b.c
 
 let compare a b =
   match Float.compare a.kappa b.kappa with

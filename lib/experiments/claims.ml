@@ -10,6 +10,17 @@ let of_result ~claim = function
   | Ok () -> { claim; passed = true; detail = "ok" }
   | Error detail -> { claim; passed = false; detail }
 
+(* A non-converged inner solve must not be silently audited as if it
+   were an equilibrium: raising solves are wrapped in
+   [ensure_converged] and result-typed companions unwrapped here, so
+   the failure travels the typed error channel with its claim frame. *)
+let checked ~claim = function
+  | Ok v -> v
+  | Error e ->
+      raise
+        (Po_guard.Po_error.Error
+           (Po_guard.Po_error.add_context [ ("claim", claim) ] e))
+
 (* The claim audits are statements about equilibria, not about scale; a
    few hundred CPs keep them fast while preserving every regime. *)
 let audit_ensemble params cap =
@@ -40,7 +51,9 @@ let theorem5 ?(params = Common.default_params) () =
       ()
   in
   let neutral_phi =
-    (Cp_game.solve ~nu:(0.5 *. sat) ~strategy:Strategy.public_option cps)
+    (Cp_game.ensure_converged
+       ~context:[ ("claim", "theorem5") ]
+       (Cp_game.solve ~nu:(0.5 *. sat) ~strategy:Strategy.public_option cps))
       .Cp_game.phi
   in
   of_result
@@ -71,7 +84,7 @@ let theorem6 ?(params = Common.default_params) () =
            strategy = Strategy.make ~kappa:0.7 ~c:0.3 } |]
   in
   let audit = Oligopoly.theorem6_audit ~i:0 cfg cps in
-  let eq = Oligopoly.solve cfg cps in
+  let eq = checked ~claim:"theorem6" (Oligopoly.solve_checked cfg cps) in
   let scale = Float.max eq.Oligopoly.phi_star 1e-9 in
   let slack = audit.Oligopoly.epsilon_rivals +. (0.05 *. scale) in
   let passed = audit.Oligopoly.phi_deficit <= slack in
@@ -97,8 +110,9 @@ let corollary1 ?(params = Common.default_params) () =
     Oligopoly.homogeneous ~nu:(0.5 *. sat) ~n:2
       ~strategy:Strategy.public_option ()
   in
-  let nash_cfg, nash_eq, _ =
-    Oligopoly.market_share_nash ~rounds:4 ~strategies:menu cfg cps
+  let nash_cfg, nash_eq =
+    checked ~claim:"corollary1"
+      (Oligopoly.market_share_nash_checked ~rounds:4 ~strategies:menu cfg cps)
   in
   let phi_star = nash_eq.Oligopoly.phi_star in
   let worst = ref 0. in
@@ -111,8 +125,9 @@ let corollary1 ?(params = Common.default_params) () =
             let isps = Array.copy nash_cfg.Oligopoly.isps in
             isps.(i) <- { (isps.(i)) with Oligopoly.strategy = s };
             let eq' =
-              Oligopoly.solve ~curve_points:90
-                { nash_cfg with Oligopoly.isps } cps
+              checked ~claim:"corollary1"
+                (Oligopoly.solve_checked ~curve_points:90
+                   { nash_cfg with Oligopoly.isps } cps)
             in
             worst := Float.max !worst (eq'.Oligopoly.phi_star -. phi_star)
           end)
@@ -165,9 +180,10 @@ let tcp_maxmin ?(params = Common.default_params) () =
         report.Po_netsim.Validate.utilization }
 
 let all ?params () =
-  [ theorem4 ?params (); theorem5 ?params (); lemma4 ?params ();
-    theorem6 ?params (); corollary1 ?params (); regime_ordering ?params ();
-    tcp_maxmin ?params () ]
+  Common.with_figure_scope "claims" (fun () ->
+      [ theorem4 ?params (); theorem5 ?params (); lemma4 ?params ();
+        theorem6 ?params (); corollary1 ?params (); regime_ordering ?params ();
+        tcp_maxmin ?params () ])
 
 let render checks =
   let buf = Buffer.create 512 in

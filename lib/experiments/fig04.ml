@@ -14,12 +14,14 @@ let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
     Common.sweep_serpentine params ~rows:nus ~cols:cs
       ~step:(fun prev nu c ->
         let strategy = Strategy.make ~kappa:1. ~c in
-        Cp_game.solve
-          ?init:
-            (Option.map
-               (fun (o : Cp_game.outcome) -> o.Cp_game.partition)
-               prev)
-          ~nu ~strategy cps)
+        Cp_game.ensure_converged
+          ~context:[ ("figure", "fig4") ]
+          (Cp_game.solve
+             ?init:
+               (Option.map
+                  (fun (o : Cp_game.outcome) -> o.Cp_game.partition)
+                  prev)
+             ~nu ~strategy cps))
   in
   let panel proj name =
     ( name,

@@ -24,12 +24,14 @@ let generate ?(phi_setting = Po_workload.Ensemble.Coupled_to_beta)
     Common.sweep_serpentine params ~rows:combos ~cols:nus
       ~step:(fun prev (kappa, c) nu ->
         let strategy = Strategy.make ~kappa ~c in
-        Cp_game.solve
-          ?init:
-            (Option.map
-               (fun (o : Cp_game.outcome) -> o.Cp_game.partition)
-               prev)
-          ~nu ~strategy cps)
+        Cp_game.ensure_converged
+          ~context:[ ("figure", "fig5") ]
+          (Cp_game.solve
+             ?init:
+               (Option.map
+                  (fun (o : Cp_game.outcome) -> o.Cp_game.partition)
+                  prev)
+             ~nu ~strategy cps))
   in
   let panel proj name =
     ( name,

@@ -36,7 +36,11 @@ let generate ?(params = Common.default_params) () =
   let results =
     Array.map
       (fun strategy ->
-        let o = Cp_game.solve ~nu ~strategy cps in
+        let o =
+          Cp_game.ensure_converged
+            ~context:[ ("figure", "pmp") ]
+            (Cp_game.solve ~nu ~strategy cps)
+        in
         let ordinary =
           validate_class
             ~nu_class:((1. -. Strategy.kappa strategy) *. nu)

@@ -17,7 +17,7 @@ let disarmed = { solver = None; worker = None; write = None }
 let parse s =
   let parse_entry acc entry =
     match acc with
-    | Error _ -> acc
+    | Error _ as e -> e
     | Ok spec -> (
         match String.split_on_char '@' (String.trim entry) with
         | [ site; k ] -> (

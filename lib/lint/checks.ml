@@ -85,7 +85,7 @@ let run ~file ~rules structure =
     if List.exists (Rule.equal rule) rules then begin
       let line, col = line_col loc in
       diags :=
-        Diagnostic.v ~file ~line ~col ~rule:(Rule.to_string rule) ~message
+        Diagnostic.v ~file ~line ~col ~rule:(Rule.to_string rule) ~message ()
         :: !diags
     end
   in

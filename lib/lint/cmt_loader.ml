@@ -1,0 +1,194 @@
+(* Loading the compiler's typed trees for the second analysis stage.
+
+   The parsetree pass (R1-R6) sees one file at a time and no types; the
+   typed pass (R7-R10) needs what the compiler knew: resolved paths,
+   inferred types and cross-module references.  Dune already writes that
+   knowledge to `.cmt` files under `_build/default/**/.objs/byte` on
+   every build, so the loader's job is discovery and bookkeeping — find
+   the cmts, read them with [Cmt_format], and map each compilation unit
+   back to its repo-relative source file so diagnostics, suppressions
+   and the allowlist all speak the same paths as the parsetree pass.
+
+   For tests there is also [typecheck_impl], which runs the compiler's
+   own type checker in process on a fixture string (against the real
+   build tree's cmis, so fixtures can capture e.g. a genuine
+   [Po_par.Pool.parallel_map] closure) and yields the same [unit_info]
+   shape as a cmt read from disk. *)
+
+type unit_info = {
+  modname : string;  (* compilation unit name, e.g. "Po_core__Cp_game" *)
+  canonical : string list;  (* display path, e.g. ["Po_core"; "Cp_game"] *)
+  file : string;  (* repo-relative source path *)
+  structure : Typedtree.structure;
+  comments : (string * Location.t) list;
+}
+
+(* "Po_core__Cp_game" -> ["Po_core"; "Cp_game"]: dune's wrapped-library
+   mangling uses a double underscore between the library namespace and
+   the module.  A trailing "__" (the generated alias module of some dune
+   versions) collapses to the bare namespace. *)
+let canonical_of_modname modname =
+  let rec split acc start i =
+    if i + 1 >= String.length modname then
+      List.rev (String.sub modname start (String.length modname - start) :: acc)
+    else if Char.equal modname.[i] '_' && Char.equal modname.[i + 1] '_' then
+      split (String.sub modname start (i - start) :: acc) (i + 2) (i + 2)
+    else split acc start (i + 1)
+  in
+  let parts =
+    List.filter (fun s -> not (String.equal s "")) (split [] 0 0)
+  in
+  (* Executables get a "Dune__exe__" prefix; it carries no information
+     for witnesses, so "Dune__exe__Ponet" reads as plain "Ponet". *)
+  match parts with "Dune" :: "exe" :: (_ :: _ as rest) -> rest | _ -> parts
+
+let normalize_slashes file =
+  if String.starts_with ~prefix:"./" file then
+    String.sub file 2 (String.length file - 2)
+  else file
+
+(* Map [cmt_sourcefile] (recorded relative to the compilation directory,
+   which for dune is the _build context root) to a repo-relative path.
+   The build context mirrors the source layout, so the relative path is
+   usually already the answer; absolute paths and paths escaping through
+   the build dir are stripped down to the mirror-relative form. *)
+let source_file ~root (cmt : Cmt_format.cmt_infos) =
+  match cmt.Cmt_format.cmt_sourcefile with
+  | None -> None
+  | Some src ->
+      let src = normalize_slashes src in
+      let strip_prefix prefix s =
+        let prefix =
+          if String.ends_with ~suffix:"/" prefix then prefix else prefix ^ "/"
+        in
+        if String.starts_with ~prefix s then
+          Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+        else None
+      in
+      let candidates =
+        src
+        :: List.filter_map Fun.id
+             [ strip_prefix cmt.Cmt_format.cmt_builddir src;
+               strip_prefix root src ]
+      in
+      let existing =
+        List.find_opt
+          (fun c ->
+            Filename.is_relative c
+            && Sys.file_exists (Filename.concat root c))
+          candidates
+      in
+      (match existing with
+      | Some c -> Some (normalize_slashes c)
+      | None ->
+          (* Generated sources (dune module aliases) have no checkout
+             counterpart; report them under their recorded name. *)
+          List.find_opt Filename.is_relative candidates)
+
+let skip_dir entry =
+  String.equal entry ".git" || String.equal entry "_opam"
+  || String.equal entry ".sandbox"
+
+let find_cmts ~build_dir =
+  let out = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+        Array.sort String.compare entries;
+        Array.iter
+          (fun entry ->
+            if not (skip_dir entry) then begin
+              let path = Filename.concat dir entry in
+              if Sys.is_directory path then walk path
+              else if Filename.check_suffix entry ".cmt" then
+                out := path :: !out
+            end)
+          entries
+    | exception Sys_error _ -> ()
+  in
+  if Sys.file_exists build_dir && Sys.is_directory build_dir then
+    walk build_dir;
+  List.sort String.compare !out
+
+let load_cmt ~root path =
+  match Cmt_format.read_cmt path with
+  | exception _ ->
+      Error (Printf.sprintf "%s: unreadable or stale cmt" path)
+  | cmt -> (
+      match cmt.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation structure -> (
+          match source_file ~root cmt with
+          | None -> Error (Printf.sprintf "%s: no source file recorded" path)
+          | Some file ->
+              Ok
+                { modname = cmt.Cmt_format.cmt_modname;
+                  canonical = canonical_of_modname cmt.Cmt_format.cmt_modname;
+                  file;
+                  structure;
+                  comments = cmt.Cmt_format.cmt_comments })
+      | _ -> Error (Printf.sprintf "%s: not an implementation" path))
+
+(* A generated module (dune's `Lib__` aliases, *.ml-gen) has no checkout
+   source; it still feeds the call graph (its aliases resolve paths) but
+   is never a diagnostic target. *)
+let generated info =
+  Filename.check_suffix info.file ".ml-gen"
+  || not (Filename.check_suffix info.file ".ml")
+
+let load ~root ~build_dir =
+  let units, errors =
+    List.fold_left
+      (fun (units, errors) path ->
+        match load_cmt ~root path with
+        | Ok info -> (info :: units, errors)
+        | Error e -> (units, e :: errors))
+      ([], [])
+      (find_cmts ~build_dir)
+  in
+  (* Several executables can embed a module of the same name (dune
+     copies shared sources per target); keep the first occurrence in
+     path order — the trees are identical for linting purposes. *)
+  let seen = Hashtbl.create 64 in
+  let units =
+    List.filter
+      (fun u ->
+        if Hashtbl.mem seen (u.modname, u.file) then false
+        else begin
+          Hashtbl.add seen (u.modname, u.file) ();
+          true
+        end)
+      (List.rev units)
+  in
+  (units, List.rev errors)
+
+(* ---------------- in-process type checking (fixtures) -------------- *)
+
+let typecheck_initialized = ref false
+
+let init_typecheck ~load_dirs =
+  (* Idempotent global compiler state: the standard library plus the
+     caller's cmi directories (typically the repo's own .objs dirs, so
+     fixtures can reference Po_par and friends). *)
+  if not !typecheck_initialized then begin
+    typecheck_initialized := true;
+    Compmisc.init_path ()
+  end;
+  List.iter Load_path.add_dir load_dirs
+
+let typecheck_impl ?(load_dirs = []) ~file source =
+  init_typecheck ~load_dirs;
+  let env = Compmisc.initial_env () in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  let ast = Parse.implementation lexbuf in
+  let comments = Lexer.comments () in
+  let structure, _, _, _, _ = Typemod.type_structure env ast in
+  let modname =
+    String.capitalize_ascii
+      (Filename.remove_extension (Filename.basename file))
+  in
+  { modname;
+    canonical = canonical_of_modname modname;
+    file = normalize_slashes file;
+    structure;
+    comments }

@@ -1,0 +1,46 @@
+(** Typed-tree loading for the second analysis stage (R7-R10).
+
+    Dune writes a [.cmt] per compilation unit under
+    [_build/<context>/**/.objs/byte]; {!load} reads them all back with
+    [Cmt_format] and maps each unit to its repo-relative source file, so
+    typed diagnostics land on the same paths as the parsetree pass.
+    {!typecheck_impl} runs the compiler's type checker in process on a
+    source string — tests use it to lint fixtures that reference the
+    repo's real libraries without a dune round-trip. *)
+
+type unit_info = {
+  modname : string;  (** compilation unit name, e.g. ["Po_core__Cp_game"] *)
+  canonical : string list;  (** display path, e.g. [["Po_core"; "Cp_game"]] *)
+  file : string;  (** repo-relative source path *)
+  structure : Typedtree.structure;
+  comments : (string * Location.t) list;
+}
+
+val canonical_of_modname : string -> string list
+(** Undo dune's name mangling: ["Po_core__Cp_game"] is
+    [["Po_core"; "Cp_game"]], the executable prefix ["Dune__exe__"] is
+    dropped, and a generated alias module ["Po_core__"] collapses to
+    [["Po_core"]]. *)
+
+val generated : unit_info -> bool
+(** A unit with no checkout source (dune's [*.ml-gen] alias modules).
+    Such units still feed path resolution but are never diagnostic
+    targets. *)
+
+val find_cmts : build_dir:string -> string list
+(** All [.cmt] files under [build_dir], sorted. *)
+
+val load : root:string -> build_dir:string -> unit_info list * string list
+(** Read every cmt under [build_dir].  Returns the implementation units
+    (interfaces and partial trees are skipped) plus human-readable
+    notes for cmts that could not be used — stale-build hints for the
+    driver, not fatal errors. *)
+
+val typecheck_impl :
+  ?load_dirs:string list -> file:string -> string -> unit_info
+(** [typecheck_impl ~load_dirs ~file source] parses and type-checks
+    [source] in process against the standard library plus the cmi
+    directories in [load_dirs].  Raises the compiler's own exceptions
+    ([Typetexp.Error], [Typecore.Error], ...) on ill-typed input.  Not
+    domain-safe: callers serialize (the compiler's global state —
+    [Load_path], the lexer's comment buffer — is process-wide). *)

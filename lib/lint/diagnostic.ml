@@ -4,9 +4,19 @@ type t = {
   col : int;
   rule : string;
   message : string;
+  witness : string list;
 }
 
-let v ~file ~line ~col ~rule ~message = { file; line; col; rule; message }
+let v ?(witness = []) ~file ~line ~col ~rule ~message () =
+  { file; line; col; rule; message; witness }
+
+let rec compare_witness a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys -> (
+      match String.compare x y with 0 -> compare_witness xs ys | c -> c)
 
 let compare a b =
   match String.compare a.file b.file with
@@ -16,11 +26,61 @@ let compare a b =
           match Int.compare a.col b.col with
           | 0 -> (
               match String.compare a.rule b.rule with
-              | 0 -> String.compare a.message b.message
+              | 0 -> (
+                  match String.compare a.message b.message with
+                  | 0 -> compare_witness a.witness b.witness
+                  | c -> c)
               | c -> c)
           | c -> c)
       | c -> c)
   | c -> c
 
 let to_string d =
-  Printf.sprintf "%s:%d:%d [%s] %s" d.file d.line d.col d.rule d.message
+  let base =
+    Printf.sprintf "%s:%d:%d [%s] %s" d.file d.line d.col d.rule d.message
+  in
+  match d.witness with
+  | [] -> base
+  | frames ->
+      base ^ "\n  call chain: " ^ String.concat "\n           -> " frames
+
+(* ---------------- machine-readable output ---------------- *)
+
+(* Self-contained JSON escaping: po_lint stays dependency-free (beyond
+   compiler-libs) so the linter can never be broken by the code it
+   lints. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  let witness =
+    match d.witness with
+    | [] -> ""
+    | frames ->
+        Printf.sprintf ",\"witness\":[%s]"
+          (String.concat ","
+             (List.map (fun f -> "\"" ^ json_escape f ^ "\"") frames))
+  in
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"%s}"
+    (json_escape d.file) d.line d.col (json_escape d.rule)
+    (json_escape d.message) witness
+
+let list_to_json diags =
+  Printf.sprintf
+    "{\"schema\":\"polint-v1\",\"count\":%d,\"diagnostics\":[%s]}"
+    (List.length diags)
+    (String.concat "," (List.map to_json diags))

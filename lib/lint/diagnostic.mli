@@ -9,15 +9,37 @@ type t = {
   file : string;  (** path relative to the repository root *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based, as the compiler reports columns *)
-  rule : string;  (** "R1".."R5", "parse" or "suppress" *)
+  rule : string;  (** "R1".."R10", "parse" or "suppress" *)
   message : string;
+  witness : string list;
+      (** call chain from a pool/entry root to the flagged site, outermost
+          first, each frame rendered as ["Name (file:line)"]; empty for
+          the intraprocedural rules. *)
 }
 
 val v :
-  file:string -> line:int -> col:int -> rule:string -> message:string -> t
+  ?witness:string list ->
+  file:string ->
+  line:int ->
+  col:int ->
+  rule:string ->
+  message:string ->
+  unit ->
+  t
 
 val compare : t -> t -> int
-(** Orders by file, then line, column, rule id and message — the stable
-    report order. *)
+(** Orders by file, then line, column, rule id, message and witness — the
+    stable report order, independent of discovery order or worker
+    count. *)
 
 val to_string : t -> string
+(** ["file:line:col [rule] message"], with the call chain on follow-up
+    indented lines when present. *)
+
+val to_json : t -> string
+(** One JSON object; locations are precise ([line] 1-based, [col]
+    0-based) and the witness chain is included when present. *)
+
+val list_to_json : t list -> string
+(** The [polint-v1] envelope:
+    [{"schema":"polint-v1","count":n,"diagnostics":[...]}]. *)

@@ -1,6 +1,9 @@
 (* Orchestration: walk the tree, parse each implementation with the
-   compiler's own front end, run the checks, apply suppressions and the
-   allowlist, and report stable-sorted diagnostics. *)
+   compiler's own front end, run the parsetree checks, optionally load
+   the build's typed trees for the interprocedural rules, apply
+   suppressions and the allowlist, and report stable-sorted
+   diagnostics together with which suppressions actually earned their
+   keep. *)
 
 let default_paths = [ "lib"; "bin"; "bench"; "test"; "examples" ]
 
@@ -11,33 +14,39 @@ let normalize file =
 
 (* [Parse.implementation] resets the lexer's comment store, so reading
    [Lexer.comments] right after parsing yields exactly this file's
-   comments.  Linting is sequential; the global store is never shared. *)
-let parse_structure ~file source =
-  let lexbuf = Lexing.from_string source in
-  Location.init lexbuf file;
-  let ast = Parse.implementation lexbuf in
-  (ast, Lexer.comments ())
+   comments.  The store is process-global compiler state, hence the
+   mutex: with [--jobs] several domains lint concurrently and only the
+   checks themselves are parallel-safe. *)
+let parse_mutex = Mutex.create ()
 
-let lint_source ~file ?(has_mli = true) ?(rules = Rule.all)
-    ?(allowlist = Suppress.empty_allowlist) source =
+let parse_structure ~file source =
+  Mutex.protect parse_mutex (fun () ->
+      let lexbuf = Lexing.from_string source in
+      Location.init lexbuf file;
+      let ast = Parse.implementation lexbuf in
+      (ast, Lexer.comments ()))
+
+(* Raw per-file analysis: parsetree findings before any suppression or
+   allowlist filtering, the file's suppression table, and meta
+   diagnostics ("parse", "suppress") that can never be silenced. *)
+let analyze_source ~file ~has_mli ~rules source =
   let file = normalize file in
-  let rules =
-    List.filter
-      (fun r ->
-        Rule.applies_to r ~file
-        && not (Suppress.allows allowlist ~rule:r ~file))
-      rules
-  in
+  let rules = List.filter (fun r -> Rule.applies_to r ~file) rules in
   match parse_structure ~file source with
   | exception _ ->
-      [ Diagnostic.v ~file ~line:1 ~col:0 ~rule:"parse"
-          ~message:
-            "file does not parse with the OCaml 5.1 grammar; polint \
-             cannot check it" ]
+      ( [],
+        Suppress.empty,
+        [ Diagnostic.v ~file ~line:1 ~col:0 ~rule:"parse"
+            ~message:
+              "file does not parse with the OCaml 5.1 grammar; polint \
+               cannot check it"
+            () ] )
   | ast, comments ->
       let suppressions, malformed = Suppress.of_comments comments in
       let ast_rules =
-        List.filter (fun r -> not (Rule.equal r Rule.R5)) rules
+        List.filter
+          (fun r -> not (Rule.equal r Rule.R5 || Rule.is_typed r))
+          rules
       in
       let found = Checks.run ~file ~rules:ast_rules ast in
       let found =
@@ -48,26 +57,39 @@ let lint_source ~file ?(has_mli = true) ?(rules = Rule.all)
                  "missing interface %si: every lib/**/*.ml must pin its \
                   contract in an .mli"
                  file)
+            ()
           :: found
         else found
       in
-      let kept =
-        List.filter
-          (fun (d : Diagnostic.t) ->
-            match Rule.of_string d.Diagnostic.rule with
-            | Some rule ->
-                not
-                  (Suppress.active suppressions ~rule ~line:d.Diagnostic.line)
-            | None -> true)
-          found
-      in
-      let suppression_errors =
+      let meta =
         List.map
           (fun (line, col, message) ->
-            Diagnostic.v ~file ~line ~col ~rule:"suppress" ~message)
+            Diagnostic.v ~file ~line ~col ~rule:"suppress" ~message ())
           malformed
       in
-      List.sort Diagnostic.compare (suppression_errors @ kept)
+      (found, suppressions, meta)
+
+let suppressed_by suppressions (d : Diagnostic.t) =
+  match Rule.of_string d.Diagnostic.rule with
+  | None -> false
+  | Some rule ->
+      Suppress.active suppressions ~rule ~line:d.Diagnostic.line
+
+let lint_source ~file ?(has_mli = true) ?(rules = Rule.all)
+    ?(allowlist = Suppress.empty_allowlist) source =
+  let file = normalize file in
+  let found, suppressions, meta = analyze_source ~file ~has_mli ~rules source in
+  let kept =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        (not (suppressed_by suppressions d))
+        &&
+        match Rule.of_string d.Diagnostic.rule with
+        | Some rule -> not (Suppress.allows allowlist ~rule ~file)
+        | None -> true)
+      found
+  in
+  List.sort Diagnostic.compare (meta @ kept)
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
@@ -108,14 +130,123 @@ let collect_ml_files ~root paths =
   in
   List.sort String.compare files
 
-let lint_tree ?(root = ".") ?rules ?allowlist paths =
-  let files = collect_ml_files ~root paths in
-  let diags =
-    List.concat_map (fun file -> lint_file ~root ?rules ?allowlist file) files
-  in
-  List.sort_uniq Diagnostic.compare diags
+(* Per-file work fans out on the po_par pool when [jobs] asks for it;
+   parsing stays serialized (see [parse_mutex]) and the final sort makes
+   the output independent of worker count. *)
+let map_files ?jobs f files =
+  match jobs with
+  | Some j when j > 1 && List.length files > 1 ->
+      Po_par.Pool.with_pool
+        ~domains:(min j (List.length files))
+        (fun pool -> Po_par.Pool.parallel_map pool f (Array.of_list files))
+      |> Array.to_list
+  | _ -> List.map f files
 
-let run ?(root = ".") ?allowlist_path ?rules ?paths () =
+let lint_tree ?(root = ".") ?rules ?allowlist ?jobs paths =
+  let files = collect_ml_files ~root paths in
+  let per_file = map_files ?jobs (fun f -> lint_file ~root ?rules ?allowlist f) files in
+  List.sort_uniq Diagnostic.compare (List.concat per_file)
+
+(* ---------------------- full-repo run ----------------------- *)
+
+type file_result = {
+  fr_file : string;
+  fr_found : Diagnostic.t list;
+  fr_supp : Suppress.t;
+  fr_meta : Diagnostic.t list;
+}
+
+let analyze_file ~root ~rules file =
+  let file = normalize file in
+  let path = Filename.concat root file in
+  let has_mli = Sys.file_exists (path ^ "i") in
+  let found, supp, meta =
+    analyze_source ~file ~has_mli ~rules (read_file path)
+  in
+  { fr_file = file; fr_found = found; fr_supp = supp; fr_meta = meta }
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  stale_allows : Suppress.allow_entry list;
+  stale_directives : (string * int) list;
+  typed_units : int;
+  typed_notes : string list;
+}
+
+let default_build_dir root = Filename.concat root "_build/default"
+
+let typed_pass ~root ~build_dir ~rules ~paths =
+  let units, notes = Cmt_loader.load ~root ~build_dir in
+  let units = List.filter (fun u -> not (Cmt_loader.generated u)) units in
+  if units = [] then
+    ( [],
+      0,
+      notes
+      @ [ Printf.sprintf
+            "typed pass found no .cmt files under %s; run 'dune build' \
+             first"
+            build_dir ] )
+  else begin
+    let g = Callgraph.build units in
+    let under file =
+      List.exists
+        (fun p ->
+          let p = normalize p in
+          String.equal file p || String.starts_with ~prefix:(p ^ "/") file)
+        paths
+    in
+    let typed_rules = List.filter Rule.is_typed rules in
+    let diags =
+      Typed_checks.run g
+      |> List.filter (fun (d : Diagnostic.t) ->
+             under d.Diagnostic.file
+             && List.exists
+                  (fun r -> String.equal (Rule.to_string r) d.Diagnostic.rule)
+                  typed_rules)
+    in
+    (diags, List.length units, notes)
+  end
+
+(* Fixture entry point: run the typed rules over explicitly provided
+   units (from {!Cmt_loader.typecheck_impl} or hand-picked cmts), with
+   the same suppression semantics as the full run. *)
+let lint_typed_units ?(rules = Rule.typed)
+    ?(allowlist = Suppress.empty_allowlist) units =
+  let g = Callgraph.build units in
+  let supp = Hashtbl.create 8 in
+  let meta = ref [] in
+  List.iter
+    (fun (u : Cmt_loader.unit_info) ->
+      let s, malformed = Suppress.of_comments u.Cmt_loader.comments in
+      Hashtbl.replace supp u.Cmt_loader.file s;
+      List.iter
+        (fun (line, col, message) ->
+          meta :=
+            Diagnostic.v ~file:u.Cmt_loader.file ~line ~col ~rule:"suppress"
+              ~message ()
+            :: !meta)
+        malformed)
+    units;
+  let kept =
+    Typed_checks.run g
+    |> List.filter (fun (d : Diagnostic.t) ->
+           List.exists
+             (fun r -> String.equal (Rule.to_string r) d.Diagnostic.rule)
+             rules
+           && (not
+                 (match Hashtbl.find_opt supp d.Diagnostic.file with
+                 | Some s -> suppressed_by s d
+                 | None -> false))
+           &&
+           match Rule.of_string d.Diagnostic.rule with
+           | Some rule ->
+               not (Suppress.allows allowlist ~rule ~file:d.Diagnostic.file)
+           | None -> true)
+  in
+  List.sort Diagnostic.compare (!meta @ kept)
+
+let run ?(root = ".") ?allowlist_path ?(rules = Rule.all) ?paths
+    ?(typed = false) ?build_dir ?jobs () =
   let allowlist =
     match allowlist_path with
     | Some path -> Suppress.load_allowlist path
@@ -126,7 +257,7 @@ let run ?(root = ".") ?allowlist_path ?rules ?paths () =
   in
   match allowlist with
   | Error msg -> Error msg
-  | Ok allowlist ->
+  | Ok allowlist -> (
       let paths =
         match paths with
         | Some (_ :: _ as p) -> p
@@ -140,6 +271,117 @@ let run ?(root = ".") ?allowlist_path ?rules ?paths () =
           (fun p -> not (Sys.file_exists (Filename.concat root p)))
           paths
       in
-      (match missing with
-      | [] -> Ok (lint_tree ~root ?rules ~allowlist paths)
-      | p :: _ -> Error (Printf.sprintf "no such file or directory: %s" p))
+      match missing with
+      | p :: _ -> Error (Printf.sprintf "no such file or directory: %s" p)
+      | [] ->
+          let files = collect_ml_files ~root paths in
+          let frs = map_files ?jobs (analyze_file ~root ~rules) files in
+          let typed_found, typed_units, typed_notes =
+            if typed then
+              typed_pass ~root
+                ~build_dir:(Option.value build_dir ~default:(default_build_dir root))
+                ~rules ~paths
+            else ([], 0, [])
+          in
+          (* R9 re-grounds R1 in actual types; while the typed pass ran,
+             the syntactic heuristic stands down. *)
+          let retire_r1 =
+            typed_units > 0 && List.exists (Rule.equal Rule.R9) rules
+          in
+          let supp_of =
+            let tbl = Hashtbl.create 64 in
+            List.iter (fun fr -> Hashtbl.replace tbl fr.fr_file fr.fr_supp) frs;
+            fun file -> Hashtbl.find_opt tbl file
+          in
+          let found_all =
+            List.concat_map
+              (fun fr ->
+                if retire_r1 then
+                  List.filter
+                    (fun (d : Diagnostic.t) ->
+                      not (String.equal d.Diagnostic.rule "R1"))
+                    fr.fr_found
+                else fr.fr_found)
+              frs
+            @ typed_found
+          in
+          (* Inline suppressions: filter and, for --check-allowlist,
+             record which directives actually covered something. *)
+          let used_directives = Hashtbl.create 16 in
+          let kept =
+            List.filter
+              (fun (d : Diagnostic.t) ->
+                match
+                  (Rule.of_string d.Diagnostic.rule, supp_of d.Diagnostic.file)
+                with
+                | Some rule, Some supp ->
+                    let covering =
+                      List.filter
+                        (fun (e : Suppress.entry) ->
+                          e.Suppress.first_line <= d.Diagnostic.line
+                          && d.Diagnostic.line <= e.Suppress.last_line
+                          && List.exists (Rule.equal rule) e.Suppress.rules)
+                        (Suppress.to_list supp)
+                    in
+                    List.iter
+                      (fun (e : Suppress.entry) ->
+                        Hashtbl.replace used_directives
+                          (d.Diagnostic.file, e.Suppress.first_line)
+                          ())
+                      covering;
+                    covering = []
+                | _ -> true)
+              found_all
+          in
+          let used_allows = Hashtbl.create 16 in
+          let final =
+            List.filter
+              (fun (d : Diagnostic.t) ->
+                match Rule.of_string d.Diagnostic.rule with
+                | None -> true
+                | Some rule ->
+                    let matching =
+                      List.filter
+                        (fun e ->
+                          Suppress.entry_matches e ~rule
+                            ~file:d.Diagnostic.file)
+                        (Suppress.allowlist_entries allowlist)
+                    in
+                    List.iter
+                      (fun (e : Suppress.allow_entry) ->
+                        Hashtbl.replace used_allows e.Suppress.lineno ())
+                      matching;
+                    matching = [])
+              kept
+          in
+          let stale_directives =
+            List.concat_map
+              (fun fr ->
+                List.filter_map
+                  (fun (e : Suppress.entry) ->
+                    if
+                      Hashtbl.mem used_directives
+                        (fr.fr_file, e.Suppress.first_line)
+                    then None
+                    else Some (fr.fr_file, e.Suppress.first_line))
+                  (Suppress.to_list fr.fr_supp))
+              frs
+            |> List.sort (fun (f1, l1) (f2, l2) ->
+                   match String.compare f1 f2 with
+                   | 0 -> Int.compare l1 l2
+                   | c -> c)
+          in
+          let stale_allows =
+            List.filter
+              (fun (e : Suppress.allow_entry) ->
+                not (Hashtbl.mem used_allows e.Suppress.lineno))
+              (Suppress.allowlist_entries allowlist)
+          in
+          let meta = List.concat_map (fun fr -> fr.fr_meta) frs in
+          Ok
+            { diagnostics =
+                List.sort_uniq Diagnostic.compare (meta @ final);
+              stale_allows;
+              stale_directives;
+              typed_units;
+              typed_notes })

@@ -2,7 +2,14 @@
 
     The library never prints and never exits; drivers ([bin/polint], the
     [ponet lint] subcommand, [test/test_lint]) decide how to render the
-    returned diagnostics and which exit code to use. *)
+    returned diagnostics and which exit code to use.
+
+    Two stages.  The parsetree stage (R1-R6) parses each file with the
+    compiler front end — no build required.  The typed stage (R7-R10)
+    loads the [.cmt] trees dune wrote during the last build, builds the
+    cross-module call graph and runs the interprocedural rules; it is
+    only active through {!run} with [~typed:true] (or
+    {!lint_typed_units} for explicitly supplied units). *)
 
 val default_paths : string list
 (** [lib; bin; bench; test; examples] — the standard source roots. *)
@@ -14,12 +21,12 @@ val lint_source :
   ?allowlist:Suppress.allowlist ->
   string ->
   Diagnostic.t list
-(** [lint_source ~file src] lints implementation text [src] presented as
-    repo-relative path [file] (which determines rule scoping, see
-    {!Rule.applies_to}).  [has_mli] (default [true]) tells the R5 check
-    whether a matching interface exists — callers linting real files pass
-    the filesystem truth, fixtures pass what the test needs.  Diagnostics
-    come back sorted by {!Diagnostic.compare}. *)
+(** [lint_source ~file src] runs the parsetree stage on implementation
+    text [src] presented as repo-relative path [file] (which determines
+    rule scoping, see {!Rule.applies_to}).  [has_mli] (default [true])
+    tells the R5 check whether a matching interface exists — callers
+    linting real files pass the filesystem truth, fixtures pass what the
+    test needs.  Diagnostics come back sorted by {!Diagnostic.compare}. *)
 
 val lint_file :
   ?root:string ->
@@ -39,20 +46,58 @@ val lint_tree :
   ?root:string ->
   ?rules:Rule.id list ->
   ?allowlist:Suppress.allowlist ->
+  ?jobs:int ->
   string list ->
   Diagnostic.t list
-(** Lint every [.ml] under the given paths; the union of per-file
-    diagnostics, stable-sorted and deduplicated. *)
+(** Parsetree stage over every [.ml] under the given paths; the union of
+    per-file diagnostics, stable-sorted and deduplicated.  [jobs > 1]
+    fans the per-file work out on a po_par pool (parsing itself is
+    serialized on the compiler's global lexer state); output is
+    identical for any job count. *)
+
+val lint_typed_units :
+  ?rules:Rule.id list ->
+  ?allowlist:Suppress.allowlist ->
+  Cmt_loader.unit_info list ->
+  Diagnostic.t list
+(** Typed stage over explicitly provided units (typically from
+    {!Cmt_loader.typecheck_impl} in tests).  [rules] defaults to
+    {!Rule.typed}.  Inline suppressions in the units' comments and the
+    allowlist apply exactly as in {!run}; malformed directives surface
+    as ["suppress"] diagnostics. *)
+
+type report = {
+  diagnostics : Diagnostic.t list;
+      (** final stable-sorted findings, meta ("parse"/"suppress")
+          included *)
+  stale_allows : Suppress.allow_entry list;
+      (** allowlist entries that matched nothing this run *)
+  stale_directives : (string * int) list;
+      (** (file, line) of inline [polint: allow] comments that
+          suppressed nothing this run *)
+  typed_units : int;  (** compilation units the typed pass analyzed *)
+  typed_notes : string list;
+      (** non-fatal typed-pass observations: unreadable cmts, missing
+          build directory *)
+}
 
 val run :
   ?root:string ->
   ?allowlist_path:string ->
   ?rules:Rule.id list ->
   ?paths:string list ->
+  ?typed:bool ->
+  ?build_dir:string ->
+  ?jobs:int ->
   unit ->
-  (Diagnostic.t list, string) result
-(** Driver entry point: loads the allowlist ([allowlist_path], defaulting
-    to [root/polint.allow] when that file exists), defaults [paths] to
-    the existing members of {!default_paths}, and lints.  [Error] carries
-    a configuration problem (unreadable allowlist, unknown path) as
+  (report, string) result
+(** Driver entry point: loads the allowlist ([allowlist_path],
+    defaulting to [root/polint.allow] when that file exists), defaults
+    [paths] to the existing members of {!default_paths}, runs the
+    parsetree stage, and with [typed] also the typed stage over the
+    [.cmt]s under [build_dir] (default [root/_build/default]) —
+    restricted to files under [paths].  While the typed pass has units
+    to analyze, R9 supersedes R1 (the syntactic float-compare heuristic
+    stands down for the type-grounded rule).  [Error] carries a
+    configuration problem (unreadable allowlist, unknown path) as
     opposed to lint findings. *)

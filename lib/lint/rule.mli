@@ -2,15 +2,30 @@
 
     Rule identifiers are stable and documented in DESIGN.md; diagnostics,
     inline suppressions and the allowlist file all refer to rules by these
-    ids. *)
+    ids.  R1-R6 are the parsetree rules (checkable from source text
+    alone); R7-R10 are the typed rules, which need the compiler's .cmt
+    output and the cross-module call graph (see {!Typed_checks}). *)
 
-type id = R1 | R2 | R3 | R4 | R5 | R6
+type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 val all : id list
 (** Every rule, in catalogue order. *)
 
+val typed : id list
+(** The rules that run on typed trees (R7-R10).  [Lint] routes these to
+    the .cmt pass; the remaining rules run on parsetrees. *)
+
+val is_typed : id -> bool
+
 val to_string : id -> string
 val of_string : string -> id option
+
+val looks_like_id : string -> bool
+(** Whether a token has the shape of a rule id ("R" followed by digits).
+    Used by {!Suppress} to turn a directive naming an unknown rule id
+    (the silent-typo footgun, e.g. [allow R99]) into a parse
+    diagnostic instead of silently ignoring it. *)
+
 val equal : id -> id -> bool
 
 type meta = { id : id; title : string; rationale : string }
@@ -22,7 +37,9 @@ val find : id -> meta
 
 val applies_to : id -> file:string -> bool
 (** Whether [id] is in scope for [file], a '/'-separated path relative to
-    the repository root.  R1/R3 apply everywhere; R2 everywhere outside
-    [test/]; R4 under [lib/] except [lib/report/] (the output layer); R5
-    under [lib/] only; R6 everywhere except [lib/report/] (where the
-    crash-safe writer itself lives) and [test/]. *)
+    the repository root.  R1/R3/R9 apply everywhere; R2/R7 everywhere
+    outside [test/]; R4 under [lib/] except [lib/report/] (the output
+    layer); R5 under [lib/] only; R6 everywhere except [lib/report/]
+    (where the crash-safe writer itself lives) and [test/]; R8 everywhere
+    except [test/] and [bench/] (benchmarks time raw solver calls by
+    design); R10 under [lib/experiments/] only. *)

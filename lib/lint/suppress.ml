@@ -60,24 +60,41 @@ let parse_comment body =
     in
     match tokens rest with
     | "allow" :: args -> (
+        (* A token shaped like a rule id that is not in the catalogue is
+           the silent-typo footgun: 'allow R99' used to parse as a
+           justification word and suppress nothing.  Reject it loudly —
+           a suppression that does not do what it says is worse than a
+           missing one. *)
         let rec take_rules acc = function
           | tok :: more as remaining -> (
               match Rule.of_string tok with
               | Some r -> take_rules (r :: acc) more
-              | None -> (List.rev acc, remaining))
-          | [] -> (List.rev acc, [])
+              | None ->
+                  if Rule.looks_like_id tok then
+                    Error
+                      (Printf.sprintf
+                         "unknown rule id %S in suppression; the catalogue \
+                          is R1-R%d (see --list-rules)"
+                         tok (List.length Rule.all))
+                  else Ok (List.rev acc, remaining))
+          | [] -> Ok (List.rev acc, [])
         in
-        let rules, reason = take_rules [] args in
-        let reason = List.filter (fun t -> not (is_separator t)) reason in
-        match (rules, reason) with
-        | [], _ ->
-            Malformed
-              "suppression lists no valid rule id; expected 'polint: allow \
-               <RULE-ID>... <justification>'"
-        | _, [] ->
-            Malformed
-              "suppression must carry a justification after the rule ids"
-        | rules, _ -> Allow rules)
+        match take_rules [] args with
+        | Error msg -> Malformed msg
+        | Ok (rules, reason) -> (
+            let reason =
+              List.filter (fun t -> not (is_separator t)) reason
+            in
+            match (rules, reason) with
+            | [], _ ->
+                Malformed
+                  "suppression lists no valid rule id; expected 'polint: \
+                   allow <RULE-ID>... <justification>'"
+            | _, [] ->
+                Malformed
+                  "suppression must carry a justification after the rule \
+                   ids"
+            | rules, _ -> Allow rules))
     | _ ->
         Malformed
           "unknown polint directive; the only one is 'polint: allow \
@@ -109,12 +126,22 @@ let active t ~rule ~line =
       && List.exists (Rule.equal rule) e.rules)
     t
 
+let to_list t = t
+
 (* ---------------- allowlist file ---------------- *)
 
-type allow_entry = { rule : Rule.id; path : string; reason : string }
+type allow_entry = {
+  rule : Rule.id;
+  path : string;
+  reason : string;
+  lineno : int;  (* 1-based line in the allowlist file, for reporting *)
+}
+
 type allowlist = allow_entry list
 
 let empty_allowlist = []
+
+let allowlist_entries t = t
 
 let allowlist_of_string ~src text =
   let lines = String.split_on_char '\n' text in
@@ -132,7 +159,8 @@ let allowlist_of_string ~src text =
             match Rule.of_string rule_tok with
             | Some rule ->
                 go (lineno + 1)
-                  ({ rule; path; reason = String.concat " " reason } :: acc)
+                  ({ rule; path; reason = String.concat " " reason; lineno }
+                  :: acc)
                   rest
             | None ->
                 Error
@@ -151,12 +179,12 @@ let load_allowlist path =
   | text -> allowlist_of_string ~src:path text
   | exception Sys_error msg -> Error msg
 
+let entry_matches e ~rule ~file =
+  Rule.equal e.rule rule
+  && (String.equal e.path file
+     || (String.length e.path > 0
+        && Char.equal e.path.[String.length e.path - 1] '/'
+        && String.starts_with ~prefix:e.path file))
+
 let allows allowlist ~rule ~file =
-  List.exists
-    (fun e ->
-      Rule.equal e.rule rule
-      && (String.equal e.path file
-         || (String.length e.path > 0
-            && Char.equal e.path.[String.length e.path - 1] '/'
-            && String.starts_with ~prefix:e.path file)))
-    allowlist
+  List.exists (fun e -> entry_matches e ~rule ~file) allowlist

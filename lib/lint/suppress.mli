@@ -4,12 +4,16 @@
     ["polint:"] followed by [allow], one or more rule ids and a mandatory
     justification.  It silences the listed rules on the comment's own
     line(s) and on the next line, so it works both trailing the offending
-    expression and on the line above it.
+    expression and on the line above it.  A token shaped like a rule id
+    that is not in the catalogue (e.g. [allow R99]) is a parse error, not
+    a justification word — the silent-typo footgun is closed.
 
     File form ([polint.allow] at the repository root): one entry per
     line, [<RULE-ID> <path> <justification>], where [path] is relative to
     the repository root and a trailing ['/'] exempts a whole subtree.
     ['#'] starts a comment. *)
+
+type entry = { rules : Rule.id list; first_line : int; last_line : int }
 
 type t
 (** Suppressions collected from one file's comments. *)
@@ -21,10 +25,22 @@ val of_comments : (string * Location.t) list -> t * (int * int * string) list
     collected while parsing a file (body text without delimiters, plus
     location).  Returns the suppression table and a list of
     [(line, col, message)] for malformed polint directives — those are
-    reported as ["suppress"] diagnostics and cannot be silenced. *)
+    reported as ["suppress"] diagnostics, cannot be silenced, and make
+    the drivers exit 2 (a broken suppression is a configuration error,
+    not a lint finding). *)
 
 val active : t -> rule:Rule.id -> line:int -> bool
 (** Whether a suppression for [rule] covers [line]. *)
+
+val to_list : t -> entry list
+(** The parsed directives, for [--check-allowlist]'s staleness audit. *)
+
+type allow_entry = {
+  rule : Rule.id;
+  path : string;
+  reason : string;
+  lineno : int;  (** 1-based line in the allowlist file *)
+}
 
 type allowlist
 
@@ -36,5 +52,10 @@ val allowlist_of_string :
 
 val load_allowlist : string -> (allowlist, string) result
 
+val allowlist_entries : allowlist -> allow_entry list
+
+val entry_matches : allow_entry -> rule:Rule.id -> file:string -> bool
+(** Whether one entry exempts [file] (repo-relative) from [rule]. *)
+
 val allows : allowlist -> rule:Rule.id -> file:string -> bool
-(** Whether the allowlist exempts [file] (repo-relative) from [rule]. *)
+(** Whether any allowlist entry exempts [file] from [rule]. *)

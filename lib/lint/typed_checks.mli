@@ -1,0 +1,8 @@
+(** The interprocedural rules (R7-R10) over a built call graph.
+
+    Produces raw diagnostics — suppression comments, the allowlist and
+    per-rule/per-file applicability beyond {!Rule.applies_to} are the
+    orchestrator's concern.  Output order is deterministic (graph node
+    order, then fact order within a node). *)
+
+val run : Callgraph.t -> Diagnostic.t list

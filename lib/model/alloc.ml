@@ -15,7 +15,9 @@ let check_axiom1 ?(tol = 1e-9) t ~nu cps =
   let violation = ref None in
   Array.iteri
     (fun i (cp : Cp.t) ->
-      if !violation = None && sol.Equilibrium.theta.(i) > cp.Cp.theta_hat +. tol
+      if
+        Option.is_none !violation
+        && sol.Equilibrium.theta.(i) > cp.Cp.theta_hat +. tol
       then violation := Some (i, sol.Equilibrium.theta.(i), cp.Cp.theta_hat))
     cps;
   match !violation with
@@ -51,8 +53,10 @@ let check_axiom3 ?(tol = 1e-9) t ~nus cps =
           let bad = ref None in
           Array.iteri
             (fun j th ->
-              if !bad = None && th < prev_sol.Equilibrium.theta.(j) -. tol then
-                bad := Some (j, prev_sol.Equilibrium.theta.(j), th))
+              if
+                Option.is_none !bad
+                && th < prev_sol.Equilibrium.theta.(j) -. tol
+              then bad := Some (j, prev_sol.Equilibrium.theta.(j), th))
             sol.Equilibrium.theta;
           (match !bad with
           | Some (j, before, after) ->
@@ -77,7 +81,7 @@ let check_axiom4 ?(tol = 1e-9) t ~m ~mu ~scales cps =
       Array.iteri
         (fun j th ->
           if
-            !bad = None
+            Option.is_none !bad
             && Float.abs (th -. reference.Equilibrium.theta.(j)) > tol
           then bad := Some (j, reference.Equilibrium.theta.(j), th))
         scaled.Equilibrium.theta;

@@ -11,7 +11,8 @@ let create () = { heap = [||]; size = 0; next_seq = 0 }
 let is_empty t = t.size = 0
 let size t = t.size
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier a b =
+  a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
 
 let grow t =
   let capacity = Array.length t.heap in

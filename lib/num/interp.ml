@@ -56,11 +56,11 @@ let inverse_monotone t y =
       (* Scan for the first segment whose ordinate range covers y. *)
       let found = ref None in
       let i = ref 0 in
-      while !found = None && !i < n - 1 do
+      while Option.is_none !found && !i < n - 1 do
         let y0 = t.ys.(!i) and y1 = t.ys.(!i + 1) in
         let lo = Float.min y0 y1 and hi = Float.max y0 y1 in
         if y >= lo && y <= hi then
-          if y1 = y0 then found := Some t.xs.(!i)
+          if Float.equal y1 y0 then found := Some t.xs.(!i)
           else
             found :=
               Some

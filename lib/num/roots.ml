@@ -65,7 +65,7 @@ let brent ?(tol = default_tol) ?(max_iter = default_max_iter) ~f ~lo ~hi () =
     let d = ref (!b -. !a) and e = ref (!b -. !a) in
     let result = ref None in
     let n = ref 0 in
-    while !result = None && !n < max_iter do
+    while Option.is_none !result && !n < max_iter do
       incr n;
       if same_sign !fb !fc then begin
         c := !a;
@@ -90,7 +90,7 @@ let brent ?(tol = default_tol) ?(max_iter = default_max_iter) ~f ~lo ~hi () =
           (* Attempt inverse quadratic interpolation / secant. *)
           let s = !fb /. !fa in
           let p, q =
-            if !a = !c then
+            if Float.equal !a !c then
               let p = 2. *. xm *. s in
               let q = 1. -. s in
               (p, q)
@@ -135,7 +135,8 @@ let secant ?(tol = default_tol) ?(max_iter = default_max_iter) ~f ~x0 ~x1 () =
   let rec loop x0 f0 x1 f1 n =
     if Float.abs f1 <= tol || Float.abs (x1 -. x0) <= tol then
       { root = x1; value = f1; iterations = n; converged = true }
-    else if n >= max_iter || f1 = f0 || not (Float.is_finite x1) then
+    else if n >= max_iter || Float.equal f1 f0 || not (Float.is_finite x1)
+    then
       { root = x1; value = f1; iterations = n; converged = false }
     else
       let x2 = x1 -. (f1 *. (x1 -. x0) /. (f1 -. f0)) in

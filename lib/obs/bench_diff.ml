@@ -171,6 +171,7 @@ let render r =
   List.iter (fun n -> line "only in baseline: %s" n) r.only_baseline;
   List.iter (fun n -> line "only in current:  %s" n) r.only_current;
   let regs = regressions r in
-  if regs = [] then line "no regressions"
-  else line "%d regression(s)" (List.length regs);
+  (match regs with
+  | [] -> line "no regressions"
+  | _ -> line "%d regression(s)" (List.length regs));
   Buffer.contents buf

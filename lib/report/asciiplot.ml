@@ -5,7 +5,7 @@ let finite_fold f init arr =
 
 let render ?(width = 72) ?(height = 20) ?title series =
   if width < 8 || height < 4 then invalid_arg "Asciiplot.render: too small";
-  if series = [] then invalid_arg "Asciiplot.render: no series";
+  if List.is_empty series then invalid_arg "Asciiplot.render: no series";
   let xmin =
     List.fold_left (fun acc s -> finite_fold Float.min acc (Series.xs s))
       Float.infinity series
