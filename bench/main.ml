@@ -20,8 +20,16 @@
       po_par's determinism contract; this section measures, it does not
       re-verify).
 
+   4. {b xl scale tier} — wall-clock scaling of the structure-of-arrays
+      solver stack (DESIGN.md §12) at n = 10^4, 10^5, 10^6: streaming
+      ensemble generation, context build, cold equilibrium solve, and
+      the CP game up to 10^5, with fitted log-log scaling exponents
+      (expect ~1 for the O(n log n) kernels).  [--xl-smoke] is the CI
+      variant: one n = 10^5 population generated on the hardened pool
+      and solved from several workers, pass/fail only.
+
    Usage: dune exec bench/main.exe [-- --quick | --figures-only |
-   --bench-only | --par-only] *)
+   --bench-only | --par-only | --xl | --xl-smoke] *)
 
 open Bechamel
 
@@ -59,41 +67,40 @@ let time_figure ~params entry =
   Unix.gettimeofday () -. t0
 
 let run_par_bench ~params () =
-  let jobs = Po_par.Pool.default_domains () in
+  (* Measure a real pool of at least 2 domains even when the machine
+     recommends 1: the speedup rows must exist for the §11 regression
+     gate to diff (speedup ~1.0x on a single core is itself the honest
+     reading — the pool must not *cost* anything), and the pool path
+     gets exercised either way. *)
+  let jobs = max 2 (Po_par.Pool.default_domains ()) in
   Printf.printf
     "== Sweep speedup: serial vs %d domains (%d CPs, %d-point sweeps) ==\n"
     jobs params.Po_experiments.Common.n_cps
     params.Po_experiments.Common.sweep_points;
   let speedups = ref [] in
-  if jobs <= 1 then
-    print_endline
-      "  single recommended domain on this machine; parallel timings \
-       would equal serial, skipping"
-  else begin
-    Printf.printf "  %-8s %10s %10s %9s\n" "figure" "serial(s)" "par(s)"
-      "speedup";
-    List.iter
-      (fun id ->
-        match Po_experiments.Registry.find id with
-        | None -> Printf.printf "  %-8s missing from the registry!\n" id
-        | Some entry ->
-            let serial =
-              time_figure
-                ~params:{ params with Po_experiments.Common.jobs = 1 }
-                entry
-            in
-            let parallel =
-              time_figure ~params:{ params with Po_experiments.Common.jobs }
-                entry
-            in
-            let speedup =
-              if parallel > 0. then serial /. parallel else Float.nan
-            in
-            speedups := (id, serial, parallel, speedup) :: !speedups;
-            Printf.printf "  %-8s %10.2f %10.2f %8.2fx\n" id serial parallel
-              speedup)
-      sweep_figure_ids
-  end;
+  Printf.printf "  %-8s %10s %10s %9s\n" "figure" "serial(s)" "par(s)"
+    "speedup";
+  List.iter
+    (fun id ->
+      match Po_experiments.Registry.find id with
+      | None -> Printf.printf "  %-8s missing from the registry!\n" id
+      | Some entry ->
+          let serial =
+            time_figure
+              ~params:{ params with Po_experiments.Common.jobs = 1 }
+              entry
+          in
+          let parallel =
+            time_figure ~params:{ params with Po_experiments.Common.jobs }
+              entry
+          in
+          let speedup =
+            if parallel > 0. then serial /. parallel else Float.nan
+          in
+          speedups := (id, serial, parallel, speedup) :: !speedups;
+          Printf.printf "  %-8s %10.2f %10.2f %8.2fx\n" id serial parallel
+            speedup)
+    sweep_figure_ids;
   print_newline ();
   (jobs, List.rev !speedups)
 
@@ -196,7 +203,7 @@ let run_microbenchmarks () =
   rows
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable benchmark output                                  *)
+(* xl scale tier (DESIGN.md §12)                                      *)
 (* ------------------------------------------------------------------ *)
 
 (* Hand-rolled JSON: kernel names are [a-z0-9_./] so no escaping is
@@ -204,6 +211,149 @@ let run_microbenchmarks () =
    emitted as null). *)
 let json_float ?(decimals = 1) v =
   if Float.is_finite v then Printf.sprintf "%.*f" decimals v else "null"
+
+let time_runs ~runs f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to runs do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int runs
+
+(* Least-squares slope of log(seconds) against log(n): ~1 for the
+   O(n log n) kernels (the log factor adds a few hundredths over two
+   decades), ~2 would flag an accidental quadratic path. *)
+let fit_exponent points =
+  let xs = List.map (fun (n, _) -> log (float_of_int n)) points in
+  let ys = List.map (fun (_, t) -> log t) points in
+  let m = float_of_int (List.length points) in
+  let sum = List.fold_left ( +. ) 0. in
+  let sx = sum xs and sy = sum ys in
+  let sxx = sum (List.map (fun x -> x *. x) xs) in
+  let sxy = sum (List.map2 ( *. ) xs ys) in
+  (m *. sxy -. (sx *. sy)) /. (m *. sxx -. (sx *. sx))
+
+let xl_sizes = [ 10_000; 100_000; 1_000_000 ]
+
+(* The CP game multiplies each population solve by the best-response
+   iteration count; 10^6 is out of a bench's time budget, the scaling
+   exponent is readable from two decades. *)
+let xl_game_cutoff = 100_000
+
+let run_xl_bench () =
+  print_endline "== xl tier: structure-of-arrays scaling (wall clock) ==";
+  Printf.printf "  %-28s %10s %12s\n" "kernel" "n" "seconds";
+  let strategy = Po_core.Strategy.make ~kappa:0.5 ~c:0.3 in
+  let rows = ref [] in
+  let row name n seconds =
+    rows := (name, n, seconds) :: !rows;
+    Printf.printf "  %-28s %10d %12.4f\n%!" name n seconds
+  in
+  List.iter
+    (fun n ->
+      let runs = if n >= 1_000_000 then 1 else 3 in
+      row "ensemble_generate_soa" n
+        (time_runs ~runs (fun () ->
+             Po_workload.Ensemble.paper_ensemble_soa ~n ~seed:42 ()));
+      let soa = Po_workload.Ensemble.paper_ensemble_soa ~n ~seed:42 () in
+      let nu = 0.3 *. Po_model.Cp_soa.saturation_nu soa in
+      row "equilibrium_context_soa" n
+        (time_runs ~runs (fun () -> Po_model.Equilibrium.context_soa soa));
+      row "equilibrium_solve_soa" n
+        (time_runs ~runs (fun () -> Po_model.Equilibrium.solve_soa ~nu soa));
+      if n <= xl_game_cutoff then
+        row "cp_game_solve_soa" n
+          (time_runs ~runs:1 (fun () ->
+               Po_core.Cp_game.solve_soa ~nu ~strategy soa)))
+    xl_sizes;
+  let rows = List.rev !rows in
+  let exponents =
+    List.filter_map
+      (fun kernel ->
+        let points =
+          List.filter_map
+            (fun (name, n, s) ->
+              if String.equal name kernel then Some (n, s) else None)
+            rows
+        in
+        if List.length points >= 2 then Some (kernel, fit_exponent points)
+        else None)
+      [ "ensemble_generate_soa"; "equilibrium_context_soa";
+        "equilibrium_solve_soa"; "cp_game_solve_soa" ]
+  in
+  print_newline ();
+  print_endline "  fitted scaling exponents (log t ~ e log n):";
+  List.iter
+    (fun (kernel, e) -> Printf.printf "  %-28s %8.3f\n" kernel e)
+    exponents;
+  print_newline ();
+  (rows, exponents)
+
+let write_xl_json ~rows ~exponents =
+  let path = Filename.concat results_dir "bench_xl.json" in
+  let row_lines =
+    List.map
+      (fun (name, n, seconds) ->
+        Printf.sprintf "    {\"name\": \"%s\", \"n\": %d, \"seconds\": %s}"
+          name n
+          (json_float ~decimals:4 seconds))
+      rows
+  in
+  let exp_lines =
+    List.map
+      (fun (kernel, e) ->
+        Printf.sprintf "    {\"kernel\": \"%s\", \"exponent\": %s}" kernel
+          (json_float ~decimals:3 e))
+      exponents
+  in
+  Po_report.Writer.write_atomic ~path
+    (Printf.sprintf
+       "{\n\
+       \  \"schema\": \"po-bench-xl-v1\",\n\
+       \  \"rows\": [\n%s\n  ],\n\
+       \  \"fitted_exponents\": [\n%s\n  ]\n\
+        }\n"
+       (String.concat ",\n" row_lines)
+       (String.concat ",\n" exp_lines));
+  Printf.printf "xl scaling results written to %s\n\n" path
+
+(* CI smoke: generate n = 10^5 on the fault-hardened pool, then solve
+   from several pool workers through the checked entry point — the whole
+   large-n stack (jump-chunked generation, column context, typed error
+   channel) exercised under domains in a few seconds. *)
+let run_xl_smoke () =
+  print_endline "== xl smoke: n=100000 SoA solves on the hardened pool ==";
+  let n = 100_000 in
+  let t0 = Unix.gettimeofday () in
+  let pool = Po_par.Pool.create ~domains:(Po_par.Pool.default_domains ()) () in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Po_par.Pool.shutdown pool)
+      (fun () ->
+        let soa = Po_workload.Ensemble.paper_ensemble_soa ~n ~pool ~seed:42 () in
+        let sat = Po_model.Cp_soa.saturation_nu soa in
+        Po_par.Pool.parallel_init pool 3 (fun k ->
+            let nu = float_of_int (1 + k) *. 0.25 *. sat in
+            Po_model.Equilibrium.solve_soa_checked ~nu soa))
+  in
+  let ok =
+    Array.for_all
+      (function
+        | Ok sol -> sol.Po_model.Equilibrium.congested
+        | Error e ->
+            Printf.printf "  solve failed: %s\n"
+              (Po_guard.Po_error.to_string e);
+            false)
+      outcome
+  in
+  Printf.printf "  %d CPs generated + %d solves in %.2f s: %s\n\n" n
+    (Array.length outcome)
+    (Unix.gettimeofday () -. t0)
+    (if ok then "OK" else "FAILED");
+  ok
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable benchmark output                                  *)
+(* ------------------------------------------------------------------ *)
 
 let write_bench_json ~kernels ~jobs ~speedups =
   let path = Filename.concat results_dir "bench.json" in
@@ -248,6 +398,14 @@ let () =
   let figures_only = Array.exists (( = ) "--figures-only") Sys.argv in
   let bench_only = Array.exists (( = ) "--bench-only") Sys.argv in
   let par_only = Array.exists (( = ) "--par-only") Sys.argv in
+  let xl = Array.exists (( = ) "--xl") Sys.argv in
+  let xl_smoke = Array.exists (( = ) "--xl-smoke") Sys.argv in
+  if xl_smoke then exit (if run_xl_smoke () then 0 else 1);
+  if xl then begin
+    let rows, exponents = run_xl_bench () in
+    write_xl_json ~rows ~exponents;
+    exit 0
+  end;
   (* The full paper scale (n = 1000, 33-point sweeps) takes several
      minutes end to end; the default here trades sweep resolution for a
      bench that completes in about a minute while preserving every
@@ -279,10 +437,10 @@ let () =
     end;
     if not figures_only then begin
       let kernels = run_microbenchmarks () in
-      let jobs, speedups =
-        if bench_only then (Po_par.Pool.default_domains (), [])
-        else run_par_bench ~params ()
-      in
+      (* The sweep-speedup section runs in every benching mode —
+         [--bench-only] used to skip it and emit an empty array, which
+         starved the regression gate of its sweep rows. *)
+      let jobs, speedups = run_par_bench ~params () in
       write_bench_json ~kernels ~jobs ~speedups
     end
   end;

@@ -73,13 +73,83 @@ let class_capacities ~nu ~strategy =
   ((1. -. kappa) *. nu, kappa *. nu)
 
 (* ------------------------------------------------------------------ *)
+(* Population operations                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The search phases below never touch a population directly: they see
+   it through this vtable, abstract in the storage type ['pop].  Two
+   families instantiate it — boxed [Cp.t] arrays (the optimized record
+   engine and the retained reference engine, which differ only in the
+   equilibrium kernel behind [solve_class]) and {!Cp_soa.t} float
+   columns (DESIGN.md §12), whose class solves run {!Equilibrium.solve_soa}
+   with no record materialisation anywhere on the hot path.  Every
+   operation is bit-identical across the families on equal populations,
+   so the game solver is too (test/test_soa.ml pins it). *)
+type 'pop ops = {
+  size : 'pop -> int;
+  id_at : 'pop -> int -> int;  (* memo identity of CP [i] *)
+  v_at : 'pop -> int -> float;
+  rho_at_cap : 'pop -> int -> float -> float;
+  members : 'pop -> Partition.t -> premium:bool -> 'pop;
+  solve_class :
+    bracket:(float * float) option -> nu:float -> 'pop ->
+    Equilibrium.solution;
+  solve_solo : nu:float -> 'pop -> int -> Equilibrium.solution;
+  solve_extended :
+    bracket:(float * float) option -> nu:float -> 'pop -> 'pop -> int ->
+    Equilibrium.solution;
+      (* members extended with CP [i] of the population, in last position *)
+  consumer : 'pop -> Equilibrium.solution -> float;
+}
+
+let record_ops kernel =
+  { size = Array.length;
+    id_at = (fun cps i -> cps.(i).Cp.id);
+    v_at = (fun cps i -> cps.(i).Cp.v);
+    rho_at_cap = (fun cps i cap -> rho_at_cap cps.(i) cap);
+    members =
+      (fun cps partition ~premium ->
+        if premium then Partition.premium_members partition cps
+        else Partition.ordinary_members partition cps);
+    solve_class = kernel;
+    solve_solo = (fun ~nu cps i -> kernel ~bracket:None ~nu [| cps.(i) |]);
+    solve_extended =
+      (fun ~bracket ~nu members cps i ->
+        kernel ~bracket ~nu (Array.append members [| cps.(i) |]));
+    consumer = (fun cps sol -> Surplus.consumer cps sol) }
+
+let soa_ops =
+  { size = Cp_soa.length;
+    id_at = (fun _ i -> i);  (* the index is the SoA identity *)
+    v_at = Cp_soa.v;
+    rho_at_cap =
+      (fun soa i cap ->
+        let theta = Float.min (Cp_soa.theta_hat soa i) (Float.max cap 0.) in
+        Cp_soa.rho soa i ~theta);
+    members =
+      (fun soa partition ~premium ->
+        Cp_soa.gather soa
+          (if premium then Partition.premium_indices partition
+           else Partition.ordinary_indices partition));
+    solve_class =
+      (fun ~bracket ~nu soa -> Equilibrium.solve_soa ?bracket ~nu soa);
+    solve_solo =
+      (fun ~nu soa i -> Equilibrium.solve_soa ~nu (Cp_soa.gather soa [| i |]));
+    solve_extended =
+      (fun ~bracket ~nu members soa i ->
+        Equilibrium.solve_soa ?bracket ~nu (Cp_soa.append_one members soa i));
+    consumer = (fun soa sol -> Surplus.consumer_soa soa sol) }
+
+(* ------------------------------------------------------------------ *)
 (* Solver engine                                                      *)
 (* ------------------------------------------------------------------ *)
 
 (* One engine lives for the duration of one equilibrium search.  It owns
 
-   - the equilibrium kernel (the optimized {!Equilibrium.solve} or the
-     retained {!Equilibrium.solve_reference} for differential testing),
+   - the population vtable, whose [solve_class] is the equilibrium
+     kernel (the optimized {!Equilibrium.solve}, the column
+     {!Equilibrium.solve_soa}, or the retained
+     {!Equilibrium.solve_reference} for differential testing),
    - a partition-keyed memo of class solutions — the phases of the
      search revisit partitions (cycle iterates, the finishing
      [outcome_of_partition], quiescent passes), and a class re-solve is
@@ -96,52 +166,57 @@ let class_capacities ~nu ~strategy =
    hints cannot change {!Equilibrium.solve}'s output (see equilibrium.mli),
    so an engine with everything enabled matches the reference engine bit
    for bit — test/test_perf_kernel.ml holds it to that. *)
-type engine = {
-  eq :
-    bracket:(float * float) option -> nu:float -> Cp.t array ->
-    Equilibrium.solution;
+type 'pop engine = {
+  ops : 'pop ops;
   (* R2-audit (no directive needed; only find_opt/add/mem/replace): all three engine tables are pure memos
      used through find_opt/replace only, never iterated, so Hashtbl order
      cannot reach any result. *)
   class_memo :
     (string, Equilibrium.solution * Equilibrium.solution) Hashtbl.t option;
-  solo_o : (int, float) Hashtbl.t option;  (* CP id -> solo rho at nu_o *)
+  solo_o : (int, float) Hashtbl.t option;  (* CP identity -> solo rho at nu_o *)
   solo_p : (int, float) Hashtbl.t option;
   mutable hint_o : (float * float) option;
   mutable hint_p : (float * float) option;
 }
 
-let optimized_engine () =
-  { eq = (fun ~bracket ~nu cps -> Equilibrium.solve ?bracket ~nu cps);
+let cached_engine ops =
+  { ops;
     class_memo = Some (Hashtbl.create 64);
     solo_o = Some (Hashtbl.create 64);
     solo_p = Some (Hashtbl.create 64);
     hint_o = None; hint_p = None }
 
+let optimized_engine () =
+  cached_engine
+    (record_ops (fun ~bracket ~nu cps -> Equilibrium.solve ?bracket ~nu cps))
+
+let soa_engine () = cached_engine soa_ops
+
 let reference_engine () =
-  { eq = (fun ~bracket:_ ~nu cps -> Equilibrium.solve_reference ~nu cps);
+  { ops =
+      record_ops (fun ~bracket:_ ~nu cps -> Equilibrium.solve_reference ~nu cps);
     class_memo = None; solo_o = None; solo_p = None;
     hint_o = None; hint_p = None }
 
-let class_solution_eng eng ~premium ~nu_class cps =
-  if Float.equal nu_class 0. then zero_class_solution (Array.length cps)
+let class_solution_eng eng ~premium ~nu_class members =
+  if Float.equal nu_class 0. then zero_class_solution (eng.ops.size members)
   else begin
     let bracket = if premium then eng.hint_p else eng.hint_o in
     if premium then eng.hint_p <- None else eng.hint_o <- None;
-    eng.eq ~bracket ~nu:nu_class cps
+    eng.ops.solve_class ~bracket ~nu:nu_class members
   end
 
 (* Both class solutions at a partition, memoised on the membership key
    (with a fixed population the key pins both member sets). *)
-let class_solutions eng ~nu_o ~nu_p cps partition =
+let class_solutions eng ~nu_o ~nu_p pop partition =
   let compute () =
     let sol_o =
       class_solution_eng eng ~premium:false ~nu_class:nu_o
-        (Partition.ordinary_members partition cps)
+        (eng.ops.members pop partition ~premium:false)
     in
     let sol_p =
       class_solution_eng eng ~premium:true ~nu_class:nu_p
-        (Partition.premium_members partition cps)
+        (eng.ops.members pop partition ~premium:true)
     in
     (sol_o, sol_p)
   in
@@ -185,42 +260,44 @@ let note_move eng ~to_premium ~cap_o ~cap_p =
    lure every CP simultaneously and destabilise the iteration — so the
    entrant anticipates its own solo equilibrium there instead.  Solo
    equilibria depend only on (CP, nu_class); the engine memoises them by
-   CP id (ids are unique within a population by construction). *)
-let solo_rho eng ~premium ~nu_class (cp : Cp.t) =
+   CP identity (record ids are unique within a population by
+   construction; the SoA identity is the index). *)
+let solo_rho eng ~premium ~nu_class pop i =
   let compute () =
-    (eng.eq ~bracket:None ~nu:nu_class [| cp |]).Equilibrium.rho.(0)
+    (eng.ops.solve_solo ~nu:nu_class pop i).Equilibrium.rho.(0)
   in
   match if premium then eng.solo_p else eng.solo_o with
   | None -> compute ()
   | Some memo -> (
-      match Hashtbl.find_opt memo cp.Cp.id with
+      let id = eng.ops.id_at pop i in
+      match Hashtbl.find_opt memo id with
       | Some rho ->
           Po_obs.Metrics.incr m_solo_hits;
           rho
       | None ->
           Po_obs.Metrics.incr m_solo_misses;
           let rho = compute () in
-          Hashtbl.replace memo cp.Cp.id rho;
+          Hashtbl.replace memo id rho;
           rho)
 
-let estimate_rho_eng eng ~premium ~nu_class ~occupied cap (cp : Cp.t) =
+let estimate_rho_eng eng ~premium ~nu_class ~occupied cap pop i =
   if Float.equal nu_class 0. then 0.
-  else if occupied then rho_at_cap cp cap
-  else solo_rho eng ~premium ~nu_class cp
+  else if occupied then eng.ops.rho_at_cap pop i cap
+  else solo_rho eng ~premium ~nu_class pop i
 
 let estimate_rho (cp : Cp.t) ~nu_class ~occupied cap =
   estimate_rho_eng (reference_engine ()) ~premium:false ~nu_class ~occupied
-    cap cp
+    cap [| cp |] 0
 
-let outcome_of_partition_eng eng ~nu ~strategy cps partition =
+let outcome_of_partition_eng eng ~nu ~strategy pop partition =
   if nu < 0. then invalid_arg "Cp_game.outcome_of_partition: nu < 0";
-  let n = Array.length cps in
+  let n = eng.ops.size pop in
   if Partition.size partition <> n then
     invalid_arg "Cp_game.outcome_of_partition: partition size mismatch";
   let nu_o, nu_p = class_capacities ~nu ~strategy in
-  let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p cps partition in
-  let ordinary = Partition.ordinary_members partition cps in
-  let premium = Partition.premium_members partition cps in
+  let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p pop partition in
+  let ordinary = eng.ops.members pop partition ~premium:false in
+  let premium = eng.ops.members pop partition ~premium:true in
   let theta = Array.make n 0. and rho = Array.make n 0. in
   let fill indices (sol : Equilibrium.solution) =
     Array.iteri
@@ -231,7 +308,9 @@ let outcome_of_partition_eng eng ~nu ~strategy cps partition =
   in
   fill (Partition.ordinary_indices partition) sol_o;
   fill (Partition.premium_indices partition) sol_p;
-  let phi = Surplus.consumer ordinary sol_o +. Surplus.consumer premium sol_p in
+  let phi =
+    eng.ops.consumer ordinary sol_o +. eng.ops.consumer premium sol_p
+  in
   let lambda_premium = sol_p.Equilibrium.per_capita_rate in
   { strategy; nu; partition; theta; rho;
     cap_ordinary = entrant_cap ~nu_class:nu_o sol_o;
@@ -245,30 +324,29 @@ let outcome_of_partition ~nu ~strategy cps partition =
 
 (* One simultaneous best-response round: every CP re-decides against the
    current water levels.  Returns the new membership vector. *)
-let simultaneous_round eng ~nu ~strategy cps partition =
+let simultaneous_round eng ~nu ~strategy pop partition =
   Po_obs.Metrics.incr m_sync_rounds;
   let nu_o, nu_p = class_capacities ~nu ~strategy in
   let c = Strategy.c strategy in
-  let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p cps partition in
+  let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p pop partition in
   let cap_o = entrant_cap ~nu_class:nu_o sol_o in
   let cap_p = entrant_cap ~nu_class:nu_p sol_p in
   let occupied_o = Partition.ordinary_count partition > 0 in
   let occupied_p = Partition.premium_count partition > 0 in
   Partition.of_premium_indicator
-    (Array.map
-       (fun (cp : Cp.t) ->
+    (Array.init (eng.ops.size pop) (fun i ->
+         let v = eng.ops.v_at pop i in
          let u_ordinary =
-           cp.Cp.v
+           v
            *. estimate_rho_eng eng ~premium:false ~nu_class:nu_o
-                ~occupied:occupied_o cap_o cp
+                ~occupied:occupied_o cap_o pop i
          in
          let u_premium =
-           (cp.Cp.v -. c)
+           (v -. c)
            *. estimate_rho_eng eng ~premium:true ~nu_class:nu_p
-                ~occupied:occupied_p cap_p cp
+                ~occupied:occupied_p cap_p pop i
          in
-         u_premium > u_ordinary)
-       cps)
+         u_premium > u_ordinary))
 
 let default_hysteresis = 1e-3
 
@@ -281,7 +359,7 @@ let default_hysteresis = 1e-3
    throughput-taking assumption, without which a marginal CP whose own
    membership shifts the water level past its indifference point would
    flip for ever.  Returns the partition and whether any CP moved. *)
-let asynchronous_pass ?(hysteresis = 0.) eng ~nu ~strategy cps partition =
+let asynchronous_pass ?(hysteresis = 0.) eng ~nu ~strategy pop partition =
   Po_obs.Metrics.incr m_async_passes;
   let nu_o, nu_p = class_capacities ~nu ~strategy in
   let c = Strategy.c strategy in
@@ -297,70 +375,70 @@ let asynchronous_pass ?(hysteresis = 0.) eng ~nu ~strategy cps partition =
     match !caps with
     | Some pair -> pair
     | None ->
-        let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p cps !current in
+        let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p pop !current in
         let pair =
           (entrant_cap ~nu_class:nu_o sol_o, entrant_cap ~nu_class:nu_p sol_p)
         in
         caps := Some pair;
         pair
   in
-  Array.iteri
-    (fun i (cp : Cp.t) ->
-      let cap_o, cap_p = current_caps () in
-      let occupied_o = n_total - !n_premium > 0 in
-      let occupied_p = !n_premium > 0 in
-      let u_ordinary =
-        cp.Cp.v
-        *. estimate_rho_eng eng ~premium:false ~nu_class:nu_o
-             ~occupied:occupied_o cap_o cp
-      in
-      let u_premium =
-        (cp.Cp.v -. c)
-        *. estimate_rho_eng eng ~premium:true ~nu_class:nu_p
-             ~occupied:occupied_p cap_p cp
-      in
-      let in_premium = Partition.in_premium !current i in
-      let margin u = Float.abs u *. hysteresis in
-      let wants_premium =
-        if in_premium then u_premium >= u_ordinary -. margin u_premium
-        else u_premium > u_ordinary +. margin u_ordinary
-      in
-      if wants_premium <> in_premium then begin
-        Po_obs.Metrics.incr m_moves;
-        current := Partition.move !current i ~premium:wants_premium;
-        n_premium := !n_premium + (if wants_premium then 1 else -1);
-        moved := true;
-        note_move eng ~to_premium:wants_premium ~cap_o ~cap_p;
-        caps := None
-      end)
-    cps;
+  for i = 0 to eng.ops.size pop - 1 do
+    let cap_o, cap_p = current_caps () in
+    let occupied_o = n_total - !n_premium > 0 in
+    let occupied_p = !n_premium > 0 in
+    let v = eng.ops.v_at pop i in
+    let u_ordinary =
+      v
+      *. estimate_rho_eng eng ~premium:false ~nu_class:nu_o
+           ~occupied:occupied_o cap_o pop i
+    in
+    let u_premium =
+      (v -. c)
+      *. estimate_rho_eng eng ~premium:true ~nu_class:nu_p
+           ~occupied:occupied_p cap_p pop i
+    in
+    let in_premium = Partition.in_premium !current i in
+    let margin u = Float.abs u *. hysteresis in
+    let wants_premium =
+      if in_premium then u_premium >= u_ordinary -. margin u_premium
+      else u_premium > u_ordinary +. margin u_ordinary
+    in
+    if wants_premium <> in_premium then begin
+      Po_obs.Metrics.incr m_moves;
+      current := Partition.move !current i ~premium:wants_premium;
+      n_premium := !n_premium + (if wants_premium then 1 else -1);
+      moved := true;
+      note_move eng ~to_premium:wants_premium ~cap_o ~cap_p;
+      caps := None
+    end
+  done;
   (!current, !moved)
 
-let default_init ~strategy cps =
-  if Float.equal (Strategy.kappa strategy) 0. then
-    Partition.all_ordinary (Array.length cps)
+let default_init_ops ops ~strategy pop =
+  let n = ops.size pop in
+  if Float.equal (Strategy.kappa strategy) 0. then Partition.all_ordinary n
   else
-    Partition.of_premium_pred cps (fun cp ->
-        cp.Cp.v > Strategy.c strategy)
+    let c = Strategy.c strategy in
+    Partition.of_premium_indicator
+      (Array.init n (fun i -> ops.v_at pop i > c))
 
 (* Ex-post per-capita throughput a deviator obtains in a target class.
    Joining can only push the target's water level down, so the target's
    current cap (when finite) bounds the re-solve from above. *)
-let expost_rho_eng eng ~nu_class ~cap_hint members (cp : Cp.t) =
+let expost_rho_eng eng ~nu_class ~cap_hint members pop i =
   if Float.equal nu_class 0. then 0.
   else begin
-    let extended = Array.append members [| cp |] in
     let bracket =
       if Float.is_finite cap_hint && cap_hint > 0. then Some (0., cap_hint)
       else None
     in
-    let sol = eng.eq ~bracket ~nu:nu_class extended in
-    sol.Equilibrium.rho.(Array.length members)
+    let sol = eng.ops.solve_extended ~bracket ~nu:nu_class members pop i in
+    sol.Equilibrium.rho.(eng.ops.size members)
   end
 
 let expost_rho ~nu_class members (cp : Cp.t) =
   expost_rho_eng (reference_engine ()) ~nu_class ~cap_hint:Float.nan members
-    cp
+    [| cp |] 0
 
 (* Position of every CP inside its class's member array — shared by the
    Nash pass and audits, replacing the per-CP linear rediscovery that
@@ -387,10 +465,12 @@ let own_rho partition positions (sol_o : Equilibrium.solution)
   let sol = if Partition.in_premium partition i then sol_p else sol_o in
   sol.Equilibrium.rho.(positions.(i))
 
-let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy cps =
+let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy pop =
   if nu < 0. then invalid_arg "Cp_game.solve_nash: nu < 0";
   let init =
-    match init with Some p -> p | None -> default_init ~strategy cps
+    match init with
+    | Some p -> p
+    | None -> default_init_ops eng.ops ~strategy pop
   in
   let nu_o, nu_p = class_capacities ~nu ~strategy in
   let c = Strategy.c strategy in
@@ -406,53 +486,53 @@ let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy cps =
       match !state with
       | Some s -> s
       | None ->
-          let ordinary = Partition.ordinary_members !current cps in
-          let premium = Partition.premium_members !current cps in
-          let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p cps !current in
+          let ordinary = eng.ops.members pop !current ~premium:false in
+          let premium = eng.ops.members pop !current ~premium:true in
+          let sol_o, sol_p = class_solutions eng ~nu_o ~nu_p pop !current in
           let s = (ordinary, premium, sol_o, sol_p, class_positions !current) in
           state := Some s;
           s
     in
-    Array.iteri
-      (fun i (cp : Cp.t) ->
-        let ordinary, premium, sol_o, sol_p, positions = current_state () in
-        let rho_own = own_rho !current positions sol_o sol_p i in
-        let wants_premium =
-          if Partition.in_premium !current i then
-            let rho_dev =
-              expost_rho_eng eng ~nu_class:nu_o
-                ~cap_hint:(entrant_cap ~nu_class:nu_o sol_o)
-                ordinary cp
-            in
-            (cp.Cp.v -. c) *. rho_own > cp.Cp.v *. rho_dev
-          else
-            let rho_dev =
-              expost_rho_eng eng ~nu_class:nu_p
-                ~cap_hint:(entrant_cap ~nu_class:nu_p sol_p)
-                premium cp
-            in
-            (cp.Cp.v -. c) *. rho_dev > cp.Cp.v *. rho_own
-        in
-        if wants_premium <> Partition.in_premium !current i then begin
-          Po_obs.Metrics.incr m_moves;
-          current := Partition.move !current i ~premium:wants_premium;
-          moved := true;
-          note_move eng ~to_premium:wants_premium
-            ~cap_o:(entrant_cap ~nu_class:nu_o sol_o)
-            ~cap_p:(entrant_cap ~nu_class:nu_p sol_p);
-          state := None
-        end)
-      cps;
+    for i = 0 to eng.ops.size pop - 1 do
+      let ordinary, premium, sol_o, sol_p, positions = current_state () in
+      let rho_own = own_rho !current positions sol_o sol_p i in
+      let v = eng.ops.v_at pop i in
+      let wants_premium =
+        if Partition.in_premium !current i then
+          let rho_dev =
+            expost_rho_eng eng ~nu_class:nu_o
+              ~cap_hint:(entrant_cap ~nu_class:nu_o sol_o)
+              ordinary pop i
+          in
+          (v -. c) *. rho_own > v *. rho_dev
+        else
+          let rho_dev =
+            expost_rho_eng eng ~nu_class:nu_p
+              ~cap_hint:(entrant_cap ~nu_class:nu_p sol_p)
+              premium pop i
+          in
+          (v -. c) *. rho_dev > v *. rho_own
+      in
+      if wants_premium <> Partition.in_premium !current i then begin
+        Po_obs.Metrics.incr m_moves;
+        current := Partition.move !current i ~premium:wants_premium;
+        moved := true;
+        note_move eng ~to_premium:wants_premium
+          ~cap_o:(entrant_cap ~nu_class:nu_o sol_o)
+          ~cap_p:(entrant_cap ~nu_class:nu_p sol_p);
+        state := None
+      end
+    done;
     (!current, !moved)
   in
   let rec loop partition round =
     if round >= max_rounds then
-      { (outcome_of_partition_eng eng ~nu ~strategy cps partition) with
+      { (outcome_of_partition_eng eng ~nu ~strategy pop partition) with
         converged = false; iterations = round; concept = Expost_nash }
     else
       let partition', moved = pass partition in
       if not moved then
-        { (outcome_of_partition_eng eng ~nu ~strategy cps partition') with
+        { (outcome_of_partition_eng eng ~nu ~strategy pop partition') with
           converged = true; iterations = round + 1; concept = Expost_nash }
       else loop partition' (round + 1)
   in
@@ -461,20 +541,22 @@ let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy cps =
 let solve_nash ?init ?max_rounds ~nu ~strategy cps =
   solve_nash_eng (optimized_engine ()) ?init ?max_rounds ~nu ~strategy cps
 
-let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy cps =
+let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy pop =
   if nu < 0. then invalid_arg "Cp_game.solve: nu < 0";
   Po_obs.Metrics.incr m_solves;
   let init =
-    match init with Some p -> p | None -> default_init ~strategy cps
+    match init with
+    | Some p -> p
+    | None -> default_init_ops eng.ops ~strategy pop
   in
-  if Partition.size init <> Array.length cps then
+  if Partition.size init <> eng.ops.size pop then
     invalid_arg "Cp_game.solve: init partition size mismatch";
   (* R2-audit (no directive needed; only find_opt/add/mem/replace): cycle-detection set over partition keys;
      only mem/add are used, nothing is ever iterated, so Hashtbl order
      cannot influence which partition the solver settles on. *)
   let seen = Hashtbl.create 64 in
   let finish ?(tolerance = 0.) partition ~converged ~iterations =
-    { (outcome_of_partition_eng eng ~nu ~strategy cps partition) with
+    { (outcome_of_partition_eng eng ~nu ~strategy pop partition) with
       converged; iterations; concept = Competitive tolerance }
   in
   (* Phase 3: tolerant asynchronous passes.  A quiescent pass at threshold
@@ -493,7 +575,7 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy cps =
           m "tolerant phase exhausted at nu=%g %s; falling back to ex-post \
              Nash" nu
             (Strategy.to_string strategy));
-      let nash = solve_nash_eng eng ~init:partition ~nu ~strategy cps in
+      let nash = solve_nash_eng eng ~init:partition ~nu ~strategy pop in
       { nash with
         iterations = rounds_used + passes + nash.iterations }
     end
@@ -502,7 +584,7 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy cps =
         default_hysteresis *. (2. ** float_of_int (passes / 6))
       in
       let partition', moved =
-        asynchronous_pass ~hysteresis eng ~nu ~strategy cps partition
+        asynchronous_pass ~hysteresis eng ~nu ~strategy pop partition
       in
       if not moved then
         finish ~tolerance:hysteresis partition' ~converged:true
@@ -515,7 +597,9 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy cps =
   let rec async partition rounds_used passes =
     if passes > 8 then tolerant partition (rounds_used + passes) 0
     else
-      let partition', moved = asynchronous_pass eng ~nu ~strategy cps partition in
+      let partition', moved =
+        asynchronous_pass eng ~nu ~strategy pop partition
+      in
       if not moved then
         finish partition' ~converged:true ~iterations:(rounds_used + passes + 1)
       else async partition' rounds_used (passes + 1)
@@ -546,7 +630,7 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy cps =
       end
       else begin
         Hashtbl.add seen key ();
-        let partition' = simultaneous_round eng ~nu ~strategy cps partition in
+        let partition' = simultaneous_round eng ~nu ~strategy pop partition in
         if Partition.equal partition partition' then
           finish partition' ~converged:true ~iterations:(n + 1)
         else sync partition' (Some partition) (n + 1)
@@ -561,8 +645,14 @@ let solve ?init ?max_iter ~nu ~strategy cps =
 let solve_reference ?init ?max_iter ~nu ~strategy cps =
   solve_eng (reference_engine ()) ?init ?max_iter ~nu ~strategy cps
 
+let solve_soa ?init ?max_iter ~nu ~strategy soa =
+  solve_eng (soa_engine ()) ?init ?max_iter ~nu ~strategy soa
+
 let solve_nash_reference ?init ?max_rounds ~nu ~strategy cps =
   solve_nash_eng (reference_engine ()) ?init ?max_rounds ~nu ~strategy cps
+
+let solve_nash_soa ?init ?max_rounds ~nu ~strategy soa =
+  solve_nash_eng (soa_engine ()) ?init ?max_rounds ~nu ~strategy soa
 
 (* ------------------------------------------------------------------ *)
 (* Typed error channel (DESIGN.md §10)                                *)
@@ -595,8 +685,14 @@ let checked run =
 let solve_checked ?init ?max_iter ~nu ~strategy cps =
   checked (fun () -> solve ?init ?max_iter ~nu ~strategy cps)
 
+let solve_soa_checked ?init ?max_iter ~nu ~strategy soa =
+  checked (fun () -> solve_soa ?init ?max_iter ~nu ~strategy soa)
+
 let solve_nash_checked ?init ?max_rounds ~nu ~strategy cps =
   checked (fun () -> solve_nash ?init ?max_rounds ~nu ~strategy cps)
+
+let solve_nash_soa_checked ?init ?max_rounds ~nu ~strategy soa =
+  checked (fun () -> solve_nash_soa ?init ?max_rounds ~nu ~strategy soa)
 
 (* ------------------------------------------------------------------ *)
 (* Equilibrium audits                                                 *)

@@ -69,7 +69,10 @@ let entries =
       generate = (fun ?params () -> Nisp_fig.generate ?params ()) };
     { id = "tandem";
       description = "extension: tandem backbone+last-mile vs single bottleneck";
-      generate = (fun ?params () -> Tandem_fig.generate ?params ()) } ]
+      generate = (fun ?params () -> Tandem_fig.generate ?params ()) };
+    { id = "xl";
+      description = "scale tier: equilibrium & surplus vs population size (SoA)";
+      generate = (fun ?params () -> Xl_fig.generate ?params ()) } ]
   |> List.map guarded
 
 let find id = List.find_opt (fun e -> e.id = id) entries

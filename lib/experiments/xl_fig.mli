@@ -1,0 +1,11 @@
+(** Scale tier [xl]: equilibrium quantities as the population grows.
+
+    The paper evaluates at 1000 CPs; this figure sweeps population size
+    over two decades (up to 100x the configured scale) on the
+    structure-of-arrays solver path (DESIGN.md §12) and plots the
+    equilibrium water level, per-CP per-capita rate and per-CP consumer
+    surplus at fixed fractions of each population's saturation capacity.
+    The per-CP quantities visibly converge — the finite-n evaluation in
+    the paper is representative of the large-market limit. *)
+
+val generate : ?params:Common.params -> unit -> Common.figure

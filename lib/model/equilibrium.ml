@@ -13,12 +13,14 @@ let empty =
 
 let unit_weights n = Array.make n 1.
 
-let check_weights cps weights =
-  if Array.length weights <> Array.length cps then
+let check_weights_n n weights =
+  if Array.length weights <> n then
     invalid_arg "Equilibrium: weights length mismatch";
   Array.iter
     (fun w -> if w <= 0. then invalid_arg "Equilibrium: weight <= 0")
     weights
+
+let check_weights cps weights = check_weights_n (Array.length cps) weights
 
 (* Observability counters (DESIGN.md §11).  All are incremented once
    per logical solve/decision, independent of which domain runs the
@@ -37,6 +39,9 @@ let m_hint_discarded = Po_obs.Metrics.counter "equilibrium.bracket_hint_discarde
 let theta_at_cap (cp : Cp.t) w cap =
   if Float.equal cap Float.infinity then cp.Cp.theta_hat
   else Float.min cp.Cp.theta_hat (w *. cap)
+
+let theta_at_cap_col th w cap =
+  if Float.equal cap Float.infinity then th else Float.min th (w *. cap)
 
 let aggregate_at_cap ?weights ~cap cps =
   let weights =
@@ -66,8 +71,25 @@ let of_cap cps weights ~congested cap =
   in
   { theta; demand; rho; per_capita_rate; congested; cap }
 
+let of_cap_soa soa weights ~congested cap =
+  let n = Cp_soa.length soa in
+  let theta =
+    Array.init n (fun i ->
+        theta_at_cap_col (Cp_soa.theta_hat soa i) weights.(i) cap)
+  in
+  let demand = Array.init n (fun i -> Cp_soa.demand_at soa i theta.(i)) in
+  let rho = Array.init n (fun i -> demand.(i) *. theta.(i)) in
+  let per_capita_rate =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. (Cp_soa.alpha soa i *. rho.(i))
+    done;
+    !acc
+  in
+  { theta; demand; rho; per_capita_rate; congested; cap }
+
 (* ------------------------------------------------------------------ *)
-(* Sorted-prefix solver context                                       *)
+(* Sorted-prefix solver context (structure-of-arrays, DESIGN.md §12)  *)
 (* ------------------------------------------------------------------ *)
 
 (* The water-filling aggregate sum_i alpha_i d_i(theta_i(cap)) theta_i(cap)
@@ -79,17 +101,83 @@ let of_cap cps weights ~congested cap =
    costs O(log n + #unsaturated) instead of O(n); in paper ensembles the
    water level sits above most thresholds, leaving a short tail.
 
-   The accumulation order is the sorted one (saturated prefix first, then
-   the unsaturated tail) in both the optimized and the reference
-   evaluator, so the two are bit-identical by construction; see
-   DESIGN.md §9. *)
+   Since the million-CP tier (DESIGN.md §12) the context stores the
+   sorted population as unboxed float {e columns} rather than boxed
+   [Cp.t] records: the tail loop touches flat arrays only, and for the
+   exponential demand family the curve is evaluated inline from the
+   [beta] column with no closure call.  Every float operation replicates
+   the record path's sequence exactly, so the column evaluator is
+   bit-identical to the retained record-based reference evaluator; the
+   accumulation order is the sorted one (saturated prefix first, then
+   the unsaturated tail) in both.  See DESIGN.md §9 and §12. *)
+type demand_col =
+  | Dexp of float array
+      (* per-sorted-position beta of the exponential family *)
+  | Dfun of Demand.t array  (* general demands, one closure per position *)
+
 type context = {
   thresholds : float array;  (* ascending theta_hat_i / w_i *)
   sat : float array;  (* contribution of sorted CP s once saturated *)
   sat_prefix : float array;  (* sat_prefix.(k) = left fold of sat.(0..k-1) *)
-  sorted_cps : Cp.t array;
-  sorted_weights : float array;
+  s_alpha : float array;  (* sorted alpha column *)
+  s_theta_hat : float array;  (* sorted theta_hat column *)
+  s_weights : float array;  (* sorted weight column *)
+  s_demand : demand_col;  (* sorted demand parameters *)
 }
+
+(* Sort order by (key, original index): ties are ordered by original
+   index so the accumulation order — and with it every downstream bit —
+   is independent of the sort algorithm. *)
+let sort_order keys =
+  let order = Array.init (Array.length keys) Fun.id in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare keys.(i) keys.(j) in
+      if c <> 0 then c else Int.compare i j)
+    order;
+  order
+
+(* Demand value of sorted position [s] at a clamped throughput ratio
+   [omega]; the [Dexp] arm inlines [Demand.exponential]'s curve
+   (bit-identical — see Cp_soa.demand_curve), the [Dfun] arm calls the
+   stored closure exactly as the record path did. *)
+let demand_value demand s omega =
+  match demand with
+  | Dexp betas -> Cp_soa.demand_curve ~beta:betas.(s) omega
+  | Dfun demands -> Demand.eval demands.(s) omega
+
+(* One cap-dependent tail term: exactly [Cp.lambda_per_capita cp
+   ~theta:(theta_at_cap cp w cap)] of the record path, rebuilt from
+   columns — same clamps, same operation order. *)
+let tail_term ctx s cap =
+  let th = ctx.s_theta_hat.(s) in
+  let theta0 = theta_at_cap_col th ctx.s_weights.(s) cap in
+  (* [Cp.cap_theta]'s clamp, idempotent here but kept for bit parity. *)
+  let theta = Float.min (Float.max theta0 0.) th in
+  let d = demand_value ctx.s_demand s (theta /. th) in
+  ctx.s_alpha.(s) *. (d *. theta)
+
+let build_context ~n ~alpha ~theta_hat ~weights ~demand =
+  let keys = Array.init n (fun i -> theta_hat i /. weights.(i)) in
+  let order = sort_order keys in
+  let s_alpha = Array.map (fun i -> alpha i) order in
+  let s_theta_hat = Array.map (fun i -> theta_hat i) order in
+  let s_weights = Array.map (fun i -> weights.(i)) order in
+  let thresholds = Array.map (fun i -> keys.(i)) order in
+  let s_demand = demand order in
+  let ctx_no_sat =
+    { thresholds; sat = [||]; sat_prefix = [||]; s_alpha; s_theta_hat;
+      s_weights; s_demand }
+  in
+  (* Saturated contribution = the tail term at an infinite water level
+     (theta pinned to theta_hat), exactly the record path's
+     [Cp.lambda_per_capita cp ~theta:theta_hat]. *)
+  let sat = Array.init n (fun s -> tail_term ctx_no_sat s Float.infinity) in
+  let sat_prefix = Array.make (n + 1) 0. in
+  for s = 0 to n - 1 do
+    sat_prefix.(s + 1) <- sat_prefix.(s) +. sat.(s)
+  done;
+  { ctx_no_sat with sat; sat_prefix }
 
 let context ?weights cps =
   let n = Array.length cps in
@@ -100,68 +188,76 @@ let context ?weights cps =
         w
     | None -> unit_weights n
   in
-  let order = Array.init n Fun.id in
-  (* Thresholds are computed once up front: recomputing the division in
-     the comparator costs ~50% more across the n log n comparisons. *)
-  let keys = Array.init n (fun i -> cps.(i).Cp.theta_hat /. weights.(i)) in
-  (* Ties are ordered by original index so the accumulation order — and
-     with it every downstream bit — is independent of the sort algorithm. *)
-  Array.sort
-    (fun i j ->
-      let c = Float.compare keys.(i) keys.(j) in
-      if c <> 0 then c else Int.compare i j)
-    order;
-  let sorted_cps = Array.map (fun i -> cps.(i)) order in
-  let sorted_weights = Array.map (fun i -> weights.(i)) order in
-  let thresholds = Array.map (fun i -> keys.(i)) order in
-  let sat =
-    Array.map
-      (fun (cp : Cp.t) -> Cp.lambda_per_capita cp ~theta:cp.Cp.theta_hat)
-      sorted_cps
+  (* The exponential family gets the closure-free column evaluator; any
+     other demand keeps its closure (both arms are bit-identical to the
+     record path, the Dexp one is just faster). *)
+  let all_exponential =
+    Array.for_all (fun (cp : Cp.t) -> Option.is_some (Demand.beta cp.Cp.demand))
+      cps
   in
-  let sat_prefix = Array.make (n + 1) 0. in
-  for s = 0 to n - 1 do
-    sat_prefix.(s + 1) <- sat_prefix.(s) +. sat.(s)
-  done;
-  { thresholds; sat; sat_prefix; sorted_cps; sorted_weights }
+  let demand order =
+    if all_exponential then
+      Dexp
+        (Array.map
+           (fun i ->
+             match Demand.beta cps.(i).Cp.demand with
+             | Some b -> b
+             | None -> 0. (* unreachable: all_exponential *))
+           order)
+    else Dfun (Array.map (fun i -> cps.(i).Cp.demand) order)
+  in
+  build_context ~n
+    ~alpha:(fun i -> cps.(i).Cp.alpha)
+    ~theta_hat:(fun i -> cps.(i).Cp.theta_hat)
+    ~weights ~demand
+
+let context_soa ?weights soa =
+  let n = Cp_soa.length soa in
+  let weights =
+    match weights with
+    | Some w ->
+        check_weights_n n w;
+        w
+    | None -> unit_weights n
+  in
+  build_context ~n
+    ~alpha:(Cp_soa.alpha soa)
+    ~theta_hat:(Cp_soa.theta_hat soa)
+    ~weights
+    ~demand:(fun order ->
+      Dexp (Array.map (fun i -> Cp_soa.beta soa i) order))
 
 (* Number of sorted CPs whose threshold is <= cap (first sorted position
    strictly above the water level). *)
-let saturated_count ctx cap =
-  let lo = ref 0 and hi = ref (Array.length ctx.thresholds) in
+let saturated_count thresholds cap =
+  let lo = ref 0 and hi = ref (Array.length thresholds) in
   while !hi > !lo do
     let mid = (!lo + !hi) / 2 in
-    if ctx.thresholds.(mid) <= cap then lo := mid + 1 else hi := mid
+    if thresholds.(mid) <= cap then lo := mid + 1 else hi := mid
   done;
   !lo
 
-(* Optimized evaluator: prefix-sum lookup + unsaturated tail. *)
+(* Optimized evaluator: prefix-sum lookup + unsaturated tail over flat
+   columns. *)
 let aggregate_sorted ctx ~cap =
   let n = Array.length ctx.thresholds in
-  let k = saturated_count ctx cap in
+  let k = saturated_count ctx.thresholds cap in
   let acc = ref ctx.sat_prefix.(k) in
-  for s = k to n - 1 do
-    let cp = ctx.sorted_cps.(s) in
-    let theta = theta_at_cap cp ctx.sorted_weights.(s) cap in
-    acc := !acc +. Cp.lambda_per_capita cp ~theta
-  done;
-  !acc
-
-(* Reference evaluator: same branch condition and accumulation order, no
-   prefix table — every term re-derived.  Bit-identical to
-   [aggregate_sorted] because the saturated CPs form a prefix of the
-   sorted order and [sat_prefix] folds exactly their [sat] values. *)
-let aggregate_sorted_reference ctx ~cap =
-  let n = Array.length ctx.thresholds in
-  let acc = ref 0. in
-  for s = 0 to n - 1 do
-    let cp = ctx.sorted_cps.(s) in
-    if ctx.thresholds.(s) <= cap then acc := !acc +. ctx.sat.(s)
-    else begin
-      let theta = theta_at_cap cp ctx.sorted_weights.(s) cap in
-      acc := !acc +. Cp.lambda_per_capita cp ~theta
-    end
-  done;
+  (match ctx.s_demand with
+  | Dexp betas ->
+      (* Hot loop of the large-n tier: flat float-array reads and one
+         inlined curve evaluation per unsaturated CP. *)
+      for s = k to n - 1 do
+        let th = ctx.s_theta_hat.(s) in
+        let theta0 = theta_at_cap_col th ctx.s_weights.(s) cap in
+        let theta = Float.min (Float.max theta0 0.) th in
+        let d = Cp_soa.demand_curve ~beta:betas.(s) (theta /. th) in
+        acc := !acc +. (ctx.s_alpha.(s) *. (d *. theta))
+      done
+  | Dfun _ ->
+      for s = k to n - 1 do
+        acc := !acc +. tail_term ctx s cap
+      done);
   !acc
 
 (* ------------------------------------------------------------------ *)
@@ -177,11 +273,14 @@ let aggregate_sorted_reference ctx ~cap =
    Brent inside it keeps the final root-finding call {e independent} of
    how the segment was found: any valid hint yields bit-identical
    results, which is what lets the CP game warm-start aggressively
-   without breaking determinism. *)
-let congested_cap ~aggregate ~bracket ~tol ~nu ctx =
-  let n = Array.length ctx.thresholds in
-  let grid_point k = if k = 0 then 0. else ctx.thresholds.(k - 1) in
-  let g cap = aggregate ctx ~cap -. nu in
+   without breaking determinism.
+
+   [aggregate] closes over its own population data (column context or
+   the reference's record context); only [thresholds] is needed here. *)
+let congested_cap ~thresholds ~aggregate ~bracket ~tol ~nu =
+  let n = Array.length thresholds in
+  let grid_point k = if k = 0 then 0. else thresholds.(k - 1) in
+  let g cap = aggregate ~cap -. nu in
   let g_at k = g (grid_point k) in
   (* g(0) = -nu exactly — every term of the aggregate is d_i(0) *. 0. = 0.
      — so the zero-capacity check needs no O(n) evaluation. *)
@@ -211,10 +310,10 @@ let congested_cap ~aggregate ~bracket ~tol ~nu ctx =
             (0, n)
           end
           else begin
-            let k_lo = saturated_count ctx b_lo in
+            let k_lo = saturated_count thresholds b_lo in
             let k_hi =
               (* Smallest k with grid_point k >= b_hi. *)
-              min n (saturated_count ctx b_hi + 1)
+              min n (saturated_count thresholds b_hi + 1)
             in
             if k_lo < k_hi && g_at k_lo < 0. && g_at k_hi >= 0. then begin
               Po_obs.Metrics.incr m_hint_used;
@@ -235,8 +334,37 @@ let congested_cap ~aggregate ~bracket ~tol ~nu ctx =
       ~hi:(grid_point !hi) ()
   end
 
-let solve_generic ~aggregate ?context:ctx ?bracket ?weights ?(tol = 1e-12)
-    ~nu cps =
+(* Shared congested-solve flow: fault site, context frames, the segment
+   search, and the convergence check.  Returns the water level. *)
+let solve_congested ~thresholds ~aggregate ~bracket ~tol ~nu ~n =
+  let frames =
+    [ ("solver", "equilibrium"); ("nu", Printf.sprintf "%.17g" nu);
+      ("cps", string_of_int n) ]
+  in
+  (* Armed fault site solver@k: the k-th guarded solve reports
+     non-convergence, exercising the whole propagation path without
+     needing a pathological input. *)
+  if Po_guard.Faultinject.fire Po_guard.Faultinject.Solver ~key:0 then
+    Po_guard.Po_error.fail
+      ~context:(("injected", "solver") :: frames)
+      (Po_guard.Po_error.Non_convergence
+         { residual = Float.infinity; iterations = 0 });
+  let outcome =
+    Po_guard.Po_error.with_context frames (fun () ->
+        congested_cap ~thresholds ~aggregate ~bracket ~tol ~nu)
+  in
+  (* The seed discarded [converged] and used the last iterate; a
+     water level that silently missed its tolerance would poison
+     every welfare number downstream, so surface it. *)
+  Po_obs.Metrics.add m_iterations outcome.Po_num.Roots.iterations;
+  if not outcome.Po_num.Roots.converged then
+    Po_guard.Po_error.fail ~context:frames
+      (Po_guard.Po_error.Non_convergence
+         { residual = Float.abs outcome.Po_num.Roots.value;
+           iterations = outcome.Po_num.Roots.iterations });
+  outcome.Po_num.Roots.root
+
+let solve ?context:ctx ?bracket ?weights ?(tol = 1e-12) ~nu cps =
   if nu < 0. then invalid_arg "Equilibrium.solve: nu < 0";
   let n = Array.length cps in
   if n = 0 then empty
@@ -257,41 +385,52 @@ let solve_generic ~aggregate ?context:ctx ?bracket ?weights ?(tol = 1e-12)
       of_cap cps weights ~congested:false Float.infinity
     end
     else begin
-      let frames =
-        [ ("solver", "equilibrium"); ("nu", Printf.sprintf "%.17g" nu);
-          ("cps", string_of_int n) ]
+      let ctx = match ctx with Some c -> c | None -> context ~weights cps in
+      let cap =
+        solve_congested ~thresholds:ctx.thresholds
+          ~aggregate:(fun ~cap -> aggregate_sorted ctx ~cap)
+          ~bracket ~tol ~nu ~n
       in
-      (* Armed fault site solver@k: the k-th guarded solve reports
-         non-convergence, exercising the whole propagation path without
-         needing a pathological input. *)
-      if Po_guard.Faultinject.fire Po_guard.Faultinject.Solver ~key:0 then
-        Po_guard.Po_error.fail
-          ~context:(("injected", "solver") :: frames)
-          (Po_guard.Po_error.Non_convergence
-             { residual = Float.infinity; iterations = 0 });
-      let ctx =
-        match ctx with Some c -> c | None -> context ~weights cps
-      in
-      let outcome =
-        Po_guard.Po_error.with_context frames (fun () ->
-            congested_cap ~aggregate ~bracket ~tol ~nu ctx)
-      in
-      (* The seed discarded [converged] and used the last iterate; a
-         water level that silently missed its tolerance would poison
-         every welfare number downstream, so surface it. *)
-      Po_obs.Metrics.add m_iterations outcome.Po_num.Roots.iterations;
-      if not outcome.Po_num.Roots.converged then
-        Po_guard.Po_error.fail ~context:frames
-          (Po_guard.Po_error.Non_convergence
-             { residual = Float.abs outcome.Po_num.Roots.value;
-               iterations = outcome.Po_num.Roots.iterations });
-      of_cap cps weights ~congested:true outcome.Po_num.Roots.root
+      of_cap cps weights ~congested:true cap
     end
   end
 
-let solve ?context ?bracket ?weights ?tol ~nu cps =
-  solve_generic ~aggregate:aggregate_sorted ?context ?bracket ?weights ?tol
-    ~nu cps
+let solve_soa ?context:ctx ?bracket ?weights ?(tol = 1e-12) ~nu soa =
+  if nu < 0. then invalid_arg "Equilibrium.solve_soa: nu < 0";
+  let n = Cp_soa.length soa in
+  if n = 0 then empty
+  else begin
+    Po_obs.Metrics.incr m_solves;
+    let weights =
+      match weights with
+      | Some w ->
+          check_weights_n n w;
+          w
+      | None -> unit_weights n
+    in
+    let unconstrained =
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. Cp_soa.lambda_hat_per_capita soa i
+      done;
+      !acc
+    in
+    if nu >= unconstrained then begin
+      Po_obs.Metrics.incr m_uncongested;
+      of_cap_soa soa weights ~congested:false Float.infinity
+    end
+    else begin
+      let ctx =
+        match ctx with Some c -> c | None -> context_soa ~weights soa
+      in
+      let cap =
+        solve_congested ~thresholds:ctx.thresholds
+          ~aggregate:(fun ~cap -> aggregate_sorted ctx ~cap)
+          ~bracket ~tol ~nu ~n
+      in
+      of_cap_soa soa weights ~congested:true cap
+    end
+  end
 
 let solve_checked ?context ?bracket ?weights ?tol ~nu cps =
   match solve ?context ?bracket ?weights ?tol ~nu cps with
@@ -300,8 +439,91 @@ let solve_checked ?context ?bracket ?weights ?tol ~nu cps =
   | exception Invalid_argument msg ->
       Error (Po_guard.Po_error.v (Po_guard.Po_error.Invalid_scenario msg))
 
-let solve_reference ?weights ?tol ~nu cps =
-  solve_generic ~aggregate:aggregate_sorted_reference ?weights ?tol ~nu cps
+let solve_soa_checked ?context ?bracket ?weights ?tol ~nu soa =
+  match solve_soa ?context ?bracket ?weights ?tol ~nu soa with
+  | solution -> Ok solution
+  | exception Po_guard.Po_error.Error e -> Error e
+  | exception Invalid_argument msg ->
+      Error (Po_guard.Po_error.v (Po_guard.Po_error.Invalid_scenario msg))
+
+(* ------------------------------------------------------------------ *)
+(* Record-based reference solver (retained, DESIGN.md §9 and §12)     *)
+(* ------------------------------------------------------------------ *)
+
+(* The reference path deliberately keeps boxed [Cp.t] records and walks
+   all [n] of them on every aggregate evaluation, deriving each term
+   through the record accessors with no prefix table and no inlined
+   demand curve.  It is the anchor of the bit-identity contract: the
+   column paths above must agree with it bit for bit on every input
+   (test/test_perf_kernel.ml, test/test_soa.ml). *)
+type reference_context = {
+  r_thresholds : float array;
+  r_sat : float array;
+  r_cps : Cp.t array;
+  r_weights : float array;
+}
+
+let reference_context weights cps =
+  let n = Array.length cps in
+  let keys = Array.init n (fun i -> cps.(i).Cp.theta_hat /. weights.(i)) in
+  let order = sort_order keys in
+  let r_cps = Array.map (fun i -> cps.(i)) order in
+  let r_weights = Array.map (fun i -> weights.(i)) order in
+  let r_thresholds = Array.map (fun i -> keys.(i)) order in
+  let r_sat =
+    Array.map
+      (fun (cp : Cp.t) -> Cp.lambda_per_capita cp ~theta:cp.Cp.theta_hat)
+      r_cps
+  in
+  { r_thresholds; r_sat; r_cps; r_weights }
+
+(* Reference evaluator: same branch condition and accumulation order as
+   [aggregate_sorted] — the saturated CPs form a prefix of the sorted
+   order and [sat_prefix] folds exactly their [sat] values — so the two
+   are bit-identical by construction. *)
+let aggregate_sorted_reference rctx ~cap =
+  let n = Array.length rctx.r_thresholds in
+  let acc = ref 0. in
+  for s = 0 to n - 1 do
+    let cp = rctx.r_cps.(s) in
+    if rctx.r_thresholds.(s) <= cap then acc := !acc +. rctx.r_sat.(s)
+    else begin
+      let theta = theta_at_cap cp rctx.r_weights.(s) cap in
+      acc := !acc +. Cp.lambda_per_capita cp ~theta
+    end
+  done;
+  !acc
+
+let solve_reference ?weights ?(tol = 1e-12) ~nu cps =
+  if nu < 0. then invalid_arg "Equilibrium.solve: nu < 0";
+  let n = Array.length cps in
+  if n = 0 then empty
+  else begin
+    Po_obs.Metrics.incr m_solves;
+    let weights =
+      match weights with
+      | Some w ->
+          check_weights cps w;
+          w
+      | None -> unit_weights n
+    in
+    let unconstrained =
+      Array.fold_left (fun acc cp -> acc +. Cp.lambda_hat_per_capita cp) 0. cps
+    in
+    if nu >= unconstrained then begin
+      Po_obs.Metrics.incr m_uncongested;
+      of_cap cps weights ~congested:false Float.infinity
+    end
+    else begin
+      let rctx = reference_context weights cps in
+      let cap =
+        solve_congested ~thresholds:rctx.r_thresholds
+          ~aggregate:(fun ~cap -> aggregate_sorted_reference rctx ~cap)
+          ~bracket:None ~tol ~nu ~n
+      in
+      of_cap cps weights ~congested:true cap
+    end
+  end
 
 let solve_absolute ?weights ?tol ~m ~mu cps =
   if m <= 0. then invalid_arg "Equilibrium.solve_absolute: m <= 0";

@@ -18,17 +18,23 @@
     whose left side is continuous and non-decreasing in [cap] under
     Assumption 1, so root-finding converges to the unique solution.
 
-    {b Kernel layout (DESIGN.md §9).}  The solver presorts CPs by
-    saturation threshold [theta_hat_i / w_i] and prefix-sums their
+    {b Kernel layout (DESIGN.md §9 and §12).}  The solver presorts CPs
+    by saturation threshold [theta_hat_i / w_i] and prefix-sums their
     saturated contributions, making every aggregate evaluation a binary
-    search plus a loop over only the unsaturated tail.  The root is
+    search plus a loop over only the unsaturated tail.  Since the
+    million-CP tier the {!context} holds the sorted population as
+    unboxed float columns (structure of arrays): the tail loop reads
+    flat arrays and, for exponential-family demands, evaluates the curve
+    inline with no closure call — whether the population arrived as
+    records ({!solve}) or as a {!Cp_soa.t} ({!solve_soa}).  The root is
     located in two stages: a binary search over the threshold grid pins
     the canonical segment containing the sign change, then Brent runs
     inside that segment.  Because the segment is canonical, a [?bracket]
     hint (or its absence) can only change {e how fast} the segment is
     found, never the segment itself — warm-started solves are
     bit-identical to cold ones, and both are bit-identical to
-    {!solve_reference}.
+    {!solve_reference}, which deliberately keeps boxed records and
+    closure-based demand evaluation.
 
     All quantities are per-capita ([nu = mu / M]); Lemma 1 (independence of
     scale) is then true by construction, and absolute systems [(M, mu)] are
@@ -64,6 +70,11 @@ val context : ?weights:float array -> Cp.t array -> context
     must match the [weights] later passed to {!solve} alongside this
     context. *)
 
+val context_soa : ?weights:float array -> Cp_soa.t -> context
+(** {!context} built directly from SoA columns — no record
+    materialisation; for equal populations the resulting context is
+    bit-equivalent to [context (Cp_soa.to_cps soa)]. *)
+
 val solve :
   ?context:context -> ?bracket:float * float -> ?weights:float array ->
   ?tol:float -> nu:float -> Cp.t array -> solution
@@ -88,6 +99,16 @@ val solve :
     returning the last iterate.  Context frames carry the solver name,
     [nu] and the population size. *)
 
+val solve_soa :
+  ?context:context -> ?bracket:float * float -> ?weights:float array ->
+  ?tol:float -> nu:float -> Cp_soa.t -> solution
+(** {!solve} over a structure-of-arrays population: no [Cp.t] records
+    are allocated anywhere on the solve path, which is what lets the
+    n = 10^6 tier run with bounded memory.  Bit-identical to
+    [solve ~nu (Cp_soa.to_cps soa)] on every input (test/test_soa.ml);
+    same option semantics, error taxonomy and observability counters as
+    {!solve}. *)
+
 val solve_checked :
   ?context:context -> ?bracket:float * float -> ?weights:float array ->
   ?tol:float -> nu:float -> Cp.t array ->
@@ -95,6 +116,13 @@ val solve_checked :
 (** {!solve} with the error channel reified: [Error] carries the typed
     failure ({!solve}'s [Po_guard.Po_error.Error] payload, or
     [Invalid_scenario] for domain errors such as bad weights). *)
+
+val solve_soa_checked :
+  ?context:context -> ?bracket:float * float -> ?weights:float array ->
+  ?tol:float -> nu:float -> Cp_soa.t ->
+  (solution, Po_guard.Po_error.t) result
+(** {!solve_soa} with the error channel reified, mirroring
+    {!solve_checked}. *)
 
 val solve_reference :
   ?weights:float array -> ?tol:float -> nu:float -> Cp.t array -> solution

@@ -11,6 +11,18 @@ let consumer cps sol =
     cps;
   !acc
 
+let consumer_soa soa sol =
+  let n = Cp_soa.length soa in
+  if n <> Array.length sol.Equilibrium.theta then
+    invalid_arg "Surplus: solution does not match CP array";
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc :=
+      !acc
+      +. (Cp_soa.phi soa i *. Cp_soa.alpha soa i *. sol.Equilibrium.rho.(i))
+  done;
+  !acc
+
 let consumer_at ?(mechanism = Maxmin.mechanism) ~nu cps =
   consumer cps (mechanism.Alloc.solve ~nu cps)
 

@@ -9,6 +9,11 @@ val consumer : Cp.t array -> Equilibrium.solution -> float
 (** [Phi] of a (sub)system and its rate equilibrium.  Arrays must be
     positionally aligned. *)
 
+val consumer_soa : Cp_soa.t -> Equilibrium.solution -> float
+(** {!consumer} over a structure-of-arrays population (same index-order
+    accumulation, hence bit-identical to the record form on equal
+    populations); pairs with {!Equilibrium.solve_soa}. *)
+
 val consumer_at : ?mechanism:Alloc.t -> nu:float -> Cp.t array -> float
 (** Solve the system (default: max-min) then evaluate [consumer]. *)
 

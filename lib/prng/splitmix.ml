@@ -17,6 +17,13 @@ let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 
+let jump t k =
+  if k < 0 then invalid_arg "Splitmix.jump: negative draw count";
+  (* The state advances by exactly one golden increment per [next_int64],
+     so the stream position is an affine function of the draw index —
+     jumping is one multiply, independent of [k]. *)
+  create (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int k)))
+
 let split t =
   let seed = next_int64 t in
   (* Re-mix so the child stream is decorrelated from the parent outputs. *)

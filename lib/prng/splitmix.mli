@@ -27,6 +27,16 @@ val copy : t -> t
 val split : t -> t
 (** Derive a statistically independent child stream; advances the parent. *)
 
+val jump : t -> int -> t
+(** [jump t k] is a {e new} generator positioned exactly [k] draws ahead
+    of [t] (the parent is not advanced).  O(1): the splitmix64 state is
+    an affine function of the draw count.  Valid only when every
+    intervening draw consumes exactly one [next_int64] — true of
+    {!float}, {!uniform} and {!bool}, {e not} of {!int} (rejection
+    sampling) — which is what lets the workload generator fill attribute
+    columns chunk-wise, in parallel, bit-identically to a serial fill.
+    [k >= 0]. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

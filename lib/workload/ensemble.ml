@@ -52,6 +52,101 @@ let paper_ensemble ?(n = 1000) ?(phi = Coupled_to_beta) ?pool ~seed () =
         ~demand:(Demand.exponential ~beta:betas.(id))
         ~v:vs.(id) ~phi:phis.(id) ())
 
+(* ------------------------------------------------------------------ *)
+(* Streaming / structure-of-arrays generation (DESIGN.md §12)         *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper ensemble's five attribute streams, in their fixed split
+   order off the root.  Immutable once derived: chunk generators only
+   [Splitmix.jump] off them, never draw. *)
+type paper_streams = {
+  s_alpha : Splitmix.t;
+  s_theta : Splitmix.t;
+  s_beta : Splitmix.t;
+  s_v : Splitmix.t;
+  s_phi : Splitmix.t;
+}
+
+let paper_streams ~seed =
+  let root = Splitmix.of_int seed in
+  let s_alpha = Splitmix.split root in
+  let s_theta = Splitmix.split root in
+  let s_beta = Splitmix.split root in
+  let s_v = Splitmix.split root in
+  let s_phi = Splitmix.split root in
+  { s_alpha; s_theta; s_beta; s_v; s_phi }
+
+let default_chunk = 65536
+
+(* One chunk of the paper columns, ids [first_id, first_id + len).
+   Every attribute distribution consumes exactly one [Splitmix.float]
+   per sample — except Independent phi, which consumes two — so
+   [Splitmix.jump] positions each stream at the chunk start in O(1) and
+   the chunk draws exactly the values the serial id-order loop of
+   {!paper_ensemble} would.  That makes the output a pure function of
+   (seed, phi, first_id, len): independent of the chunk size used for
+   {e other} chunks, of generation order, and of how many domains
+   generate chunks concurrently. *)
+let paper_chunk streams ~phi ~first_id ~len =
+  let col rng draw = column len (Splitmix.jump rng first_id) draw in
+  let alphas = col streams.s_alpha positive_unit in
+  let thetas = col streams.s_theta positive_unit in
+  let betas = col streams.s_beta (Splitmix.uniform ~lo:0. ~hi:10.) in
+  let vs = col streams.s_v Splitmix.float in
+  let phis =
+    match phi with
+    | Coupled_to_beta ->
+        let rng = Splitmix.jump streams.s_phi first_id in
+        let a = Array.make len 0. in
+        for k = 0 to len - 1 do
+          a.(k) <- Splitmix.uniform rng ~lo:0. ~hi:betas.(k)
+        done;
+        a
+    | Independent ->
+        (* Two uniform draws per sample (Dist.nested_uniform). *)
+        column len
+          (Splitmix.jump streams.s_phi (2 * first_id))
+          (Dist.nested_uniform ~hi:10.)
+  in
+  Cp_soa.make ~alpha:alphas ~theta_hat:thetas ~beta:betas ~v:vs ~phi:phis
+
+let check_chunking ~fn ~n ~chunk =
+  if n <= 0 then invalid_arg (fn ^ ": n <= 0");
+  if chunk <= 0 then invalid_arg (fn ^ ": chunk <= 0")
+
+let fold_paper_chunks ?(n = 1000) ?(phi = Coupled_to_beta)
+    ?(chunk = default_chunk) ~seed ~init ~f () =
+  check_chunking ~fn:"Ensemble.fold_paper_chunks" ~n ~chunk;
+  let streams = paper_streams ~seed in
+  let acc = ref init in
+  let first = ref 0 in
+  while !first < n do
+    let len = Int.min chunk (n - !first) in
+    acc := f !acc ~first_id:!first (paper_chunk streams ~phi ~first_id:!first ~len);
+    first := !first + len
+  done;
+  !acc
+
+let paper_ensemble_soa ?(n = 1000) ?(phi = Coupled_to_beta)
+    ?(chunk = default_chunk) ?pool ~seed () =
+  check_chunking ~fn:"Ensemble.paper_ensemble_soa" ~n ~chunk;
+  let streams = paper_streams ~seed in
+  let n_chunks = (n + chunk - 1) / chunk in
+  let gen c =
+    let first_id = c * chunk in
+    paper_chunk streams ~phi ~first_id ~len:(Int.min chunk (n - first_id))
+  in
+  let chunks =
+    match pool with
+    | None -> Array.init n_chunks gen
+    | Some pool ->
+        (* Workers only read the frozen stream states (jump copies, no
+           draw advances a shared generator) and write chunk-local
+           arrays; concatenation happens on the caller's domain. *)
+        Po_par.Pool.parallel_init pool n_chunks gen
+  in
+  Cp_soa.concat chunks
+
 let heavy_tailed_ensemble ?(n = 1000) ?(zipf_exponent = 1.0)
     ?(pareto_shape = 1.5) ?pool ~seed () =
   if n <= 0 then invalid_arg "Ensemble.heavy_tailed_ensemble: n <= 0";

@@ -23,6 +23,33 @@ val paper_ensemble :
 (** The paper's random population; [n] defaults to 1000, [phi] to
     [Coupled_to_beta]. *)
 
+val paper_ensemble_soa :
+  ?n:int -> ?phi:phi_setting -> ?chunk:int -> ?pool:Po_par.Pool.t ->
+  seed:int -> unit -> Po_model.Cp_soa.t
+(** {!paper_ensemble} as structure-of-arrays columns, generated
+    chunk-wise (default chunk 65536).
+
+    {b Determinism contract (DESIGN.md §12).}  Each attribute stream is
+    positioned at a chunk's first id by an O(1) [Splitmix.jump] — valid
+    because every attribute distribution consumes a fixed number of
+    draws per sample — so each chunk is a pure function of
+    (seed, phi, first id, length).  The assembled columns are therefore
+    bit-identical to the serial id-order draw of {!paper_ensemble}
+    ([Cp_soa.of_cps (paper_ensemble ~n ~phi ~seed ())]), for {e any}
+    chunk size and whether chunks are generated serially or on a pool of
+    any size ([?pool] spreads chunk generation across domains);
+    test/test_soa.ml pins all of this. *)
+
+val fold_paper_chunks :
+  ?n:int -> ?phi:phi_setting -> ?chunk:int -> seed:int -> init:'a ->
+  f:('a -> first_id:int -> Po_model.Cp_soa.t -> 'a) -> unit -> 'a
+(** Stream the paper ensemble through [f] one chunk at a time, in id
+    order, without ever materialising the full population — peak scratch
+    is O(chunk).  Chunk [c] holds ids [first_id .. first_id + length -
+    1] of the same population {!paper_ensemble_soa} assembles (same
+    determinism contract).  For aggregates over populations too large to
+    hold, or out-of-core processing. *)
+
 val heavy_tailed_ensemble :
   ?n:int -> ?zipf_exponent:float -> ?pareto_shape:float ->
   ?pool:Po_par.Pool.t -> seed:int -> unit -> Po_model.Cp.t array

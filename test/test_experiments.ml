@@ -32,7 +32,7 @@ let test_registry_complete () =
   Alcotest.(check (list string)) "paper order then extensions"
     [ "fig2"; "fig3"; "fig4"; "fig5"; "fig7"; "fig8"; "fig9"; "fig10";
       "fig11"; "fig12"; "tcp"; "posize"; "welfare"; "invest"; "mm1";
-      "pmp"; "red"; "hetero"; "nisp"; "tandem" ]
+      "pmp"; "red"; "hetero"; "nisp"; "tandem"; "xl" ]
     (Po_experiments.Registry.ids ())
 
 let test_registry_find () =
