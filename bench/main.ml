@@ -28,8 +28,15 @@
       variant: one n = 10^5 population generated on the hardened pool
       and solved from several workers, pass/fail only.
 
+   5. {b chaos smoke tier} — the supervised-execution contract
+      (DESIGN.md §13) driven end to end: fig4/fig5 regenerated under
+      injected transient faults with retries and byte-compared against
+      the fault-free render at jobs 1 and 4, the circuit breaker's
+      degraded serial path, and a typed deadline failure; the check
+      list, warnings and a metrics snapshot land in results/chaos.json.
+
    Usage: dune exec bench/main.exe [-- --quick | --figures-only |
-   --bench-only | --par-only | --xl | --xl-smoke] *)
+   --bench-only | --par-only | --xl | --xl-smoke | --chaos-smoke] *)
 
 open Bechamel
 
@@ -352,6 +359,119 @@ let run_xl_smoke () =
   ok
 
 (* ------------------------------------------------------------------ *)
+(* Chaos smoke: supervised sweeps under injected faults               *)
+(* ------------------------------------------------------------------ *)
+
+(* CI chaos tier (DESIGN.md §13): regenerate fig4/fig5 under injected
+   transient faults with retries armed and byte-compare against the
+   fault-free render at jobs 1 and 4; then drive the circuit breaker's
+   degraded serial path under a persistent crash, and an expired
+   deadline's typed failure.  The check list, the warnings and a
+   metrics snapshot land in results/chaos.json for CI artifact
+   upload. *)
+let run_chaos_smoke () =
+  print_endline "== chaos smoke: supervised sweeps under injected faults ==";
+  Po_obs.Metrics.arm ();
+  let base = { Po_experiments.Common.quick_params with jobs = 1 } in
+  let checks = ref [] in
+  let record name passed =
+    Printf.printf "  %-48s %s\n%!" name (if passed then "ok" else "FAILED");
+    checks := (name, passed) :: !checks
+  in
+  let figure_text id params =
+    match Po_experiments.Registry.find id with
+    | None -> invalid_arg ("chaos smoke: unknown figure " ^ id)
+    | Some entry ->
+        Po_experiments.Common.render ~plots:false
+          (entry.Po_experiments.Registry.generate ~params ())
+  in
+  let flaky_spec =
+    { Po_guard.Faultinject.solver = None; worker = None; write = None;
+      timeout = None; slow = None; flaky = Some (1, 2) }
+  in
+  let worker_spec = { flaky_spec with flaky = None; worker = Some 1 } in
+  let cleans =
+    List.map (fun id -> (id, figure_text id base)) [ "fig4"; "fig5" ]
+  in
+  (* Transient faults absorbed by retries: byte-identical to the clean
+     run for any worker count (the retry replays the same chunk-index
+     coordinate, split PRNG stream and warm-start chain). *)
+  List.iter
+    (fun (id, clean) ->
+      List.iter
+        (fun jobs ->
+          Po_guard.Faultinject.arm flaky_spec;
+          let faulted =
+            figure_text id
+              { base with jobs; sup = Po_sup.Supervise.v ~retries:3 () }
+          in
+          Po_guard.Faultinject.disarm ();
+          record
+            (Printf.sprintf "%s flaky retries byte-identical (jobs %d)" id
+               jobs)
+            (String.equal clean faulted))
+        [ 1; 4 ])
+    cleans;
+  (* A persistent crash trips the breaker; degradation completes the
+     figure serially with a warning instead of failing it. *)
+  let clean4 = List.assoc "fig4" cleans in
+  let warnings_before = Po_guard.Warnings.count () in
+  Po_guard.Faultinject.arm worker_spec;
+  let degraded =
+    figure_text "fig4"
+      { base with
+        sup = Po_sup.Supervise.v ~retries:1 ~breaker_threshold:2 () }
+  in
+  Po_guard.Faultinject.disarm ();
+  record "fig4 breaker degrades and stays byte-identical"
+    (String.equal clean4 degraded);
+  record "breaker trip emitted a warning"
+    (Po_guard.Warnings.count () > warnings_before);
+  (* An expired budget surfaces as the typed deadline error at the next
+     chunk boundary -- the run fails fast, it never hangs. *)
+  let budget = Po_sup.Budget.start ~deadline:0.002 () in
+  Po_obs.Clock.sleep_s 0.01;
+  (match
+     Po_guard.Po_error.capture (fun () ->
+         figure_text "fig4" { base with sup = Po_sup.Supervise.v ~budget () })
+   with
+  | Error
+      { Po_guard.Po_error.kind = Po_guard.Po_error.Deadline_exceeded _; _ }
+    ->
+      record "expired deadline fails typed" true
+  | Error _ | Ok _ -> record "expired deadline fails typed" false);
+  let checks = List.rev !checks in
+  let ok = List.for_all snd checks in
+  let path = Filename.concat results_dir "chaos.json" in
+  Po_report.Writer.write_atomic ~path
+    (Po_obs.Json.to_string
+       (Po_obs.Json.Obj
+          [ ("schema", Po_obs.Json.String "po-chaos-v1");
+            ("passed", Po_obs.Json.Bool ok);
+            ( "checks",
+              Po_obs.Json.List
+                (List.map
+                   (fun (name, passed) ->
+                     Po_obs.Json.Obj
+                       [ ("name", Po_obs.Json.String name);
+                         ("passed", Po_obs.Json.Bool passed) ])
+                   checks) );
+            ( "warnings",
+              Po_obs.Json.Obj
+                [ ( "count",
+                    Po_obs.Json.Number
+                      (float_of_int (Po_guard.Warnings.count ())) );
+                  ( "messages",
+                    Po_obs.Json.List
+                      (List.map
+                         (fun m -> Po_obs.Json.String m)
+                         (Po_guard.Warnings.drain ())) ) ] );
+            ("metrics", Po_obs.Metrics.snapshot_json ()) ])
+    ^ "\n");
+  Printf.printf "chaos results written to %s\n\n" path;
+  ok
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable benchmark output                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -400,6 +520,8 @@ let () =
   let par_only = Array.exists (( = ) "--par-only") Sys.argv in
   let xl = Array.exists (( = ) "--xl") Sys.argv in
   let xl_smoke = Array.exists (( = ) "--xl-smoke") Sys.argv in
+  let chaos_smoke = Array.exists (( = ) "--chaos-smoke") Sys.argv in
+  if chaos_smoke then exit (if run_chaos_smoke () then 0 else 1);
   if xl_smoke then exit (if run_xl_smoke () then 0 else 1);
   if xl then begin
     let rows, exponents = run_xl_bench () in
@@ -416,7 +538,7 @@ let () =
     if quick then Po_experiments.Common.quick_params
     else
       { Po_experiments.Common.n_cps = 400; seed = 42; sweep_points = 17;
-        jobs = 1; checkpoint = None }
+        jobs = 1; checkpoint = None; sup = Po_sup.Supervise.default }
   in
   let params =
     { params with

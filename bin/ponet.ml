@@ -49,11 +49,69 @@ let params_term =
              parallel engine is deterministic), so the default is the \
              machine's recommended domain count.")
   in
-  let make n_cps seed sweep_points jobs =
-    { Po_experiments.Common.n_cps; seed; sweep_points; jobs = max 1 jobs;
-      checkpoint = None }
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock budget for the whole run.  Checked cooperatively \
+             at chunk and solver iteration boundaries; on expiry the run \
+             fails with a typed deadline error (and a resume hint when \
+             checkpointing is on) instead of hanging.")
   in
-  Term.(const make $ n_cps $ seed $ points $ jobs)
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Re-run a crashed or timed-out sweep chunk up to $(docv) \
+             times before giving up.  Chunks are pure functions of their \
+             index, so a retried run is byte-identical to a fault-free \
+             one.")
+  in
+  let no_degrade =
+    Arg.(
+      value & flag
+      & info [ "no-degrade" ]
+          ~doc:
+            "Fail the figure when the chunk circuit breaker opens instead \
+             of falling back to serial in-caller evaluation.")
+  in
+  let chunk_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "chunk-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Watchdog limit per sweep chunk: a chunk whose evaluation \
+             exceeds $(docv) seconds raises a retryable chunk-timeout \
+             error.")
+  in
+  let make n_cps seed sweep_points jobs deadline retries no_degrade
+      chunk_timeout =
+    let sup =
+      match
+        Po_guard.Po_error.capture (fun () ->
+            let budget =
+              Option.map
+                (fun d -> Po_sup.Budget.start ~deadline:d ())
+                deadline
+            in
+            Po_sup.Supervise.v ?budget ~retries ~degrade:(not no_degrade)
+              ?chunk_timeout ())
+      with
+      | Ok sup -> sup
+      | Error e ->
+          Printf.eprintf "ponet: %s\n" (Po_guard.Po_error.to_string e);
+          exit 2
+    in
+    { Po_experiments.Common.n_cps; seed; sweep_points; jobs = max 1 jobs;
+      checkpoint = None; sup }
+  in
+  Term.(
+    const make $ n_cps $ seed $ points $ jobs $ deadline $ retries
+    $ no_degrade $ chunk_timeout)
 
 let list_cmd =
   let run () =
@@ -109,16 +167,18 @@ let fig_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "inject" ]
-          ~env:(Cmd.Env.info "PONET_INJECT")
-          ~docv:"SPEC"
+      & info [ "inject" ] ~docv:"SPEC"
           ~doc:
             "Arm deterministic fault injection, e.g. \
-             $(b,solver@3,worker@1,write@2): fail the k-th solver \
-             call, the chunk with logical index k, or the k-th atomic \
+             $(b,solver@3,worker@1,write@2,timeout@1,slow@2,flaky@3:2): \
+             fail the k-th solver call, the chunk with logical index k \
+             (as a crash, a watchdog timeout, an over-limit sleep, or n \
+             transient crashes for $(b,flaky@k:n)), or the k-th atomic \
              write.  Chunk indices are pure functions of the sweep \
              geometry, so an injected fault fires at the same place for \
-             any $(b,--jobs).")
+             any $(b,--jobs).  Sites named here override the same site \
+             in $(b,PONET_INJECT); sites the flag leaves unset fall back \
+             to the environment spec.")
   in
   let trace_file =
     Arg.(
@@ -142,14 +202,27 @@ let fig_cmd =
   in
   let run id params csv_dir no_plots resume checkpoint_dir no_checkpoint
       inject trace_file metrics_file =
-    (match inject with
-    | None -> Po_guard.Faultinject.disarm ()
-    | Some spec -> (
-        match Po_guard.Faultinject.parse spec with
-        | Ok spec -> Po_guard.Faultinject.arm spec
-        | Error msg ->
-            Printf.eprintf "ponet fig: bad --inject spec: %s\n" msg;
-            exit 2));
+    (* [--inject] wins per site; [PONET_INJECT] fills the sites the flag
+       leaves unset (Faultinject.merge).  Both specs must parse even
+       when one ends up fully shadowed. *)
+    let parse_spec ~origin spec =
+      match Po_guard.Faultinject.parse spec with
+      | Ok spec -> spec
+      | Error msg ->
+          Printf.eprintf "ponet fig: bad %s spec: %s\n" origin msg;
+          exit 2
+    in
+    let env_spec =
+      Option.map
+        (parse_spec ~origin:"PONET_INJECT")
+        (Sys.getenv_opt "PONET_INJECT")
+    in
+    let flag_spec = Option.map (parse_spec ~origin:"--inject") inject in
+    (match (env_spec, flag_spec) with
+    | None, None -> Po_guard.Faultinject.disarm ()
+    | Some spec, None | None, Some spec -> Po_guard.Faultinject.arm spec
+    | Some base, Some override ->
+        Po_guard.Faultinject.arm (Po_guard.Faultinject.merge ~base ~override));
     let observing = trace_file <> None || metrics_file <> None in
     if trace_file <> None then Po_obs.Trace.arm ();
     if observing then Po_obs.Metrics.arm ();

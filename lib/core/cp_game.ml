@@ -414,6 +414,20 @@ let asynchronous_pass ?(hysteresis = 0.) eng ~nu ~strategy pop partition =
   done;
   (!current, !moved)
 
+(* Cooperative deadline/cancellation check of the supervision layer
+   (DESIGN.md §13), placed at the phase boundaries of the search — the
+   start of every simultaneous round, asynchronous/tolerant pass and
+   Nash pass — so an expiring budget surfaces as a typed error carrying
+   the solver frames, never as a hang mid-phase. *)
+let check_budget budget ~nu ~strategy =
+  match budget with
+  | None -> ()
+  | Some b ->
+      Po_guard.Po_error.with_context
+        [ ("solver", "cp_game"); ("nu", Printf.sprintf "%.17g" nu);
+          ("strategy", Strategy.to_string strategy) ]
+        (fun () -> Po_sup.Budget.check b)
+
 let default_init_ops ops ~strategy pop =
   let n = ops.size pop in
   if Float.equal (Strategy.kappa strategy) 0. then Partition.all_ordinary n
@@ -465,7 +479,7 @@ let own_rho partition positions (sol_o : Equilibrium.solution)
   let sol = if Partition.in_premium partition i then sol_p else sol_o in
   sol.Equilibrium.rho.(positions.(i))
 
-let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy pop =
+let solve_nash_eng eng ?budget ?init ?(max_rounds = 100) ~nu ~strategy pop =
   if nu < 0. then invalid_arg "Cp_game.solve_nash: nu < 0";
   let init =
     match init with
@@ -475,6 +489,7 @@ let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy pop =
   let nu_o, nu_p = class_capacities ~nu ~strategy in
   let c = Strategy.c strategy in
   let pass partition =
+    check_budget budget ~nu ~strategy;
     Po_obs.Metrics.incr m_nash_passes;
     let current = ref partition in
     let moved = ref false in
@@ -538,10 +553,11 @@ let solve_nash_eng eng ?init ?(max_rounds = 100) ~nu ~strategy pop =
   in
   loop init 0
 
-let solve_nash ?init ?max_rounds ~nu ~strategy cps =
-  solve_nash_eng (optimized_engine ()) ?init ?max_rounds ~nu ~strategy cps
+let solve_nash ?budget ?init ?max_rounds ~nu ~strategy cps =
+  solve_nash_eng (optimized_engine ()) ?budget ?init ?max_rounds ~nu ~strategy
+    cps
 
-let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy pop =
+let solve_eng eng ?budget ?init ?(max_iter = 200) ~nu ~strategy pop =
   if nu < 0. then invalid_arg "Cp_game.solve: nu < 0";
   Po_obs.Metrics.incr m_solves;
   let init =
@@ -565,6 +581,7 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy pop =
      CP causes to a class's water level — the force behind persistent
      flipping — scales with 1/|class| and can exceed any fixed margin. *)
   let rec tolerant partition rounds_used passes =
+    check_budget budget ~nu ~strategy;
     if passes > 60 then begin
       (* Throughput-taking best responses refuse to settle: with few CPs a
          single provider can be a large fraction of a class's load, and a
@@ -575,7 +592,7 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy pop =
           m "tolerant phase exhausted at nu=%g %s; falling back to ex-post \
              Nash" nu
             (Strategy.to_string strategy));
-      let nash = solve_nash_eng eng ~init:partition ~nu ~strategy pop in
+      let nash = solve_nash_eng eng ?budget ~init:partition ~nu ~strategy pop in
       { nash with
         iterations = rounds_used + passes + nash.iterations }
     end
@@ -595,6 +612,7 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy pop =
      keep flipping (their own membership moves the water level past their
      indifference point), fall through to the tolerant phase. *)
   let rec async partition rounds_used passes =
+    check_budget budget ~nu ~strategy;
     if passes > 8 then tolerant partition (rounds_used + passes) 0
     else
       let partition', moved =
@@ -611,6 +629,7 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy pop =
      the one near the equilibrium, sparing the asynchronous phase most of
      its one-CP-at-a-time walk. *)
   let rec sync partition previous n =
+    check_budget budget ~nu ~strategy;
     if n >= max_iter then finish partition ~converged:false ~iterations:n
     else begin
       let key = Partition.key partition in
@@ -639,20 +658,20 @@ let solve_eng eng ?init ?(max_iter = 200) ~nu ~strategy pop =
   in
   sync init None 0
 
-let solve ?init ?max_iter ~nu ~strategy cps =
-  solve_eng (optimized_engine ()) ?init ?max_iter ~nu ~strategy cps
+let solve ?budget ?init ?max_iter ~nu ~strategy cps =
+  solve_eng (optimized_engine ()) ?budget ?init ?max_iter ~nu ~strategy cps
 
 let solve_reference ?init ?max_iter ~nu ~strategy cps =
   solve_eng (reference_engine ()) ?init ?max_iter ~nu ~strategy cps
 
-let solve_soa ?init ?max_iter ~nu ~strategy soa =
-  solve_eng (soa_engine ()) ?init ?max_iter ~nu ~strategy soa
+let solve_soa ?budget ?init ?max_iter ~nu ~strategy soa =
+  solve_eng (soa_engine ()) ?budget ?init ?max_iter ~nu ~strategy soa
 
 let solve_nash_reference ?init ?max_rounds ~nu ~strategy cps =
   solve_nash_eng (reference_engine ()) ?init ?max_rounds ~nu ~strategy cps
 
-let solve_nash_soa ?init ?max_rounds ~nu ~strategy soa =
-  solve_nash_eng (soa_engine ()) ?init ?max_rounds ~nu ~strategy soa
+let solve_nash_soa ?budget ?init ?max_rounds ~nu ~strategy soa =
+  solve_nash_eng (soa_engine ()) ?budget ?init ?max_rounds ~nu ~strategy soa
 
 (* ------------------------------------------------------------------ *)
 (* Typed error channel (DESIGN.md §10)                                *)
@@ -682,17 +701,18 @@ let checked run =
           Po_guard.Po_error.fail
             (Po_guard.Po_error.Invalid_scenario msg))
 
-let solve_checked ?init ?max_iter ~nu ~strategy cps =
-  checked (fun () -> solve ?init ?max_iter ~nu ~strategy cps)
+let solve_checked ?budget ?init ?max_iter ~nu ~strategy cps =
+  checked (fun () -> solve ?budget ?init ?max_iter ~nu ~strategy cps)
 
-let solve_soa_checked ?init ?max_iter ~nu ~strategy soa =
-  checked (fun () -> solve_soa ?init ?max_iter ~nu ~strategy soa)
+let solve_soa_checked ?budget ?init ?max_iter ~nu ~strategy soa =
+  checked (fun () -> solve_soa ?budget ?init ?max_iter ~nu ~strategy soa)
 
-let solve_nash_checked ?init ?max_rounds ~nu ~strategy cps =
-  checked (fun () -> solve_nash ?init ?max_rounds ~nu ~strategy cps)
+let solve_nash_checked ?budget ?init ?max_rounds ~nu ~strategy cps =
+  checked (fun () -> solve_nash ?budget ?init ?max_rounds ~nu ~strategy cps)
 
-let solve_nash_soa_checked ?init ?max_rounds ~nu ~strategy soa =
-  checked (fun () -> solve_nash_soa ?init ?max_rounds ~nu ~strategy soa)
+let solve_nash_soa_checked ?budget ?init ?max_rounds ~nu ~strategy soa =
+  checked (fun () ->
+      solve_nash_soa ?budget ?init ?max_rounds ~nu ~strategy soa)
 
 (* ------------------------------------------------------------------ *)
 (* Equilibrium audits                                                 *)

@@ -74,8 +74,8 @@ val default_hysteresis : float
     utility by switching. *)
 
 val solve :
-  ?init:Partition.t -> ?max_iter:int -> nu:float -> strategy:Strategy.t ->
-  Po_model.Cp.t array -> outcome
+  ?budget:Po_sup.Budget.t -> ?init:Partition.t -> ?max_iter:int ->
+  nu:float -> strategy:Strategy.t -> Po_model.Cp.t array -> outcome
 (** Competitive equilibrium via simultaneous best-response iteration with
     cycle detection; on a cycle the solver falls back to one-CP-at-a-time
     (asynchronous) updates, which dampen the overshoot.  [init] warm-starts
@@ -93,11 +93,18 @@ val solve :
     these are bit-transparent, so {!solve} agrees with {!solve_reference}
     bit for bit.  The engine is polymorphic in the population storage
     (DESIGN.md §12): the same search phases run over boxed [Cp.t] arrays
-    or over {!Po_model.Cp_soa.t} columns ({!solve_soa}). *)
+    or over {!Po_model.Cp_soa.t} columns ({!solve_soa}).
+
+    [budget] is a [Po_sup.Budget] deadline/cancellation token
+    (DESIGN.md §13), checked cooperatively at the start of every
+    simultaneous round and every asynchronous/tolerant/Nash pass; on
+    expiry the search raises a typed [Deadline_exceeded] (or
+    [Cancelled]) stamped with the solver frames rather than hanging.
+    A budget never changes the outcome of a search that completes. *)
 
 val solve_soa :
-  ?init:Partition.t -> ?max_iter:int -> nu:float -> strategy:Strategy.t ->
-  Po_model.Cp_soa.t -> outcome
+  ?budget:Po_sup.Budget.t -> ?init:Partition.t -> ?max_iter:int ->
+  nu:float -> strategy:Strategy.t -> Po_model.Cp_soa.t -> outcome
 (** {!solve} over a structure-of-arrays population: class solves run
     {!Po_model.Equilibrium.solve_soa} on gathered columns and no [Cp.t]
     record is allocated anywhere in the search.  Bit-identical to
@@ -130,8 +137,8 @@ val check_nash :
     violation and returns its CP index alongside the message. *)
 
 val solve_nash :
-  ?init:Partition.t -> ?max_rounds:int -> nu:float -> strategy:Strategy.t ->
-  Po_model.Cp.t array -> outcome
+  ?budget:Po_sup.Budget.t -> ?init:Partition.t -> ?max_rounds:int ->
+  nu:float -> strategy:Strategy.t -> Po_model.Cp.t array -> outcome
 (** Nash equilibrium search by asynchronous ex-post best responses
     (round-robin).  Converges when a full pass makes no move.  Runs on the
     same caching/warm-starting engine as {!solve}. *)
@@ -142,8 +149,8 @@ val solve_nash_reference :
 (** {!solve_nash} on the cold reference engine (see {!solve_reference}). *)
 
 val solve_nash_soa :
-  ?init:Partition.t -> ?max_rounds:int -> nu:float -> strategy:Strategy.t ->
-  Po_model.Cp_soa.t -> outcome
+  ?budget:Po_sup.Budget.t -> ?init:Partition.t -> ?max_rounds:int ->
+  nu:float -> strategy:Strategy.t -> Po_model.Cp_soa.t -> outcome
 (** {!solve_nash} over a structure-of-arrays population (see
     {!solve_soa}); deviation re-solves extend the target class's columns
     in place of appending a record. *)
@@ -156,27 +163,31 @@ val ensure_converged : ?context:(string * string) list -> outcome -> outcome
     can never silently feed a figure (DESIGN.md §10). *)
 
 val solve_checked :
-  ?init:Partition.t -> ?max_iter:int -> nu:float -> strategy:Strategy.t ->
-  Po_model.Cp.t array -> (outcome, Po_guard.Po_error.t) result
+  ?budget:Po_sup.Budget.t -> ?init:Partition.t -> ?max_iter:int ->
+  nu:float -> strategy:Strategy.t -> Po_model.Cp.t array ->
+  (outcome, Po_guard.Po_error.t) result
 (** {!solve} through the typed error channel: [Error] carries
     [Non_convergence] when the iteration budget ran out (where {!solve}
     returns [converged = false]), [Invalid_scenario] for domain errors,
     and any typed error the inner equilibrium solves raised. *)
 
 val solve_soa_checked :
-  ?init:Partition.t -> ?max_iter:int -> nu:float -> strategy:Strategy.t ->
-  Po_model.Cp_soa.t -> (outcome, Po_guard.Po_error.t) result
+  ?budget:Po_sup.Budget.t -> ?init:Partition.t -> ?max_iter:int ->
+  nu:float -> strategy:Strategy.t -> Po_model.Cp_soa.t ->
+  (outcome, Po_guard.Po_error.t) result
 (** {!solve_soa} through the typed error channel (see
     {!solve_checked}). *)
 
 val solve_nash_checked :
-  ?init:Partition.t -> ?max_rounds:int -> nu:float -> strategy:Strategy.t ->
-  Po_model.Cp.t array -> (outcome, Po_guard.Po_error.t) result
+  ?budget:Po_sup.Budget.t -> ?init:Partition.t -> ?max_rounds:int ->
+  nu:float -> strategy:Strategy.t -> Po_model.Cp.t array ->
+  (outcome, Po_guard.Po_error.t) result
 (** {!solve_nash} through the typed error channel (see
     {!solve_checked}). *)
 
 val solve_nash_soa_checked :
-  ?init:Partition.t -> ?max_rounds:int -> nu:float -> strategy:Strategy.t ->
-  Po_model.Cp_soa.t -> (outcome, Po_guard.Po_error.t) result
+  ?budget:Po_sup.Budget.t -> ?init:Partition.t -> ?max_rounds:int ->
+  nu:float -> strategy:Strategy.t -> Po_model.Cp_soa.t ->
+  (outcome, Po_guard.Po_error.t) result
 (** {!solve_nash_soa} through the typed error channel (see
     {!solve_checked}). *)

@@ -14,6 +14,7 @@ type params = {
   sweep_points : int;
   jobs : int;
   checkpoint : checkpoint option;
+  sup : Po_sup.Supervise.policy;
 }
 
 (* Observability (DESIGN.md §11).  Sweep and checkpoint counters sit at
@@ -26,10 +27,12 @@ let m_journalled = Po_obs.Metrics.counter "sweep.chunks_journalled"
 let m_replayed = Po_obs.Metrics.counter "sweep.journals_loaded"
 
 let default_params =
-  { n_cps = 1000; seed = 42; sweep_points = 33; jobs = 1; checkpoint = None }
+  { n_cps = 1000; seed = 42; sweep_points = 33; jobs = 1; checkpoint = None;
+    sup = Po_sup.Supervise.default }
 
 let quick_params =
-  { n_cps = 120; seed = 42; sweep_points = 9; jobs = 1; checkpoint = None }
+  { n_cps = 120; seed = 42; sweep_points = 9; jobs = 1; checkpoint = None;
+    sup = Po_sup.Supervise.default }
 
 (* One pool per process, resized only when [jobs] changes.  Worker
    domains park on a condition variable between sweeps, so keeping the
@@ -123,44 +126,91 @@ let hex_decode s =
    domains, and interleaved writes would tear journal lines. *)
 let journal_mutex = Mutex.create ()
 
+(* FNV-1a 64-bit over a string — the per-line integrity check of the
+   journal format.  Not cryptographic; it only needs to catch torn
+   appends and bit rot, where any corruption almost surely changes the
+   digest. *)
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+(* Journal line format v2: [v2 <chunk> <len> <fnv64-hex> <hex(Marshal)>].
+   [len] is the hex payload's length and the digest covers the hex
+   payload, so a line torn anywhere — mid-payload or mid-prefix — fails
+   validation before [Marshal.from_string] ever runs on it. *)
+let journal_line ci r =
+  let hex = hex_encode (Marshal.to_string r []) in
+  Printf.sprintf "v2 %d %d %016Lx %s" ci (String.length hex) (fnv64 hex) hex
+
+let parse_journal_line line =
+  match String.split_on_char ' ' line with
+  | [ "v2"; ci; len; sum; hex ] -> (
+      match
+        (int_of_string_opt ci, int_of_string_opt len,
+         Int64.of_string_opt ("0x" ^ sum))
+      with
+      | Some ci, Some len, Some sum
+        when len = String.length hex && Int64.equal sum (fnv64 hex) -> (
+          match hex_decode hex with
+          | Some data -> (
+              (* Guarded by the digest, but keep the catches: a future
+                 format bump could reuse the line shape. *)
+              match Marshal.from_string data 0 with
+              | v -> Some (ci, v)
+              | exception (Failure _ | Invalid_argument _) -> None)
+          | None -> None)
+      | _ -> None)
+  | _ -> None
+
 let append_chunk path ci r =
   Po_obs.Metrics.incr m_journalled;
   Po_obs.Trace.instant ~args:[ ("chunk", string_of_int ci) ] "checkpoint";
-  let line =
-    Printf.sprintf "v1 %d %s" ci (hex_encode (Marshal.to_string r []))
-  in
+  let line = journal_line ci r in
   Mutex.lock journal_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock journal_mutex)
     (fun () -> Po_report.Writer.append_line ~path line)
 
-(* Tolerant journal load: a malformed or torn line (the process may have
-   died mid-append) is skipped — its chunk simply recomputes.  Marshal
-   payloads are untyped, so the file name's geometry hash plus the
-   length check inside the chunked combinators are the integrity
-   guards. *)
+(* Journal load with torn-tail truncation: appends are atomic up to a
+   crash, so only a {e suffix} of the file can be damaged.  Lines are
+   validated in order (length prefix + FNV-1a digest, see
+   {!journal_line}) and loading stops at the first bad one; everything
+   after it is discarded and the file is rewritten to the surviving
+   prefix, so later appends extend a clean journal instead of
+   interleaving with the wreckage.  Lost chunks simply recompute —
+   the file name's geometry hash plus the length check inside the
+   chunked combinators remain the outer integrity guards. *)
 let load_journal path =
   if not (Sys.file_exists path) then None
   else begin
     let ic = open_in_bin path in
     let tbl = Hashtbl.create 16 in
+    let good = Buffer.create 256 in
+    let torn = ref false in
     (try
-       while true do
+       while not !torn do
          let line = input_line ic in
-         match String.split_on_char ' ' line with
-         | [ "v1"; ci; hex ] -> (
-             match (int_of_string_opt ci, hex_decode hex) with
-             | Some ci, Some data -> (
-                 (* Failure: truncated marshal body; Invalid_argument:
-                    payload shorter than a marshal header. *)
-                 match Marshal.from_string data 0 with
-                 | v -> Hashtbl.replace tbl ci v
-                 | exception (Failure _ | Invalid_argument _) -> ())
-             | _ -> ())
-         | _ -> ()
+         match parse_journal_line line with
+         | Some (ci, v) ->
+             Hashtbl.replace tbl ci v;
+             Buffer.add_string good line;
+             Buffer.add_char good '\n'
+         | None -> torn := true
        done
      with End_of_file -> ());
     close_in ic;
+    if !torn then begin
+      Po_guard.Warnings.emit
+        (Printf.sprintf
+           "Checkpoint journal %s has a torn or corrupt tail; truncated to \
+            the last %d valid line(s)"
+           path (Hashtbl.length tbl));
+      Po_report.Writer.write_atomic ~path (Buffer.contents good)
+    end;
     Some tbl
   end
 
@@ -211,7 +261,8 @@ let sweep_par ?(chunk_size = default_chunk) params f arr =
     ~args:[ ("points", string_of_int (Array.length arr)) ]
     "sweep"
     (fun () ->
-      Po_par.Pool.chunk_map ~chunk_size ?cached ?on_chunk (pool params) ~f arr)
+      Po_par.Pool.chunk_map ~chunk_size ~sup:params.sup ?cached ?on_chunk
+        (pool params) ~f arr)
 
 let sweep_chained ?(chunk_size = default_chunk) params ~step arr =
   Po_obs.Metrics.incr m_sweeps;
@@ -222,8 +273,8 @@ let sweep_chained ?(chunk_size = default_chunk) params ~step arr =
     ~args:[ ("points", string_of_int (Array.length arr)) ]
     "sweep_chained"
     (fun () ->
-      Po_par.Pool.chain_map ~chunk_size ?cached ?on_chunk (pool params) ~step
-        arr)
+      Po_par.Pool.chain_map ~chunk_size ~sup:params.sup ?cached ?on_chunk
+        (pool params) ~step arr)
 
 let sweep_serpentine ?chunk_size params ~rows ~cols ~step =
   let n_rows = Array.length rows and n_cols = Array.length cols in

@@ -33,6 +33,13 @@ type params = {
       (** when set, chunked sweeps journal completed chunks so an
           interrupted figure can resume ({!with_figure_scope});
           [None] (the library default) journals nothing *)
+  sup : Po_sup.Supervise.policy;
+      (** supervision policy threaded to every chunked sweep
+          (DESIGN.md §13): deadline/cancellation budget, bounded
+          deterministic retries, circuit breaker and per-chunk
+          watchdog.  The default ({!Po_sup.Supervise.default}) is
+          inactive — sweeps behave exactly as before the supervision
+          layer existed. *)
 }
 
 val default_params : params
@@ -55,7 +62,11 @@ val with_figure_scope : string -> (unit -> 'a) -> 'a
     hash covers the scenario parameters and the sweep geometry (but
     never [jobs]: a journal written under any worker count resumes
     under any other).  Completed chunks are appended as they finish
-    ([v1 <chunk> <hex(Marshal)>] lines, torn tails tolerated); with
+    ([v2 <chunk> <len> <fnv64> <hex(Marshal)>] lines, each carrying a
+    length prefix and an FNV-1a 64 digest of its payload; on load the
+    journal is read until the first invalid line, the torn or corrupt
+    tail is discarded with a {!Po_guard.Warnings} entry, and the file
+    is rewritten to the surviving prefix); with
     [checkpoint.resume] journalled chunks are replayed instead of
     recomputed, bit-identically.  On success the figure's journals are
     removed; on an exception they are kept for a later [--resume].

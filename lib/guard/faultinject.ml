@@ -1,6 +1,13 @@
-type site = Solver | Worker | Write
+type site = Solver | Worker | Write | Timeout | Slow | Flaky
 
-type spec = { solver : int option; worker : int option; write : int option }
+type spec = {
+  solver : int option;
+  worker : int option;
+  write : int option;
+  timeout : int option;
+  slow : int option;
+  flaky : (int * int) option;
+}
 
 exception Injected_fault of string
 
@@ -8,11 +15,20 @@ type state = {
   spec : spec;
   solver_calls : int Atomic.t;
   write_calls : int Atomic.t;
+  flaky_fails : int Atomic.t;
 }
 
 let current : state option Atomic.t = Atomic.make None
 
-let disarmed = { solver = None; worker = None; write = None }
+let disarmed =
+  {
+    solver = None;
+    worker = None;
+    write = None;
+    timeout = None;
+    slow = None;
+    flaky = None;
+  }
 
 let parse s =
   let parse_entry acc entry =
@@ -20,27 +36,54 @@ let parse s =
     | Error _ as e -> e
     | Ok spec -> (
         match String.split_on_char '@' (String.trim entry) with
-        | [ site; k ] -> (
-            match int_of_string_opt (String.trim k) with
-            | None ->
-                Error (Printf.sprintf "bad fault index %S in %S" k entry)
-            | Some k -> (
-                match String.trim site with
-                | "solver" ->
-                    if k < 1 then Error "solver@k needs k >= 1"
-                    else Ok { spec with solver = Some k }
-                | "worker" ->
-                    if k < 0 then Error "worker@k needs k >= 0"
-                    else Ok { spec with worker = Some k }
-                | "write" ->
-                    if k < 1 then Error "write@k needs k >= 1"
-                    else Ok { spec with write = Some k }
-                | other ->
+        | [ site; arg ] -> (
+            let site = String.trim site in
+            let arg = String.trim arg in
+            match site with
+            | "flaky" -> (
+                match String.split_on_char ':' arg with
+                | [ k; n ] -> (
+                    match (int_of_string_opt k, int_of_string_opt n) with
+                    | Some k, Some n ->
+                        if k < 0 then Error "flaky@k:n needs k >= 0"
+                        else if n < 1 then Error "flaky@k:n needs n >= 1"
+                        else Ok { spec with flaky = Some (k, n) }
+                    | _ ->
+                        Error
+                          (Printf.sprintf "bad flaky arguments %S in %S" arg
+                             entry))
+                | _ ->
                     Error
                       (Printf.sprintf
-                         "unknown fault site %S (expected solver, worker or \
-                          write)"
-                         other)))
+                         "bad flaky entry %S (expected flaky@chunk:count)"
+                         entry))
+            | _ -> (
+                match int_of_string_opt arg with
+                | None ->
+                    Error (Printf.sprintf "bad fault index %S in %S" arg entry)
+                | Some k -> (
+                    match site with
+                    | "solver" ->
+                        if k < 1 then Error "solver@k needs k >= 1"
+                        else Ok { spec with solver = Some k }
+                    | "worker" ->
+                        if k < 0 then Error "worker@k needs k >= 0"
+                        else Ok { spec with worker = Some k }
+                    | "write" ->
+                        if k < 1 then Error "write@k needs k >= 1"
+                        else Ok { spec with write = Some k }
+                    | "timeout" ->
+                        if k < 0 then Error "timeout@k needs k >= 0"
+                        else Ok { spec with timeout = Some k }
+                    | "slow" ->
+                        if k < 0 then Error "slow@k needs k >= 0"
+                        else Ok { spec with slow = Some k }
+                    | other ->
+                        Error
+                          (Printf.sprintf
+                             "unknown fault site %S (expected solver, worker, \
+                              write, timeout, slow or flaky)"
+                             other))))
         | _ ->
             Error
               (Printf.sprintf "bad fault entry %S (expected site@index)" entry))
@@ -54,11 +97,32 @@ let to_string spec =
     (List.filter_map Fun.id
        [ Option.map (Printf.sprintf "solver@%d") spec.solver;
          Option.map (Printf.sprintf "worker@%d") spec.worker;
-         Option.map (Printf.sprintf "write@%d") spec.write ])
+         Option.map (Printf.sprintf "write@%d") spec.write;
+         Option.map (Printf.sprintf "timeout@%d") spec.timeout;
+         Option.map (Printf.sprintf "slow@%d") spec.slow;
+         Option.map (fun (k, n) -> Printf.sprintf "flaky@%d:%d" k n) spec.flaky
+       ])
+
+let merge ~base ~override =
+  let pick ov b = match ov with Some _ -> ov | None -> b in
+  {
+    solver = pick override.solver base.solver;
+    worker = pick override.worker base.worker;
+    write = pick override.write base.write;
+    timeout = pick override.timeout base.timeout;
+    slow = pick override.slow base.slow;
+    flaky = pick override.flaky base.flaky;
+  }
 
 let arm spec =
   Atomic.set current
-    (Some { spec; solver_calls = Atomic.make 0; write_calls = Atomic.make 0 })
+    (Some
+       {
+         spec;
+         solver_calls = Atomic.make 0;
+         write_calls = Atomic.make 0;
+         flaky_fails = Atomic.make 0;
+       })
 
 let disarm () = Atomic.set current None
 
@@ -72,6 +136,14 @@ let fire site ~key =
       match site with
       | Worker -> (
           match st.spec.worker with Some k -> k = key | None -> false)
+      | Timeout -> (
+          match st.spec.timeout with Some k -> k = key | None -> false)
+      | Slow -> (match st.spec.slow with Some k -> k = key | None -> false)
+      | Flaky -> (
+          match st.spec.flaky with
+          | Some (k, n) ->
+              k = key && Atomic.fetch_and_add st.flaky_fails 1 < n
+          | None -> false)
       | Solver -> (
           match st.spec.solver with
           | Some k -> Atomic.fetch_and_add st.solver_calls 1 + 1 = k

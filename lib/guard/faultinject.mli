@@ -1,4 +1,4 @@
-(** Deterministic fault injection (DESIGN.md §10).
+(** Deterministic fault injection (DESIGN.md §10, §13).
 
     Each failure path of the solver/sweep stack carries an {e armed fault
     site}: a named hook that, when armed, forces that path to fail at a
@@ -7,11 +7,12 @@
     test or [ponet --inject] arms a {!spec}.
 
     {b Spec grammar} (also accepted via the [PONET_INJECT] environment
-    variable in the CLI):
+    variable in the CLI; the flag wins per site, the environment fills
+    the sites the flag leaves unset — see {!merge}):
 
     {v spec    ::= entry ("," entry)*
-entry   ::= site "@" nat
-site    ::= "solver" | "worker" | "write" v}
+entry   ::= site "@" nat | "flaky" "@" nat ":" nat
+site    ::= "solver" | "worker" | "write" | "timeout" | "slow" v}
 
     - [solver@k] — the [k]-th (1-based, process-wide) guarded
       equilibrium solve reports {!Po_error.Non_convergence}.
@@ -20,17 +21,36 @@ site    ::= "solver" | "worker" | "write" v}
       size, never of [--jobs]) raises {!Po_error.Worker_crash} before
       any of its work runs.
     - [write@k] — the [k]-th (1-based) atomic file write fails with
-      {!Po_error.Io_failure} {e after} writing the temp file but before
-      the rename, so the target must be left untouched.
+      {!Po_error.Io_failure} {e after} writing and syncing the temp
+      file but before the rename, so the target must be left untouched.
+    - [timeout@k] — chunk [k] (0-based) is reported stuck by the pool
+      watchdog and surfaces as a retryable {!Po_error.Chunk_timeout}
+      on every attempt, without actually sleeping.
+    - [slow@k] — chunk [k] (0-based) sleeps past the supervision
+      policy's per-chunk limit before computing, so the watchdog's
+      real elapsed-time path trips.
+    - [flaky@k:n] — chunk [k] (0-based) raises
+      {!Po_error.Worker_crash} on its first [n] attempts
+      (process-wide), then succeeds: the canonical transient fault a
+      retry policy must absorb.
 
-    [worker@k] is deterministic for any worker count.  [solver@k] and
-    [write@k] count call arrivals; under a parallel sweep the {e set} of
-    guarded calls is fixed but which arrives [k]-th depends on
-    scheduling, so tests that pin the exact victim run with [--jobs 1]. *)
+    [worker@k], [timeout@k], [slow@k] and [flaky@k:n] key on the
+    logical chunk index and are deterministic for any worker count.
+    [solver@k] and [write@k] count call arrivals; under a parallel
+    sweep the {e set} of guarded calls is fixed but which arrives
+    [k]-th depends on scheduling, so tests that pin the exact victim
+    run with [--jobs 1]. *)
 
-type site = Solver | Worker | Write
+type site = Solver | Worker | Write | Timeout | Slow | Flaky
 
-type spec = { solver : int option; worker : int option; write : int option }
+type spec = {
+  solver : int option;
+  worker : int option;
+  write : int option;
+  timeout : int option;
+  slow : int option;
+  flaky : (int * int) option;  (** [(chunk, fail_count)] *)
+}
 
 exception Injected_fault of string
 (** The payload carried inside an injected {!Po_error.Worker_crash}. *)
@@ -38,14 +58,21 @@ exception Injected_fault of string
 val parse : string -> (spec, string) result
 val to_string : spec -> string
 
+val merge : base:spec -> override:spec -> spec
+(** Per-site composition: every site set in [override] wins; sites it
+    leaves unset fall through to [base].  The CLI uses
+    [merge ~base:(parse PONET_INJECT) ~override:(parse --inject)] —
+    "flag wins; env appends". *)
+
 val arm : spec -> unit
-(** Arm [spec], resetting all call counters. *)
+(** Arm [spec], resetting all call counters (including the flaky
+    attempt counter). *)
 
 val disarm : unit -> unit
 val armed : unit -> spec option
 
 val fire : site -> key:int -> bool
 (** [fire site ~key] — called by the guarded code at the fault site;
-    [true] means "fail now".  [key] is the chunk index for [Worker] and
-    ignored for the counting sites.  Constant-time [false] when
-    disarmed. *)
+    [true] means "fail now".  [key] is the chunk index for [Worker],
+    [Timeout], [Slow] and [Flaky], and ignored for the counting sites.
+    Constant-time [false] when disarmed. *)

@@ -4,6 +4,9 @@ type kind =
   | Invalid_scenario of string
   | Worker_crash of { chunk : int; exn : exn }
   | Io_failure of { path : string; reason : string }
+  | Deadline_exceeded of { elapsed : float; budget : float }
+  | Chunk_timeout of { chunk : int; elapsed : float; limit : float }
+  | Cancelled of string
 
 type t = { kind : kind; context : (string * string) list }
 
@@ -32,6 +35,13 @@ let kind_to_string = function
         (Printexc.to_string exn)
   | Io_failure { path; reason } ->
       Printf.sprintf "io failure on %s: %s" path reason
+  | Deadline_exceeded { elapsed; budget } ->
+      Printf.sprintf "deadline exceeded: %.3fs elapsed of a %.3fs budget"
+        elapsed budget
+  | Chunk_timeout { chunk; elapsed; limit } ->
+      Printf.sprintf "chunk %d timed out: %.3fs elapsed past a %.3fs limit"
+        chunk elapsed limit
+  | Cancelled reason -> Printf.sprintf "cancelled: %s" reason
 
 let to_string e =
   match e.context with

@@ -12,8 +12,12 @@
     root-finding ([No_bracket]), from an iteration that ran out of budget
     ([Non_convergence]), from inputs outside the model's domain
     ([Invalid_scenario]), from a worker domain dying mid-sweep
-    ([Worker_crash]), or from the filesystem ([Io_failure]).  Anything
-    else is a programming error and stays an ordinary exception. *)
+    ([Worker_crash]), from the filesystem ([Io_failure]), or from the
+    supervision layer (DESIGN.md §13): a wall-clock budget ran out
+    ([Deadline_exceeded]), a chunk overran its watchdog limit
+    ([Chunk_timeout] — the retryable one), or a cancellation token fired
+    ([Cancelled]).  Anything else is a programming error and stays an
+    ordinary exception. *)
 
 type kind =
   | No_bracket of string
@@ -31,6 +35,19 @@ type kind =
   | Io_failure of { path : string; reason : string }
       (** a filesystem operation failed; the target is never left
           half-written (lib/report's atomic writer) *)
+  | Deadline_exceeded of { elapsed : float; budget : float }
+      (** a [Po_sup.Budget] deadline expired at a cooperative check
+          point (chunk boundary, solver iteration); [elapsed] is the
+          wall time since the budget started, [budget] the allowance.
+          Never retried: the whole run is out of time. *)
+  | Chunk_timeout of { chunk : int; elapsed : float; limit : float }
+      (** the watchdog flagged sweep chunk [chunk] as stuck: its wall
+          time passed [limit].  Transient by classification
+          ([Po_sup.Supervise.retryable]) — the chunk re-runs under a
+          retry policy. *)
+  | Cancelled of string
+      (** a [Po_sup.Budget] cancellation token fired; the payload is the
+          token's reason.  Never retried. *)
 
 type t = {
   kind : kind;

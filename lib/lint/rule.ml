@@ -105,12 +105,17 @@ let catalogue =
         "The ensembles behind every figure are only trustworthy because \
          no solver failure is swallowed (DESIGN.md section 10).  In \
          figure/experiment code, a solver that has a _checked companion \
-         (Cp_game.solve, Equilibrium.solve, Oligopoly.solve, \
-         Monopoly.regime_outcome, ...) must be called through it or have \
-         its outcome fed to ensure_converged; anywhere outside test/, a \
-         result-typed value must not be dropped (sequenced away, passed \
-         to ignore, bound to _) or matched with a bare 'Error _ ->' arm \
-         that forgets which error occurred." };
+         (Cp_game.solve, Cp_game.solve_nash, Equilibrium.solve and their \
+         _soa variants, Oligopoly.solve, Monopoly.regime_outcome, ...) \
+         must be called through it or have its outcome fed to \
+         ensure_converged; the ?budget-threaded entry points of the \
+         supervision layer (DESIGN.md section 13) keep the same _checked \
+         companions, and their Deadline_exceeded / Cancelled failures \
+         are result payloads like any other — a caller must not flatten \
+         them away.  Anywhere outside test/, a result-typed value must \
+         not be dropped (sequenced away, passed to ignore, bound to _) \
+         or matched with a bare 'Error _ ->' arm that forgets which \
+         error occurred." };
     { id = R9; title = "no polymorphic compare on float-bearing types";
       rationale =
         "The typed replacement for R1's syntactic heuristic: polymorphic \

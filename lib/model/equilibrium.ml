@@ -335,8 +335,22 @@ let congested_cap ~thresholds ~aggregate ~bracket ~tol ~nu =
   end
 
 (* Shared congested-solve flow: fault site, context frames, the segment
-   search, and the convergence check.  Returns the water level. *)
-let solve_congested ~thresholds ~aggregate ~bracket ~tol ~nu ~n =
+   search, and the convergence check.  Returns the water level.
+
+   [budget] is the cooperative deadline/cancellation check of the
+   supervision layer (DESIGN.md §13): every aggregate evaluation is one
+   iteration of the segment search or of Brent, so checking inside the
+   closure bounds the time between checks by a single O(log n + tail)
+   evaluation.  [None] costs nothing. *)
+let solve_congested ?budget ~thresholds ~aggregate ~bracket ~tol ~nu ~n () =
+  let aggregate =
+    match budget with
+    | None -> aggregate
+    | Some b ->
+        fun ~cap ->
+          Po_sup.Budget.check b;
+          aggregate ~cap
+  in
   let frames =
     [ ("solver", "equilibrium"); ("nu", Printf.sprintf "%.17g" nu);
       ("cps", string_of_int n) ]
@@ -364,7 +378,7 @@ let solve_congested ~thresholds ~aggregate ~bracket ~tol ~nu ~n =
            iterations = outcome.Po_num.Roots.iterations });
   outcome.Po_num.Roots.root
 
-let solve ?context:ctx ?bracket ?weights ?(tol = 1e-12) ~nu cps =
+let solve ?budget ?context:ctx ?bracket ?weights ?(tol = 1e-12) ~nu cps =
   if nu < 0. then invalid_arg "Equilibrium.solve: nu < 0";
   let n = Array.length cps in
   if n = 0 then empty
@@ -387,15 +401,15 @@ let solve ?context:ctx ?bracket ?weights ?(tol = 1e-12) ~nu cps =
     else begin
       let ctx = match ctx with Some c -> c | None -> context ~weights cps in
       let cap =
-        solve_congested ~thresholds:ctx.thresholds
+        solve_congested ?budget ~thresholds:ctx.thresholds
           ~aggregate:(fun ~cap -> aggregate_sorted ctx ~cap)
-          ~bracket ~tol ~nu ~n
+          ~bracket ~tol ~nu ~n ()
       in
       of_cap cps weights ~congested:true cap
     end
   end
 
-let solve_soa ?context:ctx ?bracket ?weights ?(tol = 1e-12) ~nu soa =
+let solve_soa ?budget ?context:ctx ?bracket ?weights ?(tol = 1e-12) ~nu soa =
   if nu < 0. then invalid_arg "Equilibrium.solve_soa: nu < 0";
   let n = Cp_soa.length soa in
   if n = 0 then empty
@@ -424,23 +438,23 @@ let solve_soa ?context:ctx ?bracket ?weights ?(tol = 1e-12) ~nu soa =
         match ctx with Some c -> c | None -> context_soa ~weights soa
       in
       let cap =
-        solve_congested ~thresholds:ctx.thresholds
+        solve_congested ?budget ~thresholds:ctx.thresholds
           ~aggregate:(fun ~cap -> aggregate_sorted ctx ~cap)
-          ~bracket ~tol ~nu ~n
+          ~bracket ~tol ~nu ~n ()
       in
       of_cap_soa soa weights ~congested:true cap
     end
   end
 
-let solve_checked ?context ?bracket ?weights ?tol ~nu cps =
-  match solve ?context ?bracket ?weights ?tol ~nu cps with
+let solve_checked ?budget ?context ?bracket ?weights ?tol ~nu cps =
+  match solve ?budget ?context ?bracket ?weights ?tol ~nu cps with
   | solution -> Ok solution
   | exception Po_guard.Po_error.Error e -> Error e
   | exception Invalid_argument msg ->
       Error (Po_guard.Po_error.v (Po_guard.Po_error.Invalid_scenario msg))
 
-let solve_soa_checked ?context ?bracket ?weights ?tol ~nu soa =
-  match solve_soa ?context ?bracket ?weights ?tol ~nu soa with
+let solve_soa_checked ?budget ?context ?bracket ?weights ?tol ~nu soa =
+  match solve_soa ?budget ?context ?bracket ?weights ?tol ~nu soa with
   | solution -> Ok solution
   | exception Po_guard.Po_error.Error e -> Error e
   | exception Invalid_argument msg ->
@@ -519,16 +533,16 @@ let solve_reference ?weights ?(tol = 1e-12) ~nu cps =
       let cap =
         solve_congested ~thresholds:rctx.r_thresholds
           ~aggregate:(fun ~cap -> aggregate_sorted_reference rctx ~cap)
-          ~bracket:None ~tol ~nu ~n
+          ~bracket:None ~tol ~nu ~n ()
       in
       of_cap cps weights ~congested:true cap
     end
   end
 
-let solve_absolute ?weights ?tol ~m ~mu cps =
+let solve_absolute ?budget ?weights ?tol ~m ~mu cps =
   if m <= 0. then invalid_arg "Equilibrium.solve_absolute: m <= 0";
   if mu < 0. then invalid_arg "Equilibrium.solve_absolute: mu < 0";
-  solve ?weights ?tol ~nu:(mu /. m) cps
+  solve ?budget ?weights ?tol ~nu:(mu /. m) cps
 
 let theta_for sol i =
   if i < 0 || i >= Array.length sol.theta then

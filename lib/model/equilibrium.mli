@@ -76,8 +76,8 @@ val context_soa : ?weights:float array -> Cp_soa.t -> context
     bit-equivalent to [context (Cp_soa.to_cps soa)]. *)
 
 val solve :
-  ?context:context -> ?bracket:float * float -> ?weights:float array ->
-  ?tol:float -> nu:float -> Cp.t array -> solution
+  ?budget:Po_sup.Budget.t -> ?context:context -> ?bracket:float * float ->
+  ?weights:float array -> ?tol:float -> nu:float -> Cp.t array -> solution
 (** Compute the rate equilibrium of the per-capita system [(nu, cps)].
     [weights] defaults to all ones (max-min fairness); entries must be
     [> 0].  [nu >= 0].  [tol] (default [1e-12]) is the absolute tolerance
@@ -97,11 +97,18 @@ val solve :
     {!Po_num.Roots.No_bracket}), and a Brent run that exhausts its
     iteration budget raises kind [Non_convergence] instead of silently
     returning the last iterate.  Context frames carry the solver name,
-    [nu] and the population size. *)
+    [nu] and the population size.
+
+    [budget] is a [Po_sup.Budget] deadline/cancellation token
+    (DESIGN.md §13), checked cooperatively at every aggregate
+    evaluation — i.e. at each iteration of the segment search and of
+    Brent — and surfacing as kind [Deadline_exceeded] or [Cancelled]
+    with the same context frames.  A budget never changes a completed
+    solve's output. *)
 
 val solve_soa :
-  ?context:context -> ?bracket:float * float -> ?weights:float array ->
-  ?tol:float -> nu:float -> Cp_soa.t -> solution
+  ?budget:Po_sup.Budget.t -> ?context:context -> ?bracket:float * float ->
+  ?weights:float array -> ?tol:float -> nu:float -> Cp_soa.t -> solution
 (** {!solve} over a structure-of-arrays population: no [Cp.t] records
     are allocated anywhere on the solve path, which is what lets the
     n = 10^6 tier run with bounded memory.  Bit-identical to
@@ -110,16 +117,16 @@ val solve_soa :
     {!solve}. *)
 
 val solve_checked :
-  ?context:context -> ?bracket:float * float -> ?weights:float array ->
-  ?tol:float -> nu:float -> Cp.t array ->
+  ?budget:Po_sup.Budget.t -> ?context:context -> ?bracket:float * float ->
+  ?weights:float array -> ?tol:float -> nu:float -> Cp.t array ->
   (solution, Po_guard.Po_error.t) result
 (** {!solve} with the error channel reified: [Error] carries the typed
     failure ({!solve}'s [Po_guard.Po_error.Error] payload, or
     [Invalid_scenario] for domain errors such as bad weights). *)
 
 val solve_soa_checked :
-  ?context:context -> ?bracket:float * float -> ?weights:float array ->
-  ?tol:float -> nu:float -> Cp_soa.t ->
+  ?budget:Po_sup.Budget.t -> ?context:context -> ?bracket:float * float ->
+  ?weights:float array -> ?tol:float -> nu:float -> Cp_soa.t ->
   (solution, Po_guard.Po_error.t) result
 (** {!solve_soa} with the error channel reified, mirroring
     {!solve_checked}. *)
@@ -133,8 +140,8 @@ val solve_reference :
     [test_perf_kernel] suite enforces this. *)
 
 val solve_absolute :
-  ?weights:float array -> ?tol:float -> m:float -> mu:float -> Cp.t array ->
-  solution
+  ?budget:Po_sup.Budget.t -> ?weights:float array -> ?tol:float -> m:float ->
+  mu:float -> Cp.t array -> solution
 (** Equilibrium of an absolute system of [m > 0] consumers and capacity
     [mu >= 0]; equals [solve ~nu:(mu /. m)] by Axiom 4. *)
 

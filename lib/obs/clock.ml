@@ -8,3 +8,5 @@
 let now_s () = Unix.gettimeofday ()
 
 let now_us () = 1e6 *. now_s ()
+
+let sleep_s d = if d > 0.0 then Unix.sleepf d

@@ -12,3 +12,9 @@ val now_s : unit -> float
 
 val now_us : unit -> float
 (** Wall time in microseconds — the unit Chrome trace events use. *)
+
+val sleep_s : float -> unit
+(** Block the calling domain for the given number of seconds (no-op for
+    non-positive values).  Exists for the supervision layer's [slow@k]
+    fault site and watchdog tests; like the reads above, sleeping never
+    feeds figure data. *)

@@ -29,6 +29,17 @@ let m_domains = Po_obs.Metrics.gauge "pool.domains"
 
 let m_chunk_s = Po_obs.Metrics.histogram "pool.chunk_s"
 
+(* Supervision counters (DESIGN.md §13).  Retry counts are jobs-invariant
+   for deterministic (chunk-keyed) faults; once a breaker opens, which
+   chunks were still unclaimed — and therefore how many run degraded —
+   depends on scheduling, so the degraded counters describe what happened,
+   not a reproducible quantity. *)
+let m_chunk_retries = Po_obs.Metrics.counter "pool.chunk_retries"
+
+let m_chunks_degraded = Po_obs.Metrics.counter "pool.chunks_degraded"
+
+let m_breaker_trips = Po_obs.Metrics.counter "pool.breaker_trips"
+
 type t = {
   mutable total_domains : int;
   queue : (unit -> unit) Queue.t;
@@ -226,15 +237,53 @@ let fire_worker ci =
              Po_guard.Faultinject.Injected_fault
                (Printf.sprintf "worker crash at chunk %d" ci) })
 
+(* The transient-fault site: chunk [ci] crashes on its first n attempts
+   (process-wide), then succeeds — what a retry policy must absorb. *)
+let fire_flaky ci =
+  if Po_guard.Faultinject.fire Po_guard.Faultinject.Flaky ~key:ci then
+    Po_guard.Po_error.fail
+      ~context:[ ("injected", "flaky") ]
+      (Po_guard.Po_error.Worker_crash
+         { chunk = ci;
+           exn =
+             Po_guard.Faultinject.Injected_fault
+               (Printf.sprintf "flaky crash at chunk %d" ci) })
+
+(* A stuck worker as the watchdog would report it, without the wait. *)
+let fire_timeout ci ~limit =
+  if Po_guard.Faultinject.fire Po_guard.Faultinject.Timeout ~key:ci then
+    Po_guard.Po_error.fail
+      ~context:[ ("injected", "timeout") ]
+      (Po_guard.Po_error.Chunk_timeout { chunk = ci; elapsed = limit; limit })
+
+(* A genuinely slow chunk: sleep past the watchdog limit so the real
+   elapsed-time path trips. *)
+let fire_slow ci ~limit =
+  if Po_guard.Faultinject.fire Po_guard.Faultinject.Slow ~key:ci then
+    Po_obs.Clock.sleep_s (limit +. 0.01)
+
+(* Outcome of one supervised chunk evaluation on a worker: [Deferred]
+   marks a chunk the open breaker routed to the caller's serial
+   degraded phase.  Never exposed — resolved before [run_chunks]
+   returns. *)
+type 'b chunk_outcome = Done of 'b array | Deferred
+
 (* Shared chunk engine of [chunk_map] and [chain_map]: fixed layout,
    optional per-chunk memo ([cached] consulted before computing,
    [on_chunk] told about every freshly computed chunk — the checkpoint
    journal hooks).  A cached chunk of the wrong length is recomputed, so
-   a stale or truncated journal can never corrupt a sweep. *)
-let run_chunks ~chunk_size ?cached ?on_chunk pool ~n ~compute =
+   a stale or truncated journal can never corrupt a sweep.
+
+   With an {e active} supervision policy (DESIGN.md §13) each fresh
+   chunk runs under the retry/breaker/watchdog machinery; an inactive
+   policy (the default) takes the original code path untouched, which is
+   what keeps the long-standing contract that [worker@k] fails the
+   figure unless a caller opts in to retries. *)
+let run_chunks ~chunk_size ?(sup = Po_sup.Supervise.default) ?cached
+    ?on_chunk pool ~n ~compute =
   if chunk_size <= 0 then invalid_arg "Pool.run_chunks: chunk_size <= 0";
   if n = 0 then [||]
-  else begin
+  else if not (Po_sup.Supervise.is_active sup) then begin
     let n_chunks = (n + chunk_size - 1) / chunk_size in
     let eval ci =
       let start = ci * chunk_size in
@@ -263,19 +312,164 @@ let run_chunks ~chunk_size ?cached ?on_chunk pool ~n ~compute =
     let chunks = maybe_map pool eval (Array.init n_chunks Fun.id) in
     Array.concat (Array.to_list chunks)
   end
+  else begin
+    let n_chunks = (n + chunk_size - 1) / chunk_size in
+    let breaker =
+      Po_sup.Breaker.create ~threshold:sup.Po_sup.Supervise.breaker_threshold
+    in
+    let watchdog =
+      Option.map
+        (fun limit -> Po_sup.Watchdog.create ~limit)
+        sup.Po_sup.Supervise.chunk_timeout
+    in
+    let budget = sup.Po_sup.Supervise.budget in
+    let inj_limit =
+      Option.value sup.Po_sup.Supervise.chunk_timeout ~default:0.0
+    in
+    (* One attempt at computing chunk [ci] fresh.  [degraded] = the
+       serial in-caller phase behind an open breaker: the sites that
+       model the parallel-worker environment ([worker], [timeout],
+       [slow]) and the watchdog are suppressed there — that is what
+       lets degradation complete the figure — while [flaky] keeps its
+       process-wide attempt count so transient faults behave
+       identically in both modes. *)
+    let attempt ~degraded ci ~start ~stop =
+      Po_obs.Metrics.incr m_chunks_computed;
+      if not degraded then begin
+        fire_worker ci;
+        fire_timeout ci ~limit:inj_limit
+      end;
+      fire_flaky ci;
+      let t0 = Po_obs.Clock.now_s () in
+      let r =
+        Po_obs.Metrics.time_s m_chunk_s (fun () ->
+            Po_guard.Po_error.with_context
+              [ ("chunk", string_of_int ci) ]
+              (fun () ->
+                if not degraded then fire_slow ci ~limit:inj_limit;
+                compute ci ~start ~stop))
+      in
+      if not degraded then
+        Po_sup.Watchdog.check_opt watchdog ~chunk:ci
+          ~elapsed:(Po_obs.Clock.now_s () -. t0);
+      (match on_chunk with None -> () | Some h -> h ci r);
+      r
+    in
+    (* Retry loop on a worker.  Only typed {e retryable} failures
+       (Supervise.retryable) re-run — a chunk is a pure function of its
+       index, so a re-run replays the same split PRNG stream and
+       warm-start chain and is bit-identical.  Everything else
+       re-raises for run_shared's first-failure-by-chunk-index
+       reporting.  Breaker bookkeeping is per attempt; once it opens
+       (and degradation is on) the chunk defers instead of burning the
+       remaining retries. *)
+    let eval_sup ci =
+      let start = ci * chunk_size in
+      let stop = min n (start + chunk_size) in
+      let cached_hit =
+        match cached with
+        | None -> None
+        | Some lookup -> (
+            match lookup ci with
+            | Some r when Array.length r = stop - start -> Some r
+            | Some _ | None -> None)
+      in
+      match cached_hit with
+      | Some r ->
+          Po_obs.Metrics.incr m_chunks_cached;
+          Done r
+      | None ->
+          if Po_sup.Breaker.tripped breaker && sup.Po_sup.Supervise.degrade
+          then Deferred
+          else begin
+            Po_sup.Budget.check_opt budget;
+            let rec go attempts_left =
+              match
+                Po_guard.Po_error.capture (fun () ->
+                    attempt ~degraded:false ci ~start ~stop)
+              with
+              | Ok r ->
+                  Po_sup.Breaker.record_success breaker;
+                  Done r
+              | Error e
+                when Po_sup.Supervise.retryable e.Po_guard.Po_error.kind ->
+                  let tripped = Po_sup.Breaker.record_failure breaker in
+                  if tripped && sup.Po_sup.Supervise.degrade then Deferred
+                  else if attempts_left > 0 then begin
+                    Po_obs.Metrics.incr m_chunk_retries;
+                    Po_sup.Budget.check_opt budget;
+                    go (attempts_left - 1)
+                  end
+                  else raise (Po_guard.Po_error.Error e)
+              | Error e -> raise (Po_guard.Po_error.Error e)
+            in
+            go sup.Po_sup.Supervise.retries
+          end
+    in
+    let outcomes = maybe_map pool eval_sup (Array.init n_chunks Fun.id) in
+    let deferred_count =
+      Array.fold_left
+        (fun acc o -> match o with Deferred -> acc + 1 | Done _ -> acc)
+        0 outcomes
+    in
+    if deferred_count > 0 then begin
+      (* Graceful degradation: the breaker opened, so finish the sweep
+         serially in the caller rather than failing the figure.  The
+         caller is the only domain here, so emitting the warning is
+         R7-safe. *)
+      Po_obs.Metrics.incr m_breaker_trips;
+      Po_guard.Warnings.emit
+        (Printf.sprintf
+           "Pool.run_chunks: circuit breaker opened after %d consecutive \
+            chunk-attempt failures; computing %d chunk(s) serially in the \
+            caller"
+           (Po_sup.Breaker.threshold breaker)
+           deferred_count);
+      let rec degraded_go ci ~start ~stop attempts_left =
+        match
+          Po_guard.Po_error.capture (fun () ->
+              attempt ~degraded:true ci ~start ~stop)
+        with
+        | Ok r -> r
+        | Error e
+          when Po_sup.Supervise.retryable e.Po_guard.Po_error.kind
+               && attempts_left > 0 ->
+            Po_obs.Metrics.incr m_chunk_retries;
+            Po_sup.Budget.check_opt budget;
+            degraded_go ci ~start ~stop (attempts_left - 1)
+        | Error e -> raise (Po_guard.Po_error.Error e)
+      in
+      for ci = 0 to n_chunks - 1 do
+        match outcomes.(ci) with
+        | Done _ -> ()
+        | Deferred ->
+            Po_sup.Budget.check_opt budget;
+            Po_obs.Metrics.incr m_chunks_degraded;
+            let start = ci * chunk_size in
+            let stop = min n (start + chunk_size) in
+            outcomes.(ci) <-
+              Done (degraded_go ci ~start ~stop sup.Po_sup.Supervise.retries)
+      done
+    end;
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (function Done r -> r | Deferred -> assert false (* resolved *))
+            outcomes))
+  end
 
-let chunk_map ?(chunk_size = default_chain_chunk) ?cached ?on_chunk pool ~f
-    arr =
-  run_chunks ~chunk_size ?cached ?on_chunk pool ~n:(Array.length arr)
+let chunk_map ?(chunk_size = default_chain_chunk) ?sup ?cached ?on_chunk pool
+    ~f arr =
+  run_chunks ~chunk_size ?sup ?cached ?on_chunk pool ~n:(Array.length arr)
     ~compute:(fun _ci ~start ~stop ->
       Array.init (stop - start) (fun k -> f arr.(start + k)))
 
-let chain_map ?(chunk_size = default_chain_chunk) ?cached ?on_chunk pool
+let chain_map ?(chunk_size = default_chain_chunk) ?sup ?cached ?on_chunk pool
     ~step arr =
   (* The chunk layout is a pure function of [n] and [chunk_size] —
      never of the pool — so every chunk is the same warm-start chain
      whether it runs serially or on any number of domains. *)
-  run_chunks ~chunk_size ?cached ?on_chunk pool ~n:(Array.length arr)
+  run_chunks ~chunk_size ?sup ?cached ?on_chunk pool ~n:(Array.length arr)
     ~compute:(fun _ci ~start ~stop ->
       let out = Array.make (stop - start) None in
       let prev = ref None in

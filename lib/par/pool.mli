@@ -35,7 +35,30 @@
     chunked combinators stamp it with a ["chunk"] context frame).  If
     [Domain.spawn] fails while building the pool, the pool comes up with
     however many workers did spawn (possibly zero — the serial path) and
-    a warning is emitted through [Po_guard.Warnings]. *)
+    a warning is emitted through [Po_guard.Warnings].
+
+    {b Supervised execution (DESIGN.md §13).}  {!chunk_map} and
+    {!chain_map} accept a [Po_sup.Supervise.policy].  When {e active}
+    (a budget, retries, or a per-chunk watchdog limit is set) each
+    fresh chunk runs under supervision: the budget's deadline /
+    cancellation token is checked at every chunk boundary and between
+    retry attempts (surfacing as typed [Deadline_exceeded] /
+    [Cancelled], never a hang); a {e retryable} failure
+    ([Worker_crash], watchdog [Chunk_timeout]) re-runs the chunk up to
+    [retries] times — a chunk is a pure function of its index (split
+    PRNG streams, warm-start chains), so a retried sweep is
+    bit-identical to a fault-free one for any worker count; and after
+    [breaker_threshold] consecutive failed attempts the circuit
+    breaker opens — with [degrade] on, failing and still-unclaimed
+    chunks re-run serially in the caller (one [Po_guard.Warnings]
+    entry, [pool.chunks_degraded] metrics) instead of failing the
+    sweep.  An {e inactive} policy — the default — leaves every
+    combinator byte-for-byte on the unsupervised path, so existing
+    failure semantics (first failure by chunk index wins) are
+    unchanged unless a caller opts in.  Under an open breaker the
+    attempt counters ([pool.chunks_computed], [pool.chunk_retries])
+    stop being jobs-invariant: which chunks were still unclaimed at
+    the moment of the trip depends on scheduling.  Results never do. *)
 
 type t
 (** A handle to a pool of worker domains. *)
@@ -83,6 +106,7 @@ val parallel_init : t -> int -> (int -> 'a) -> 'a array
 
 val chunk_map :
   ?chunk_size:int ->
+  ?sup:Po_sup.Supervise.policy ->
   ?cached:(int -> 'b array option) ->
   ?on_chunk:(int -> 'b array -> unit) ->
   t option ->
@@ -104,6 +128,7 @@ val chunk_map :
 
 val chain_map :
   ?chunk_size:int ->
+  ?sup:Po_sup.Supervise.policy ->
   ?cached:(int -> 'b array option) ->
   ?on_chunk:(int -> 'b array -> unit) ->
   t option ->

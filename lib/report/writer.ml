@@ -20,6 +20,27 @@ let rec mkdir_p dir =
         io_fail ~path:dir msg
   end
 
+(* Push a channel's flushed bytes to stable storage.  [flush] only moves
+   them to the OS page cache; without the fsync a power loss after the
+   rename could surface the {e new} name with {e old or no} data. *)
+let fsync_out ~path oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc)
+  with Unix.Unix_error (e, _, _) -> io_fail ~path (Unix.error_message e)
+
+(* Make a completed rename durable: the directory entry itself lives in
+   the parent directory's data.  Filesystems that refuse to fsync a
+   directory handle (EINVAL) already order metadata themselves. *)
+let fsync_dir dir =
+  let dir = if dir = "" then "." else dir in
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) -> io_fail ~path:dir (Unix.error_message e)
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          try Unix.fsync fd
+          with Unix.Unix_error (Unix.EINVAL, _, _) -> ())
+
 let write_atomic ~path content =
   mkdir_p (Filename.dirname path);
   let tmp = path ^ ".tmp" in
@@ -29,16 +50,18 @@ let write_atomic ~path content =
        ~finally:(fun () -> close_out oc)
        (fun () ->
          output_string oc content;
-         flush oc)
+         flush oc;
+         fsync_out ~path:tmp oc)
    with Sys_error msg -> io_fail ~path:tmp msg);
-  (* The armed write fault fires in the crash window: temp written,
-     target not yet replaced — the reader-visible state must be "old
-     content or nothing". *)
+  (* The armed write fault fires in the crash window: temp written and
+     synced, target not yet replaced — the reader-visible state must be
+     "old content or nothing". *)
   if Po_guard.Faultinject.fire Po_guard.Faultinject.Write ~key:0 then
     io_fail
       ~context:[ ("injected", "write") ]
       ~path "injected write failure before rename";
-  try Sys.rename tmp path with Sys_error msg -> io_fail ~path msg
+  (try Sys.rename tmp path with Sys_error msg -> io_fail ~path msg);
+  fsync_dir (Filename.dirname path)
 
 let append_line ~path line =
   mkdir_p (Filename.dirname path);
@@ -53,7 +76,8 @@ let append_line ~path line =
       (fun () ->
         output_string oc line;
         output_char oc '\n';
-        flush oc)
+        flush oc;
+        fsync_out ~path oc)
   with Sys_error msg -> io_fail ~path msg
 
 let remove_if_exists path =

@@ -18,16 +18,20 @@ val mkdir_p : string -> unit
 
 val write_atomic : path:string -> string -> unit
 (** Write [content] to [path] whole-or-not-at-all: parents are created,
-    the content goes to [path ^ ".tmp"], is flushed, and is renamed over
-    [path] (atomic within a filesystem).  A crash at any point leaves
-    [path] untouched or complete, never truncated. *)
+    the content goes to [path ^ ".tmp"], is flushed {e and fsynced}, and
+    is renamed over [path] (atomic within a filesystem); the parent
+    directory is fsynced after the rename so the new entry survives a
+    power loss.  A crash at any point leaves [path] untouched or
+    complete, never truncated — even across an OS crash, not just a
+    process one. *)
 
 val append_line : path:string -> string -> unit
-(** Append [line ^ "\n"] to [path] (created if missing, parents too) and
-    flush before closing — the journal primitive.  Appends are not
-    atomic across processes; callers serialise concurrent appenders
+(** Append [line ^ "\n"] to [path] (created if missing, parents too),
+    flush and fsync before closing — the journal primitive.  Appends are
+    not atomic across processes; callers serialise concurrent appenders
     (the checkpoint journal holds a mutex).  A torn final line from a
-    crash is tolerated by the journal parser. *)
+    crash is detected by the journal's per-line length/checksum prefix
+    and truncated away on load. *)
 
 val remove_if_exists : string -> unit
 (** Delete a file, ignoring only "it was not there". *)

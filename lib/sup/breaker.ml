@@ -1,0 +1,24 @@
+type t = { threshold : int; consecutive : int Atomic.t; open_ : bool Atomic.t }
+
+let create ~threshold =
+  if threshold < 1 then
+    Po_guard.Po_error.fail
+      (Po_guard.Po_error.Invalid_scenario
+         (Printf.sprintf "breaker threshold must be >= 1, got %d" threshold));
+  { threshold; consecutive = Atomic.make 0; open_ = Atomic.make false }
+
+let threshold t = t.threshold
+let tripped t = Atomic.get t.open_
+let consecutive_failures t = Atomic.get t.consecutive
+let trip t = Atomic.set t.open_ true
+
+let record_failure t =
+  let n = Atomic.fetch_and_add t.consecutive 1 + 1 in
+  if n >= t.threshold then trip t;
+  Atomic.get t.open_
+
+let record_success t = if not (Atomic.get t.open_) then Atomic.set t.consecutive 0
+
+let reset t =
+  Atomic.set t.consecutive 0;
+  Atomic.set t.open_ false

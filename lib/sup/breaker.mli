@@ -1,0 +1,41 @@
+(** Circuit breaker for the sweep pool's degradation path
+    (DESIGN.md §13).
+
+    A two-state machine — {e closed} (normal) and {e open} (tripped) —
+    fed by per-attempt outcomes.  After [threshold] {e consecutive}
+    failed chunk attempts the breaker opens; the pool then stops
+    dispatching supervised chunks to worker domains and re-runs the
+    failures serially in the caller ("graceful degradation"), which
+    also disarms the worker-environment fault sites ([worker], [slow],
+    [timeout]).  A success while closed resets the consecutive count; a
+    success while open does {e not} close it — within one sweep the
+    breaker is trip-once, so a figure either runs fully pooled or
+    finishes degraded, never flapping between the two.
+
+    All state is [Atomic] so worker closures may record outcomes
+    without taking locks (and without tripping polint R7). *)
+
+type t
+
+val create : threshold:int -> t
+(** Raises {!Po_error.Invalid_scenario} when [threshold < 1]. *)
+
+val threshold : t -> int
+
+val record_failure : t -> bool
+(** Count one failed attempt; opens the breaker when the consecutive
+    count reaches the threshold.  Returns [true] iff the breaker is
+    (now) open. *)
+
+val record_success : t -> unit
+(** Reset the consecutive-failure count — unless already open (see
+    above). *)
+
+val tripped : t -> bool
+val consecutive_failures : t -> int
+
+val trip : t -> unit
+(** Force the breaker open (tests, watchdog escalation). *)
+
+val reset : t -> unit
+(** Back to closed with a zero count (a fresh sweep). *)

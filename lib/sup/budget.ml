@@ -1,0 +1,45 @@
+type t = {
+  started : float;
+  deadline : float option;
+  cancelled : string option Atomic.t;
+}
+
+let start ?deadline () =
+  (match deadline with
+  | Some d when d <= 0.0 ->
+      Po_guard.Po_error.fail
+        (Po_guard.Po_error.Invalid_scenario
+           (Printf.sprintf "deadline must be positive, got %g" d))
+  | _ -> ());
+  {
+    started = Po_obs.Clock.now_s ();
+    deadline;
+    cancelled = Atomic.make None;
+  }
+
+(* First cancel wins: a later caller must not rewrite the reason the
+   original canceller recorded (it is what surfaces in the error). *)
+let cancel t ~reason =
+  ignore (Atomic.compare_and_set t.cancelled None (Some reason))
+let cancelled t = Atomic.get t.cancelled <> None
+let elapsed t = Po_obs.Clock.now_s () -. t.started
+
+let remaining t =
+  Option.map (fun d -> Float.max 0.0 (d -. elapsed t)) t.deadline
+
+let expired t =
+  match t.deadline with None -> false | Some d -> elapsed t >= d
+
+let check t =
+  (match Atomic.get t.cancelled with
+  | Some reason -> Po_guard.Po_error.fail (Po_guard.Po_error.Cancelled reason)
+  | None -> ());
+  match t.deadline with
+  | None -> ()
+  | Some budget ->
+      let elapsed = elapsed t in
+      if elapsed >= budget then
+        Po_guard.Po_error.fail
+          (Po_guard.Po_error.Deadline_exceeded { elapsed; budget })
+
+let check_opt = function None -> () | Some t -> check t

@@ -1,0 +1,47 @@
+(** Cooperative deadlines and cancellation tokens (DESIGN.md §13).
+
+    A budget is created once at the top of a run ([ponet --deadline],
+    [bench --chaos-smoke], a test) and threaded — by value, never
+    ambiently — through the sweep pool and the solver loops.  Nothing is
+    preempted: supervised code calls {!check} at its natural iteration
+    boundaries (sweep chunk start, equilibrium aggregate evaluation,
+    CP-game round), so expiry always surfaces as a typed error from a
+    consistent state, never as a hang or a torn checkpoint.
+
+    The wall-clock reads go through [Po_obs.Clock] — a budget measures
+    real elapsed time, and its expiry point is therefore {e not}
+    deterministic.  That is by design and does not touch the
+    bit-reproducibility contract: a run either completes (bit-identical
+    to any other completing run) or fails with
+    {!Po_error.Deadline_exceeded}; budgets never alter produced values. *)
+
+type t
+
+val start : ?deadline:float -> unit -> t
+(** Start the clock now.  [deadline] is the wall-clock allowance in
+    seconds from this instant; omitted means "cancellable but
+    unbounded".  Raises {!Po_error.Invalid_scenario} for a non-positive
+    deadline. *)
+
+val cancel : t -> reason:string -> unit
+(** Trip the cancellation token (idempotent, safe from any domain or a
+    signal handler).  The next {!check} raises
+    {!Po_error.Cancelled} with [reason]. *)
+
+val cancelled : t -> bool
+val elapsed : t -> float
+
+val remaining : t -> float option
+(** Seconds left ([Some 0.] once expired); [None] when unbounded. *)
+
+val expired : t -> bool
+(** True once the deadline passed — without raising. *)
+
+val check : t -> unit
+(** The cooperative check point: raises {!Po_error.Cancelled} if the
+    token was tripped, else {!Po_error.Deadline_exceeded} if the
+    deadline passed, else returns.  Cancellation wins when both hold. *)
+
+val check_opt : t option -> unit
+(** [check] through an option — [None] is free, so unsupervised call
+    sites pay nothing. *)

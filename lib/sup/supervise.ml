@@ -1,0 +1,47 @@
+type policy = {
+  budget : Budget.t option;
+  retries : int;
+  degrade : bool;
+  breaker_threshold : int;
+  chunk_timeout : float option;
+}
+
+let default =
+  {
+    budget = None;
+    retries = 0;
+    degrade = true;
+    breaker_threshold = 3;
+    chunk_timeout = None;
+  }
+
+let v ?budget ?(retries = 0) ?(degrade = true) ?(breaker_threshold = 3)
+    ?chunk_timeout () =
+  if retries < 0 then
+    Po_guard.Po_error.fail
+      (Po_guard.Po_error.Invalid_scenario
+         (Printf.sprintf "retries must be >= 0, got %d" retries));
+  (match chunk_timeout with
+  | Some l when l <= 0.0 ->
+      Po_guard.Po_error.fail
+        (Po_guard.Po_error.Invalid_scenario
+           (Printf.sprintf "chunk timeout must be positive, got %g" l))
+  | _ -> ());
+  if breaker_threshold < 1 then
+    Po_guard.Po_error.fail
+      (Po_guard.Po_error.Invalid_scenario
+         (Printf.sprintf "breaker threshold must be >= 1, got %d"
+            breaker_threshold));
+  { budget; retries; degrade; breaker_threshold; chunk_timeout }
+
+let is_active p =
+  Option.is_some p.budget || p.retries > 0 || Option.is_some p.chunk_timeout
+
+let retryable (kind : Po_guard.Po_error.kind) =
+  match kind with
+  | Po_guard.Po_error.Worker_crash _ | Po_guard.Po_error.Chunk_timeout _ ->
+      true
+  | Po_guard.Po_error.No_bracket _ | Po_guard.Po_error.Non_convergence _
+  | Po_guard.Po_error.Invalid_scenario _ | Po_guard.Po_error.Io_failure _
+  | Po_guard.Po_error.Deadline_exceeded _ | Po_guard.Po_error.Cancelled _ ->
+      false

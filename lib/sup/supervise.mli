@@ -1,0 +1,57 @@
+(** The supervision policy threaded through the sweep/solver stack
+    (DESIGN.md §13).
+
+    po_sup deliberately holds only the policy and its state machines
+    ({!Budget}, {!Breaker}, {!Watchdog}); the execution engine that
+    applies them lives in [Po_par.Pool], which sits {e above} this
+    library in the dependency DAG (po_guard → po_obs → po_sup → po_par).
+    A policy travels by value: [bin/ponet] builds one from [--deadline],
+    [--retries], [--chunk-timeout] and [--no-degrade]; experiments
+    carry it in their params; the pool consults it per chunk.
+
+    {!default} is {e inactive} ({!is_active} = [false]): zero retries,
+    no budget, no watchdog.  An inactive policy leaves the pool's
+    semantics exactly as before this layer existed — first failure by
+    chunk index wins and the sweep fails — which is what keeps the
+    long-standing fault-injection contract ([worker@k] fails the
+    figure) intact unless a caller opts in. *)
+
+type policy = {
+  budget : Budget.t option;  (** deadline + cancellation token *)
+  retries : int;
+      (** max re-runs per chunk after a {e retryable} failure
+          ({!retryable}); 0 = fail fast *)
+  degrade : bool;
+      (** when the breaker opens, fall back to serial in-caller
+          execution instead of failing the sweep *)
+  breaker_threshold : int;
+      (** consecutive failed attempts that open the breaker *)
+  chunk_timeout : float option;  (** watchdog per-chunk limit, seconds *)
+}
+
+val default : policy
+
+val v :
+  ?budget:Budget.t ->
+  ?retries:int ->
+  ?degrade:bool ->
+  ?breaker_threshold:int ->
+  ?chunk_timeout:float ->
+  unit ->
+  policy
+(** Validating constructor (defaults = {!default}); raises
+    {!Po_error.Invalid_scenario} on negative retries, a non-positive
+    timeout, or a threshold below 1. *)
+
+val is_active : policy -> bool
+(** True iff the policy changes pool behaviour: a budget, retries, or a
+    watchdog is set.  [degrade]/[breaker_threshold] alone do not
+    activate supervision — they only matter once retries exist. *)
+
+val retryable : Po_guard.Po_error.kind -> bool
+(** The transient-failure classification: [Worker_crash] (a domain
+    died; the chunk is pure and re-runnable) and [Chunk_timeout] (the
+    watchdog flagged it) retry; solver errors ([No_bracket],
+    [Non_convergence], [Invalid_scenario]) are deterministic and would
+    fail identically; [Io_failure], [Deadline_exceeded] and [Cancelled]
+    must surface immediately. *)

@@ -1,0 +1,18 @@
+type t = { limit : float }
+
+let create ~limit =
+  if limit <= 0.0 then
+    Po_guard.Po_error.fail
+      (Po_guard.Po_error.Invalid_scenario
+         (Printf.sprintf "watchdog limit must be positive, got %g" limit));
+  { limit }
+
+let limit t = t.limit
+
+let check t ~chunk ~elapsed =
+  if elapsed > t.limit then
+    Po_guard.Po_error.fail
+      (Po_guard.Po_error.Chunk_timeout { chunk; elapsed; limit = t.limit })
+
+let check_opt o ~chunk ~elapsed =
+  match o with None -> () | Some t -> check t ~chunk ~elapsed

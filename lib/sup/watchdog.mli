@@ -1,0 +1,27 @@
+(** Stuck-chunk detection from chunk-timing heartbeats (DESIGN.md §13).
+
+    The pool already times every chunk for po_obs ([pool.chunk_s]
+    histograms); the watchdog reuses those heartbeat measurements as a
+    liveness signal.  When a supervised chunk's wall time exceeds the
+    policy's per-chunk limit, {!check} converts it into a {e retryable}
+    {!Po_error.Chunk_timeout} — the retry/breaker machinery then treats
+    a stuck worker exactly like a crashed one.  Detection is
+    cooperative (observed when the chunk's timing is recorded), so a
+    truly wedged domain is caught at the next boundary rather than
+    preempted; the per-attempt timing keyed to the logical chunk index
+    keeps classification independent of [--jobs]. *)
+
+type t
+
+val create : limit:float -> t
+(** Raises {!Po_error.Invalid_scenario} when [limit <= 0]. *)
+
+val limit : t -> float
+
+val check : t -> chunk:int -> elapsed:float -> unit
+(** Classify one chunk-attempt heartbeat: raises
+    {!Po_error.Chunk_timeout} when [elapsed] passed the limit. *)
+
+val check_opt : t option -> chunk:int -> elapsed:float -> unit
+(** [check] through an option — [None] (no watchdog configured) is
+    free. *)

@@ -6,7 +6,8 @@
 open Po_guard
 
 let with_disarm f = Fun.protect ~finally:(fun () -> Faultinject.disarm ()) f
-let spec ?solver ?worker ?write () = { Faultinject.solver; worker; write }
+let spec ?solver ?worker ?write ?timeout ?slow ?flaky () =
+  { Faultinject.solver; worker; write; timeout; slow; flaky }
 
 let read_file path =
   let ic = open_in_bin path in
@@ -67,15 +68,19 @@ let test_error_context () =
 
 let test_spec_parse () =
   (match Faultinject.parse "solver@3,worker@1" with
-  | Ok { solver = Some 3; worker = Some 1; write = None } -> ()
+  | Ok { solver = Some 3; worker = Some 1; write = None; _ } -> ()
   | Ok s -> Alcotest.failf "mis-parsed: %s" (Faultinject.to_string s)
   | Error e -> Alcotest.fail e);
   (match Faultinject.parse " write@2 " with
-  | Ok { write = Some 2; solver = None; worker = None } -> ()
+  | Ok { write = Some 2; solver = None; worker = None; _ } -> ()
   | Ok s -> Alcotest.failf "mis-parsed: %s" (Faultinject.to_string s)
   | Error e -> Alcotest.fail e);
   (match Faultinject.parse "worker@0" with
   | Ok { worker = Some 0; _ } -> ()
+  | Ok s -> Alcotest.failf "mis-parsed: %s" (Faultinject.to_string s)
+  | Error e -> Alcotest.fail e);
+  (match Faultinject.parse "timeout@2,slow@1,flaky@3:2" with
+  | Ok { timeout = Some 2; slow = Some 1; flaky = Some (3, 2); _ } -> ()
   | Ok s -> Alcotest.failf "mis-parsed: %s" (Faultinject.to_string s)
   | Error e -> Alcotest.fail e);
   let rejects s =
@@ -88,10 +93,16 @@ let test_spec_parse () =
   rejects "write@-1";
   rejects "disk@3";
   rejects "solver";
-  rejects "solver@x"
+  rejects "solver@x";
+  rejects "timeout@-1";
+  rejects "slow@x";
+  rejects "flaky@1";
+  rejects "flaky@1:0";
+  rejects "flaky@-1:2";
+  rejects "flaky@1:2:3"
 
 let test_spec_roundtrip () =
-  let s = spec ~solver:2 ~worker:0 ~write:5 () in
+  let s = spec ~solver:2 ~worker:0 ~write:5 ~timeout:1 ~slow:3 ~flaky:(2, 4) () in
   match Faultinject.parse (Faultinject.to_string s) with
   | Ok s' ->
       Alcotest.(check string)
@@ -334,8 +345,11 @@ let test_corrupt_journal_recomputes () =
               ~step:chained_step xs)
       in
       (* Crash on chunk 1 to leave a real journal (chunk 0 completed),
-         then vandalise it: garbage lines, bad hex, undecodable payloads
-         and a torn tail must all be skipped silently. *)
+         then vandalise its tail: a garbage line, a v2 line with a wrong
+         digest, one with a wrong length prefix, and a torn half-line.
+         Loading must stop at the first bad line, warn, physically
+         truncate the file to the surviving prefix, and recompute the
+         lost chunks. *)
       Faultinject.arm (spec ~worker:1 ());
       (match
          Po_error.capture (fun () ->
@@ -354,11 +368,53 @@ let test_corrupt_journal_recomputes () =
         | Some f -> Filename.concat dir f
         | None -> Alcotest.fail "no journal left by the crashed run"
       in
+      let good_prefix = read_file journal in
       let oc =
         open_out_gen [ Open_append; Open_binary ] 0o644 journal
       in
-      output_string oc "not a journal line\nv1 0 zz-not-hex\nv1 3 0102\nv1 2";
+      output_string oc
+        "not a journal line\n\
+         v2 1 4 0123456789abcdef 0102\n\
+         v2 2 8 0000000000000000 0102\n\
+         v2 2";
       close_out oc;
+      let warnings_before = Warnings.count () in
+      (* Resume with a crash armed on the last chunk: the load truncates
+         the journal, chunk 1 recomputes and re-journals, chunk 2
+         crashes — leaving the rewritten journal behind for
+         inspection. *)
+      Faultinject.arm (spec ~worker:2 ());
+      (match
+         Po_error.capture (fun () ->
+             Common.with_figure_scope "guardbad" (fun () ->
+                 Common.sweep_chained ~chunk_size:4 (params true)
+                   ~step:chained_step xs))
+       with
+      | Error { kind = Po_error.Worker_crash { chunk = 2; _ }; _ } -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+      | Ok _ -> Alcotest.fail "armed worker site did not fire");
+      Faultinject.disarm ();
+      Alcotest.(check bool)
+        "torn tail was reported" true
+        (Warnings.count () > warnings_before);
+      (* The load rewrote the journal to its valid prefix before the
+         resumed sweep appended the recomputed chunk, so the surviving
+         file starts with exactly the prefix and holds no wreckage. *)
+      let rewritten = read_file journal in
+      Alcotest.(check bool)
+        "journal was truncated to the valid prefix" true
+        (String.length rewritten >= String.length good_prefix
+        && String.sub rewritten 0 (String.length good_prefix) = good_prefix);
+      let contains_garbage =
+        let needle = "not a journal line" in
+        let n = String.length needle and m = String.length rewritten in
+        let rec scan i =
+          i + n <= m && (String.sub rewritten i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) "no garbage survives the rewrite" false
+        contains_garbage;
       let resumed =
         Common.with_figure_scope "guardbad" (fun () ->
             Common.sweep_chained ~chunk_size:4 (params true)

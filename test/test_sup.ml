@@ -1,0 +1,514 @@
+(* Supervised-execution suite (DESIGN.md §13): cooperative budgets and
+   cancellation, deterministic bounded retries under transient faults,
+   the circuit breaker's graceful degradation, the per-chunk watchdog,
+   fault-spec merge precedence, pool reuse after repeated crashes, and
+   concurrent Warnings access from worker domains. *)
+
+open Po_guard
+
+let with_disarm f = Fun.protect ~finally:(fun () -> Faultinject.disarm ()) f
+
+let spec ?solver ?worker ?write ?timeout ?slow ?flaky () =
+  { Faultinject.solver; worker; write; timeout; slow; flaky }
+
+let silence_warnings f =
+  Warnings.set_handler ignore;
+  Fun.protect
+    ~finally:(fun () -> Warnings.set_handler prerr_endline)
+    f
+
+(* Bit-level equality: the retry contract is bit-identity, not
+   approximate agreement. *)
+let check_bits msg expected actual =
+  Alcotest.(check (array int64))
+    msg
+    (Array.map Int64.bits_of_float expected)
+    (Array.map Int64.bits_of_float actual)
+
+let chained_step prev x =
+  (0.5 *. Option.value prev ~default:1.) +. sqrt (x +. 1.)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec scan i =
+    i + n <= m && (String.sub haystack i n = needle || scan (i + 1))
+  in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_deadline () =
+  match
+    Po_error.capture (fun () ->
+        let b = Po_sup.Budget.start ~deadline:0.005 () in
+        Po_obs.Clock.sleep_s 0.02;
+        Alcotest.(check bool) "expired" true (Po_sup.Budget.expired b);
+        (match Po_sup.Budget.remaining b with
+        | Some r -> Alcotest.(check (float 0.)) "remaining clamps to 0" 0. r
+        | None -> Alcotest.fail "bounded budget reports no remaining");
+        Po_sup.Budget.check b)
+  with
+  | Error { kind = Po_error.Deadline_exceeded { elapsed; budget }; _ } ->
+      Alcotest.(check bool) "elapsed past budget" true (elapsed >= budget);
+      Alcotest.(check (float 1e-9)) "allowance recorded" 0.005 budget
+  | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+  | Ok () -> Alcotest.fail "expired budget did not raise"
+
+let test_budget_cancel () =
+  let b = Po_sup.Budget.start () in
+  Po_sup.Budget.check b;
+  Alcotest.(check bool) "not cancelled yet" false (Po_sup.Budget.cancelled b);
+  Po_sup.Budget.cancel b ~reason:"user interrupt";
+  Po_sup.Budget.cancel b ~reason:"second call is idempotent";
+  Alcotest.(check bool) "cancelled" true (Po_sup.Budget.cancelled b);
+  match Po_error.capture (fun () -> Po_sup.Budget.check b) with
+  | Error { kind = Po_error.Cancelled reason; _ } ->
+      Alcotest.(check string) "first reason wins" "user interrupt" reason
+  | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+  | Ok () -> Alcotest.fail "cancelled budget did not raise"
+
+let test_budget_unbounded () =
+  let b = Po_sup.Budget.start () in
+  Po_sup.Budget.check b;
+  Alcotest.(check bool) "never expires" false (Po_sup.Budget.expired b);
+  (match Po_sup.Budget.remaining b with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unbounded budget reports remaining");
+  Po_sup.Budget.check_opt None
+
+let test_budget_validation () =
+  match
+    Po_error.capture (fun () -> Po_sup.Budget.start ~deadline:0. ())
+  with
+  | Error { kind = Po_error.Invalid_scenario _; _ } -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+  | Ok _ -> Alcotest.fail "non-positive deadline accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Policy, breaker, watchdog state machines                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_validation () =
+  Alcotest.(check bool)
+    "default is inactive" false
+    (Po_sup.Supervise.is_active Po_sup.Supervise.default);
+  Alcotest.(check bool)
+    "retries activate" true
+    (Po_sup.Supervise.is_active (Po_sup.Supervise.v ~retries:1 ()));
+  Alcotest.(check bool)
+    "a watchdog activates" true
+    (Po_sup.Supervise.is_active (Po_sup.Supervise.v ~chunk_timeout:1. ()));
+  let rejects label f =
+    match Po_error.capture f with
+    | Error { kind = Po_error.Invalid_scenario _; _ } -> ()
+    | Error e ->
+        Alcotest.failf "%s: wrong error: %s" label (Po_error.to_string e)
+    | Ok _ -> Alcotest.failf "%s accepted" label
+  in
+  rejects "negative retries" (fun () ->
+      Po_sup.Supervise.v ~retries:(-1) ());
+  rejects "zero breaker threshold" (fun () ->
+      Po_sup.Supervise.v ~breaker_threshold:0 ());
+  rejects "non-positive chunk timeout" (fun () ->
+      Po_sup.Supervise.v ~chunk_timeout:0. ())
+
+let test_breaker_machine () =
+  let b = Po_sup.Breaker.create ~threshold:2 in
+  Alcotest.(check bool) "starts closed" false (Po_sup.Breaker.tripped b);
+  Alcotest.(check bool)
+    "first failure stays closed" false
+    (Po_sup.Breaker.record_failure b);
+  Po_sup.Breaker.record_success b;
+  Alcotest.(check int)
+    "success resets the streak" 0
+    (Po_sup.Breaker.consecutive_failures b);
+  ignore (Po_sup.Breaker.record_failure b);
+  Alcotest.(check bool)
+    "threshold-th consecutive failure trips" true
+    (Po_sup.Breaker.record_failure b);
+  Alcotest.(check bool) "open" true (Po_sup.Breaker.tripped b);
+  Po_sup.Breaker.record_success b;
+  Alcotest.(check bool)
+    "an open breaker stays open" true
+    (Po_sup.Breaker.tripped b);
+  Po_sup.Breaker.reset b;
+  Alcotest.(check bool) "reset closes it" false (Po_sup.Breaker.tripped b)
+
+let test_watchdog_machine () =
+  let w = Po_sup.Watchdog.create ~limit:0.5 in
+  Po_sup.Watchdog.check w ~chunk:3 ~elapsed:0.4;
+  Po_sup.Watchdog.check_opt None ~chunk:3 ~elapsed:99.;
+  match
+    Po_error.capture (fun () ->
+        Po_sup.Watchdog.check w ~chunk:3 ~elapsed:0.6)
+  with
+  | Error { kind = Po_error.Chunk_timeout { chunk = 3; elapsed; limit }; _ }
+    ->
+      Alcotest.(check (float 1e-9)) "elapsed recorded" 0.6 elapsed;
+      Alcotest.(check (float 1e-9)) "limit recorded" 0.5 limit
+  | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+  | Ok () -> Alcotest.fail "over-limit chunk not flagged"
+
+let test_retryable_classification () =
+  let yes k = Alcotest.(check bool) "retryable" true (Po_sup.Supervise.retryable k)
+  and no k = Alcotest.(check bool) "not retryable" false (Po_sup.Supervise.retryable k) in
+  yes (Po_error.Worker_crash { chunk = 0; exn = Not_found });
+  yes (Po_error.Chunk_timeout { chunk = 0; elapsed = 1.; limit = 0.5 });
+  no (Po_error.Deadline_exceeded { elapsed = 1.; budget = 0.5 });
+  no (Po_error.Cancelled "reason");
+  no (Po_error.No_bracket "no sign change");
+  no (Po_error.Non_convergence { residual = 1.; iterations = 7 });
+  no (Po_error.Invalid_scenario "bad weights");
+  no (Po_error.Io_failure { path = "/x"; reason = "enospc" })
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic retries                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* flaky@2:2 crashes chunk 2 twice, then succeeds; with [retries = 2]
+   every run must complete and be bit-identical to the fault-free
+   sweep for any worker count. *)
+let test_flaky_retry_bit_identity () =
+  with_disarm (fun () ->
+      let xs = Array.init 37 float_of_int in
+      let clean =
+        Po_par.Pool.chain_map ~chunk_size:5 None ~step:chained_step xs
+      in
+      let faulted jobs =
+        Faultinject.arm (spec ~flaky:(2, 2) ());
+        let run pool =
+          Po_par.Pool.chain_map ~chunk_size:5
+            ~sup:(Po_sup.Supervise.v ~retries:2 ())
+            pool ~step:chained_step xs
+        in
+        let r =
+          if jobs <= 1 then run None
+          else Po_par.Pool.with_pool ~domains:jobs (fun p -> run (Some p))
+        in
+        Faultinject.disarm ();
+        r
+      in
+      check_bits "retried run matches fault-free (jobs 1)" clean (faulted 1);
+      check_bits "retried run matches fault-free (jobs 4)" clean (faulted 4))
+
+let test_retries_exhausted_fail_typed () =
+  with_disarm (fun () ->
+      let xs = Array.init 12 float_of_int in
+      (* A persistent crash outlives any retry count; without
+         degradation the sweep must fail with the typed crash. *)
+      Faultinject.arm (spec ~worker:1 ());
+      match
+        Po_error.capture (fun () ->
+            Po_par.Pool.chunk_map ~chunk_size:4
+              ~sup:
+                (Po_sup.Supervise.v ~retries:2 ~degrade:false
+                   ~breaker_threshold:10 ())
+              None ~f:sqrt xs)
+      with
+      | Error { kind = Po_error.Worker_crash { chunk = 1; _ }; _ } -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+      | Ok _ -> Alcotest.fail "persistent crash survived retries")
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker and graceful degradation                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_breaker_degrades_and_completes () =
+  with_disarm (fun () ->
+      silence_warnings (fun () ->
+          let xs = Array.init 20 float_of_int in
+          let clean =
+            Po_par.Pool.chain_map ~chunk_size:4 None ~step:chained_step xs
+          in
+          (* Three transient crashes at chunk 1: two attempts trip the
+             breaker (threshold 2), the third fails once more in the
+             degraded phase, then the retry completes the figure. *)
+          Faultinject.arm (spec ~flaky:(1, 3) ());
+          let before = Warnings.count () in
+          let r =
+            Po_par.Pool.chain_map ~chunk_size:4
+              ~sup:(Po_sup.Supervise.v ~retries:1 ~breaker_threshold:2 ())
+              None ~step:chained_step xs
+          in
+          check_bits "degraded figure completes bit-identically" clean r;
+          Alcotest.(check bool)
+            "breaker warning emitted" true
+            (Warnings.count () > before);
+          Alcotest.(check bool)
+            "warning names the breaker" true
+            (List.exists
+               (fun m -> contains m "circuit breaker")
+               (Warnings.drain ()))))
+
+let test_timeout_site_degrades () =
+  with_disarm (fun () ->
+      silence_warnings (fun () ->
+          let xs = Array.init 20 float_of_int in
+          let clean = Array.map sqrt xs in
+          (* timeout@1 reports chunk 1 stuck on every parallel attempt;
+             degradation must absorb it because the degraded serial
+             phase is not subject to the watchdog. *)
+          Faultinject.arm (spec ~timeout:1 ());
+          let r =
+            Po_par.Pool.chunk_map ~chunk_size:4
+              ~sup:
+                (Po_sup.Supervise.v ~retries:1 ~breaker_threshold:2
+                   ~chunk_timeout:30. ())
+              None ~f:sqrt xs
+          in
+          check_bits "figure survives a stuck chunk" clean r))
+
+let test_timeout_fails_fast_without_degrade () =
+  with_disarm (fun () ->
+      let xs = Array.init 12 float_of_int in
+      Faultinject.arm (spec ~timeout:1 ());
+      match
+        Po_error.capture (fun () ->
+            Po_par.Pool.chunk_map ~chunk_size:4
+              ~sup:(Po_sup.Supervise.v ~degrade:false ~chunk_timeout:30. ())
+              None ~f:sqrt xs)
+      with
+      | Error { kind = Po_error.Chunk_timeout { chunk = 1; _ }; _ } -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+      | Ok _ -> Alcotest.fail "armed timeout site did not fire")
+
+let test_watchdog_flags_slow_chunk () =
+  with_disarm (fun () ->
+      silence_warnings (fun () ->
+          let xs = Array.init 12 float_of_int in
+          let clean = Array.map sqrt xs in
+          (* slow@1 really sleeps past the watchdog limit, exercising
+             the elapsed-time path end to end; the breaker then routes
+             the chunk to the degraded phase, where the slow site is
+             suppressed. *)
+          Faultinject.arm (spec ~slow:1 ());
+          let before = Warnings.count () in
+          let r =
+            Po_par.Pool.chunk_map ~chunk_size:4
+              ~sup:
+                (Po_sup.Supervise.v ~breaker_threshold:1 ~chunk_timeout:0.02
+                   ())
+              None ~f:sqrt xs
+          in
+          check_bits "slow chunk recovered" clean r;
+          Alcotest.(check bool)
+            "degradation warned" true
+            (Warnings.count () > before)))
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines and cancellation through the sweep and the solvers       *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_deadline_surfaces () =
+  let xs = Array.init 40 float_of_int in
+  let b = Po_sup.Budget.start ~deadline:0.005 () in
+  Po_obs.Clock.sleep_s 0.02;
+  match
+    Po_error.capture (fun () ->
+        Po_par.Pool.chain_map ~chunk_size:4
+          ~sup:(Po_sup.Supervise.v ~budget:b ())
+          None ~step:chained_step xs)
+  with
+  | Error { kind = Po_error.Deadline_exceeded _; _ } -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+  | Ok _ -> Alcotest.fail "expired budget did not stop the sweep"
+
+let test_sweep_cancellation () =
+  let xs = Array.init 40 float_of_int in
+  let b = Po_sup.Budget.start () in
+  let step prev x =
+    if x >= 4. then Po_sup.Budget.cancel b ~reason:"operator abort";
+    chained_step prev x
+  in
+  match
+    Po_error.capture (fun () ->
+        Po_par.Pool.chain_map ~chunk_size:4
+          ~sup:(Po_sup.Supervise.v ~budget:b ())
+          None ~step xs)
+  with
+  | Error { kind = Po_error.Cancelled reason; _ } ->
+      Alcotest.(check string) "reason travels" "operator abort" reason
+  | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+  | Ok _ -> Alcotest.fail "cancellation did not stop the sweep"
+
+let test_equilibrium_budget_frames () =
+  let cps =
+    Po_experiments.Common.ensemble Po_experiments.Common.quick_params
+  in
+  let nu = 0.5 *. Po_workload.Ensemble.saturation_nu cps in
+  let b = Po_sup.Budget.start ~deadline:0.004 () in
+  Po_obs.Clock.sleep_s 0.02;
+  match
+    Po_error.capture (fun () ->
+        Po_model.Equilibrium.solve ~budget:b ~nu cps)
+  with
+  | Error { kind = Po_error.Deadline_exceeded _; context } ->
+      Alcotest.(check bool)
+        "solver frame attached" true
+        (List.mem_assoc "solver" context)
+  | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+  | Ok _ -> Alcotest.fail "expired budget did not stop the solve"
+
+let test_cp_game_budget_frames () =
+  let cps =
+    Po_experiments.Common.ensemble Po_experiments.Common.quick_params
+  in
+  let nu = 0.5 *. Po_workload.Ensemble.saturation_nu cps in
+  let strategy = Po_core.Strategy.make ~kappa:0.4 ~c:0.3 in
+  let b = Po_sup.Budget.start ~deadline:0.004 () in
+  Po_obs.Clock.sleep_s 0.02;
+  match
+    Po_error.capture (fun () ->
+        Po_core.Cp_game.solve ~budget:b ~nu ~strategy cps)
+  with
+  | Error { kind = Po_error.Deadline_exceeded _; context } ->
+      Alcotest.(check bool)
+        "game solver frames attached" true
+        (List.mem_assoc "solver" context
+        && List.mem_assoc "strategy" context)
+  | Error e -> Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+  | Ok _ -> Alcotest.fail "expired budget did not stop the game solve"
+
+let test_completed_run_unchanged_by_budget () =
+  let cps =
+    Po_experiments.Common.ensemble Po_experiments.Common.quick_params
+  in
+  let nu = 0.5 *. Po_workload.Ensemble.saturation_nu cps in
+  let free = Po_model.Equilibrium.solve ~nu cps in
+  let b = Po_sup.Budget.start ~deadline:3600. () in
+  let bounded = Po_model.Equilibrium.solve ~budget:b ~nu cps in
+  check_bits "a generous budget never changes the output" free.theta
+    bounded.theta
+
+(* ------------------------------------------------------------------ *)
+(* Fault-spec merge precedence (--inject vs PONET_INJECT)             *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_precedence () =
+  let parse s =
+    match Faultinject.parse s with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "parse %S: %s" s m
+  in
+  (* base = environment (PONET_INJECT), override = the --inject flag:
+     sites named by the flag win; sites it leaves unset fall back to
+     the environment. *)
+  let base = parse "worker@1,flaky@2:3,slow@4" in
+  let override = parse "worker@5,timeout@0" in
+  let m = Faultinject.merge ~base ~override in
+  Alcotest.(check (option int)) "flag wins per site" (Some 5) m.worker;
+  Alcotest.(check (option int)) "flag-only site kept" (Some 0) m.timeout;
+  Alcotest.(check (option (pair int int)))
+    "env fills unset sites" (Some (2, 3)) m.flaky;
+  Alcotest.(check (option int)) "env-only site kept" (Some 4) m.slow;
+  Alcotest.(check (option int)) "absent stays absent" None m.solver;
+  Alcotest.(check (option int)) "absent stays absent" None m.write;
+  (* The merged spec round-trips through the concrete syntax. *)
+  let reparsed = parse (Faultinject.to_string m) in
+  Alcotest.(check (option int)) "roundtrip worker" m.worker reparsed.worker;
+  Alcotest.(check (option (pair int int)))
+    "roundtrip flaky" m.flaky reparsed.flaky
+
+(* ------------------------------------------------------------------ *)
+(* Pool robustness under repeated crashes; concurrent Warnings        *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_reuse_after_repeated_crashes () =
+  with_disarm (fun () ->
+      let xs = Array.init 23 float_of_int in
+      let expected = Array.map sqrt xs in
+      let exercise domains =
+        Po_par.Pool.with_pool ~domains (fun p ->
+            for _round = 1 to 3 do
+              Faultinject.arm (spec ~worker:1 ());
+              (match
+                 Po_error.capture (fun () ->
+                     Po_par.Pool.chunk_map ~chunk_size:4 (Some p) ~f:sqrt xs)
+               with
+              | Error { kind = Po_error.Worker_crash { chunk = 1; _ }; _ } ->
+                  ()
+              | Error e ->
+                  Alcotest.failf "wrong error: %s" (Po_error.to_string e)
+              | Ok _ -> Alcotest.fail "armed worker site did not fire");
+              Faultinject.disarm ();
+              check_bits "pool still computes after the crash" expected
+                (Po_par.Pool.chunk_map ~chunk_size:4 (Some p) ~f:sqrt xs)
+            done)
+      in
+      (* Serial degenerate pool, then strictly more jobs than the
+         machine recommends — oversubscription must not change the
+         failure or recovery semantics. *)
+      exercise 1;
+      exercise (Po_par.Pool.default_domains () + 2))
+
+let test_concurrent_warnings_from_workers () =
+  silence_warnings (fun () ->
+      ignore (Warnings.drain ());
+      let before = Warnings.count () in
+      let drained = Atomic.make 0 in
+      let xs = Array.init 64 Fun.id in
+      Po_par.Pool.with_pool ~domains:4 (fun p ->
+          ignore
+            (Po_par.Pool.chunk_map ~chunk_size:1 (Some p)
+               ~f:(fun i ->
+                 Warnings.emit (Printf.sprintf "w%d" i);
+                 if i mod 8 = 0 then
+                   ignore
+                     (Atomic.fetch_and_add drained
+                        (List.length (Warnings.drain ())));
+                 i)
+               xs));
+      let tail = List.length (Warnings.drain ()) in
+      Alcotest.(check int)
+        "every emission counted" 64
+        (Warnings.count () - before);
+      Alcotest.(check int)
+        "drains partition the emissions" 64
+        (Atomic.get drained + tail))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "po_sup"
+    [ ( "budget",
+        [ quick "deadline expiry is typed" test_budget_deadline;
+          quick "cancellation wins and is idempotent" test_budget_cancel;
+          quick "unbounded budget never expires" test_budget_unbounded;
+          quick "non-positive deadline rejected" test_budget_validation ] );
+      ( "policy",
+        [ quick "validation and activation" test_policy_validation;
+          quick "breaker state machine" test_breaker_machine;
+          quick "watchdog state machine" test_watchdog_machine;
+          quick "retryable classification" test_retryable_classification ] );
+      ( "retries",
+        [ quick "flaky retries are bit-identical"
+            test_flaky_retry_bit_identity;
+          quick "persistent crash still fails typed"
+            test_retries_exhausted_fail_typed ] );
+      ( "breaker",
+        [ quick "trip degrades and completes the figure"
+            test_breaker_degrades_and_completes;
+          quick "stuck chunk degrades" test_timeout_site_degrades;
+          quick "no-degrade fails fast with chunk timeout"
+            test_timeout_fails_fast_without_degrade;
+          quick "watchdog flags a genuinely slow chunk"
+            test_watchdog_flags_slow_chunk ] );
+      ( "deadline",
+        [ quick "sweep deadline surfaces typed" test_sweep_deadline_surfaces;
+          quick "sweep cancellation surfaces typed" test_sweep_cancellation;
+          quick "equilibrium budget carries frames"
+            test_equilibrium_budget_frames;
+          quick "cp game budget carries frames" test_cp_game_budget_frames;
+          quick "completing runs are budget-invariant"
+            test_completed_run_unchanged_by_budget ] );
+      ( "inject",
+        [ quick "flag wins per site, env fills unset"
+            test_merge_precedence ] );
+      ( "pool",
+        [ quick "reuse after repeated crashes"
+            test_pool_reuse_after_repeated_crashes;
+          quick "concurrent warnings from workers"
+            test_concurrent_warnings_from_workers ] ) ]
