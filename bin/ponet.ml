@@ -6,7 +6,10 @@
      ponet claims                   run the theorem audits
      ponet regimes [...]            compare regulatory regimes
      ponet simulate [...]           run the AIMD bottleneck simulation
-     ponet bench-diff <a> <b>       gate on benchmark regressions *)
+     ponet bench-diff <a> <b>       gate on benchmark regressions
+     ponet serve [...]              long-lived scenario-query daemon
+     ponet query <json>             answer one request without a daemon
+     ponet loadgen [...]            seeded load generator for the daemon *)
 
 open Cmdliner
 
@@ -330,11 +333,19 @@ let regimes_cmd =
       & info [ "po-share" ] ~docv:"S"
           ~doc:"Capacity share carved out for the Public Option ISP.")
   in
+  (* The solve goes through [Po_serve.Engine] — the same code path the
+     daemon batches — so this table and a daemon [regimes] answer can
+     never disagree. *)
   let run params nu_frac po_share =
-    let cps = Po_experiments.Common.ensemble params in
-    let nu = nu_frac *. Po_workload.Ensemble.saturation_nu cps in
+    let sc =
+      { Po_serve.Request.n_cps = params.Po_experiments.Common.n_cps;
+        seed = params.Po_experiments.Common.seed; nu_frac }
+    in
+    let out =
+      Po_serve.Engine.regimes ~sc ~po_share ~levels:2 ~points:9 ()
+    in
     Printf.printf "%d CPs, nu = %.2f (%.0f%% of saturation)\n"
-      (Array.length cps) nu (100. *. nu_frac);
+      out.Po_serve.Engine.n_cps out.Po_serve.Engine.nu (100. *. nu_frac);
     List.iter
       (fun (r : Po_core.Public_option.regime_result) ->
         Printf.printf "  %-34s Phi = %10.4f  Psi = %10.4f%s%s\n"
@@ -346,8 +357,7 @@ let regimes_cmd =
           (match r.Po_core.Public_option.market_share with
           | Some m -> Printf.sprintf "  m_I=%.4f" m
           | None -> ""))
-      (Po_core.Public_option.compare_regimes ~po_share ~levels:2 ~points:9
-         ~nu cps)
+      out.Po_serve.Engine.results
   in
   Cmd.v
     (Cmd.info "regimes" ~doc:"Compare regulatory regimes on one market")
@@ -361,10 +371,17 @@ let welfare_cmd =
           ~doc:"Per-capita capacity as a fraction of saturation.")
   in
   let run params nu_frac =
-    let cps = Po_experiments.Common.ensemble params in
-    let nu = nu_frac *. Po_workload.Ensemble.saturation_nu cps in
+    let sc =
+      { Po_serve.Request.n_cps = params.Po_experiments.Common.n_cps;
+        seed = params.Po_experiments.Common.seed; nu_frac }
+    in
+    let out =
+      Po_serve.Engine.welfare
+        ?pool:(Po_experiments.Common.pool params)
+        ~sc ~po_share:0.5 ~levels:2 ~points:7 ()
+    in
     Printf.printf "%d CPs, nu = %.2f (%.0f%% of saturation)\n"
-      (Array.length cps) nu (100. *. nu_frac);
+      out.Po_serve.Engine.w_n_cps out.Po_serve.Engine.w_nu (100. *. nu_frac);
     Printf.printf "%-34s %12s %12s %12s %12s\n" "regime" "consumer" "isp"
       "cp" "total";
     List.iter
@@ -372,9 +389,7 @@ let welfare_cmd =
         Printf.printf "%-34s %12.4f %12.4f %12.4f %12.4f\n" label
           w.Po_core.Welfare.consumer w.Po_core.Welfare.isp
           w.Po_core.Welfare.cp w.Po_core.Welfare.total)
-      (Po_core.Welfare.regime_table
-         ?pool:(Po_experiments.Common.pool params)
-         ~levels:2 ~points:7 ~nu cps)
+      out.Po_serve.Engine.rows
   in
   Cmd.v
     (Cmd.info "welfare"
@@ -593,6 +608,240 @@ let simulate_cmd =
        ~doc:"Run the packet-level AIMD simulation against the model")
     Term.(const run $ nu $ churn)
 
+let serve_cmd =
+  let default = Po_serve.Server.default_config in
+  let socket =
+    Arg.(
+      value & opt string default.Po_serve.Server.socket_path
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket to listen on (a stale file is replaced).")
+  in
+  let domains =
+    Arg.(
+      value & opt int default.Po_serve.Server.domains
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for batch evaluation; answers are \
+             byte-identical for any value.")
+  in
+  let queue =
+    Arg.(
+      value & opt int default.Po_serve.Server.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound; requests beyond it are shed with a \
+             typed 'overloaded' response.")
+  in
+  let batch =
+    Arg.(
+      value & opt int default.Po_serve.Server.batch_max
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Maximum requests drained per dispatch round.")
+  in
+  let cache =
+    Arg.(
+      value & opt int default.Po_serve.Server.cache_capacity
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Solve-cache entries (LRU); 0 disables caching.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) default.Po_serve.Server.default_deadline_s
+      & info [ "default-deadline" ] ~docv:"SECS"
+          ~doc:
+            "Budget applied to requests that carry no deadline_s of \
+             their own.")
+  in
+  let max_bytes =
+    Arg.(
+      value & opt int default.Po_serve.Server.max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Reject (and close) request lines longer than $(docv).")
+  in
+  let access_log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:"Append one JSON line per request to $(docv).")
+  in
+  let snapshot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Export a po-serve-metrics-v1 document (metrics snapshot \
+             plus run manifest) to $(docv) on graceful shutdown.")
+  in
+  let hold =
+    Arg.(
+      value & opt float 0.
+      & info [ "hold" ] ~docv:"SECS"
+          ~doc:
+            "Testing hook: pause the dispatcher $(docv) seconds before \
+             each batch, so overload behaviour can be exercised \
+             deterministically.")
+  in
+  let run socket_path domains queue_capacity batch_max cache_capacity
+      default_deadline_s max_request_bytes access_log snapshot_path hold_s =
+    let cfg =
+      { Po_serve.Server.socket_path; domains = max 1 domains;
+        queue_capacity = max 1 queue_capacity; batch_max = max 1 batch_max;
+        cache_capacity; default_deadline_s; max_request_bytes;
+        access_log; snapshot_path; hold_s }
+    in
+    Printf.printf "ponet serve: listening on %s (domains=%d queue=%d)\n"
+      cfg.Po_serve.Server.socket_path cfg.Po_serve.Server.domains
+      cfg.Po_serve.Server.queue_capacity;
+    (* The line must be visible before the blocking accept loop: CI and
+       scripts wait for it to know the socket is ready. *)
+    flush stdout;
+    (match Po_serve.Server.run cfg with
+    | () -> ()
+    | exception Unix.Unix_error (e, fn, arg) ->
+        Printf.eprintf "ponet serve: %s: %s %s\n" (Unix.error_message e) fn
+          arg;
+        exit 1);
+    Printf.printf "ponet serve: drained and stopped\n"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the long-lived scenario-query daemon"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Listens on a Unix-domain socket for newline-delimited JSON \
+              requests (equilibrium, surplus, regime comparison, welfare, \
+              figure points), batches them onto a domain pool, answers \
+              repeats from an LRU solve cache byte-identically, and sheds \
+              load past the admission bound with typed 'overloaded' \
+              responses.  SIGTERM/SIGINT drain every admitted request \
+              before the process exits." ])
+    Term.(
+      const run $ socket $ domains $ queue $ batch $ cache $ deadline
+      $ max_bytes $ access_log $ snapshot $ hold)
+
+let query_cmd =
+  let line =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "One wire-protocol JSON request line, e.g. \
+             '{\"query\":\"regimes\",\"params\":{\"n_cps\":100}}'.")
+  in
+  (* Exactly the daemon's pipeline — parse, budget, [Engine.eval],
+     render — minus the socket: the printed line is byte-identical to
+     the daemon's answer for the same request. *)
+  let run line =
+    match Po_serve.Request.of_line line with
+    | Error e ->
+        print_endline (Po_serve.Request.response_line (Error e));
+        exit 1
+    | Ok req ->
+        let budget =
+          Option.map
+            (fun d -> Po_sup.Budget.start ~deadline:d ())
+            req.Po_serve.Request.deadline_s
+        in
+        let resp =
+          Po_serve.Engine.eval ?budget req.Po_serve.Request.query
+        in
+        print_endline (Po_serve.Request.response_line resp);
+        (match resp with Ok _ -> () | Error _ -> exit 1)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Answer one serve-protocol request without a daemon")
+    Term.(const run $ line)
+
+let loadgen_cmd =
+  let default = Po_serve.Loadgen.default_config in
+  let socket =
+    Arg.(
+      value & opt string default.Po_serve.Loadgen.socket_path
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Socket of the daemon under load.")
+  in
+  let requests =
+    Arg.(
+      value & opt int default.Po_serve.Loadgen.requests
+      & info [ "n"; "requests" ] ~docv:"N"
+          ~doc:"Total requests across all clients.")
+  in
+  let clients =
+    Arg.(
+      value & opt int default.Po_serve.Loadgen.clients
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let seed =
+    Arg.(
+      value & opt int default.Po_serve.Loadgen.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Root seed of the request stream; equal seeds send equal \
+             per-client request sequences.")
+  in
+  let scenarios =
+    Arg.(
+      value & opt int default.Po_serve.Loadgen.scenarios
+      & info [ "scenarios" ] ~docv:"N"
+          ~doc:
+            "Distinct scenario pool size; repeats exercise the daemon's \
+             solve cache.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) default.Po_serve.Loadgen.deadline_s
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Per-request deadline attached to every solve query.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the po-serve-v1 report to $(docv).")
+  in
+  let run socket_path requests clients seed scenarios deadline_s out_path =
+    let cfg =
+      { Po_serve.Loadgen.socket_path; requests; clients; seed; scenarios;
+        deadline_s; out_path }
+    in
+    match Po_serve.Loadgen.run cfg with
+    | exception Unix.Unix_error (e, fn, arg) ->
+        Printf.eprintf "ponet loadgen: %s: %s %s\n" (Unix.error_message e)
+          fn arg;
+        exit 1
+    | s ->
+        Printf.printf
+          "sent %d  ok %d  errors %d  protocol-errors %d\n\
+           p50 %.2f ms  p99 %.2f ms  max %.2f ms\n\
+           %.1f req/s over %.2f s\n"
+          s.Po_serve.Loadgen.sent s.Po_serve.Loadgen.ok
+          s.Po_serve.Loadgen.errors s.Po_serve.Loadgen.protocol_errors
+          s.Po_serve.Loadgen.p50_ms s.Po_serve.Loadgen.p99_ms
+          s.Po_serve.Loadgen.max_ms s.Po_serve.Loadgen.throughput_rps
+          s.Po_serve.Loadgen.wall_s;
+        List.iter
+          (fun (k, v) -> Printf.printf "  %-24s %d\n" k v)
+          s.Po_serve.Loadgen.server_counters;
+        (match out_path with
+        | Some path -> Printf.printf "wrote %s\n" path
+        | None -> ());
+        if s.Po_serve.Loadgen.protocol_errors > 0 then begin
+          (match s.Po_serve.Loadgen.first_protocol_error with
+          | Some msg -> Printf.eprintf "ponet loadgen: %s\n" msg
+          | None -> ());
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Run the deterministic seeded load generator against a daemon")
+    Term.(
+      const run $ socket $ requests $ clients $ seed $ scenarios $ deadline
+      $ out)
+
 let () =
   let doc =
     "reproduction of 'The Public Option: a Non-regulatory Alternative to \
@@ -603,4 +852,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; fig_cmd; claims_cmd; regimes_cmd; welfare_cmd;
-            ensemble_cmd; simulate_cmd; lint_cmd; bench_diff_cmd ]))
+            ensemble_cmd; simulate_cmd; lint_cmd; bench_diff_cmd; serve_cmd;
+            query_cmd; loadgen_cmd ]))

@@ -26,8 +26,41 @@ let fnv1a s =
   (* Mask to 62 bits so the rendering is identical on any boxing. *)
   Printf.sprintf "%016x" (!h land 0x3fffffffffffffff)
 
+(* Canonical key/value form of the hash.  Pairs are sorted by key so
+   callers cannot perturb the digest by argument order, and the key
+   names participate in the hashed string, so two scenarios that differ
+   only in a field one of them omits ("kappa" present vs absent) can
+   never canonicalise to the same bytes.  Duplicate keys are ambiguous
+   and rejected.  The serve cache (DESIGN.md §14) keys solve results on
+   this digest, so the canonical form is load-bearing: extend it by
+   adding pairs, never by changing the rendering of existing ones. *)
+let params_hash_kv kv =
+  let kv =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) kv
+  in
+  let rec check_dups = function
+    | (a, _) :: ((b, _) :: _ as tl) ->
+        if String.equal a b then
+          invalid_arg ("Manifest.params_hash_kv: duplicate key " ^ a)
+        else check_dups tl
+    | _ -> ()
+  in
+  check_dups kv;
+  List.iter
+    (fun (k, _) ->
+      if String.contains k ';' || String.contains k '=' then
+        invalid_arg ("Manifest.params_hash_kv: key contains ';' or '=': " ^ k))
+    kv;
+  fnv1a (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) kv))
+
+(* The original three-field arity, kept as a thin wrapper.  The sorted
+   canonical form of these keys reproduces the historical rendering
+   "n_cps=..;seed=..;sweep_points=.." byte for byte, so hashes recorded
+   by earlier runs remain comparable. *)
 let params_hash ~n_cps ~seed ~sweep_points =
-  fnv1a (Printf.sprintf "n_cps=%d;seed=%d;sweep_points=%d" n_cps seed sweep_points)
+  params_hash_kv
+    [ ("n_cps", string_of_int n_cps); ("seed", string_of_int seed);
+      ("sweep_points", string_of_int sweep_points) ]
 
 (* "git describe" runs once per armed run, outside any timed region; a
    missing git binary or a non-repo directory degrades to "unknown". *)

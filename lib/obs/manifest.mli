@@ -11,9 +11,22 @@ type t = {
   warnings : int;  (** {!Po_guard.Warnings.count} at export time *)
 }
 
+val params_hash_kv : (string * string) list -> string
+(** Stable (FNV-1a) hash of an arbitrary parameter set given as
+    key/value pairs.  The canonical form sorts pairs by key and hashes
+    ["k=v;k=v;..."], so the digest is independent of argument order and
+    two scenarios that differ only in a field one of them omits (a
+    regime id, [kappa], a weight profile) can never collide by
+    canonicalising to the same bytes.  Keys must be unique and free of
+    [';']/['=']; violations raise [Invalid_argument].  This is the
+    cache-key primitive of the serve subsystem (DESIGN.md §14) as well
+    as the manifest fingerprint. *)
+
 val params_hash : n_cps:int -> seed:int -> sweep_points:int -> string
-(** Stable (FNV-1a) hash of the run parameters — makes accidental
-    parameter drift between two result files visible at a glance. *)
+(** The original three-field arity, now a thin wrapper over
+    {!params_hash_kv} — byte-identical output to the historical
+    rendering, so hashes in previously recorded manifests remain
+    comparable. *)
 
 val make :
   figure:string ->

@@ -1,0 +1,83 @@
+(* A mutex-protected LRU map from cache keys (extended params hashes,
+   see Po_obs.Manifest.params_hash_kv) to rendered response lines.
+
+   Values are the exact bytes the daemon writes to the socket, so a hit
+   is byte-identical to the cold solve that populated it — the
+   bit-identity half of the serve determinism contract (DESIGN.md §14).
+   Recency is tracked with an intrusive doubly-linked list: find and
+   add are O(1) plus the hashtable probe. *)
+
+type node = {
+  key : string;
+  value : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;  (* <= 0 disables the cache entirely *)
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable size : int;
+  m : Mutex.t;
+}
+
+let create ~capacity =
+  { capacity; tbl = Hashtbl.create (max 16 capacity); head = None;
+    tail = None; size = 0; m = Mutex.create () }
+
+let capacity t = t.capacity
+
+let size t = Mutex.protect t.m (fun () -> t.size)
+
+(* Unlink [n] from the recency list (caller holds the mutex). *)
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some nx -> nx.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  if t.capacity <= 0 then None
+  else
+    Mutex.protect t.m (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None -> None
+        | Some n ->
+            unlink t n;
+            push_front t n;
+            Some n.value)
+
+let add t key value =
+  if t.capacity > 0 then
+    Mutex.protect t.m (fun () ->
+        (match Hashtbl.find_opt t.tbl key with
+        | Some old ->
+            (* Replace: same key re-solved (e.g. after an eviction race
+               in a batch) — the value is bit-identical by construction,
+               but keep the latest anyway. *)
+            unlink t old;
+            Hashtbl.remove t.tbl key;
+            t.size <- t.size - 1
+        | None -> ());
+        let n = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.tbl key n;
+        push_front t n;
+        t.size <- t.size + 1;
+        if t.size > t.capacity then
+          match t.tail with
+          | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.tbl lru.key;
+              t.size <- t.size - 1
+          | None -> ())

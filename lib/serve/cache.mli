@@ -1,0 +1,25 @@
+(** The daemon's solve cache: a mutex-protected LRU map from cache keys
+    ({!Po_obs.Manifest.params_hash_kv} digests) to rendered response
+    lines (DESIGN.md §14).
+
+    Values are the exact bytes written to the socket, so a hit is
+    byte-identical to the cold solve that populated the entry.  All
+    operations are O(1) plus the hashtable probe and safe from any
+    thread. *)
+
+type t
+
+val create : capacity:int -> t
+(** A cache holding at most [capacity] entries, evicting the least
+    recently used beyond that.  [capacity <= 0] disables caching:
+    {!find} always misses and {!add} is a no-op. *)
+
+val capacity : t -> int
+val size : t -> int
+
+val find : t -> string -> string option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val add : t -> string -> string -> unit
+(** [add t key value] inserts (or refreshes) an entry, evicting the LRU
+    entry when the cache is over capacity. *)

@@ -1,0 +1,66 @@
+(* Newline-delimited framing over a file descriptor — the transport
+   layer of the serve wire protocol (DESIGN.md §14).
+
+   A reader owns a small carry buffer so a single [Unix.read] can yield
+   several lines (pipelined clients) or a fraction of one (large
+   requests).  Oversized lines are reported as a typed event rather
+   than buffered without bound: the admission layer answers them with
+   an [invalid_request] error and closes the connection, so a
+   misbehaving client cannot grow server memory past [max_bytes]. *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes read but not yet consumed *)
+  chunk : bytes;
+}
+
+type event = Line of string | Oversized | Eof
+
+let reader fd = { fd; buf = Buffer.create 512; chunk = Bytes.create 8192 }
+
+(* Extract the first complete line from the carry buffer, if any. *)
+let take_line r =
+  let s = Buffer.contents r.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+      (* Tolerate CRLF framing from casual clients (socat, telnet). *)
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r'
+        then String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+
+let read_line ?(max_bytes = 1_048_576) r =
+  let rec loop () =
+    match take_line r with
+    | Some line ->
+        if String.length line > max_bytes then Oversized else Line line
+    | None ->
+        if Buffer.length r.buf > max_bytes then Oversized
+        else begin
+          match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+          | 0 -> Eof
+          | n ->
+              Buffer.add_subbytes r.buf r.chunk 0 n;
+              loop ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+              Eof
+        end
+  in
+  loop ()
+
+let write_line fd line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let rec send off =
+    if off < len then
+      let n = Unix.write fd payload off (len - off) in
+      send (off + n)
+  in
+  send 0

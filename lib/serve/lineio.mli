@@ -1,0 +1,27 @@
+(** Newline-delimited framing over Unix file descriptors — the
+    transport layer of the serve wire protocol, shared by the daemon,
+    the load generator and the tests (DESIGN.md §14). *)
+
+type reader
+(** A buffered line reader owning a carry buffer, so pipelined requests
+    and partial reads are both handled.  One reader per descriptor; not
+    thread-safe (each connection has exactly one reading thread). *)
+
+type event =
+  | Line of string  (** one complete line, newline (and any [\r]) stripped *)
+  | Oversized
+      (** the current line exceeded [max_bytes] — the reader stopped
+          buffering; the connection should be answered with a typed
+          error and closed *)
+  | Eof  (** orderly close, or a reset treated as one *)
+
+val reader : Unix.file_descr -> reader
+
+val read_line : ?max_bytes:int -> reader -> event
+(** Block until a full line, end of stream, or the size bound
+    (default 1 MiB) is hit. *)
+
+val write_line : Unix.file_descr -> string -> unit
+(** Write [line ^ "\n"], retrying short writes.  Raises
+    [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone; callers treat
+    that as the end of the connection. *)

@@ -1,0 +1,259 @@
+(* Deterministic load generator for the serve daemon (DESIGN.md §14).
+
+   The request stream is a pure function of the seed: one splitmix
+   stream per client (split off the root in client-index order), a
+   fixed scenario pool of [scenarios] distinct markets, and a fixed
+   query mix drawn per request.  Two runs with the same seed send the
+   same requests in the same per-client order — only the interleaving
+   across clients, and therefore the measured latencies, vary.  The
+   scenario pool is deliberately small so repeats drive the daemon's
+   solve cache. *)
+
+module Clock = Po_obs.Clock
+module Json = Po_obs.Json
+
+type config = {
+  socket_path : string;
+  requests : int;  (* total, spread across clients *)
+  clients : int;
+  seed : int;
+  scenarios : int;  (* distinct scenario pool; repeats hit the cache *)
+  deadline_s : float option;  (* attached to every solve request *)
+  out_path : string option;  (* po-serve-v1 report via Writer *)
+}
+
+let default_config =
+  { socket_path = "ponet.sock"; requests = 200; clients = 4; seed = 42;
+    scenarios = 8; deadline_s = Some 30.; out_path = None }
+
+type summary = {
+  sent : int;
+  ok : int;
+  errors : int;  (* structured error responses (still protocol-valid) *)
+  protocol_errors : int;  (* unparsable replies, early EOF *)
+  first_protocol_error : string option;  (* diagnostic for the above *)
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  wall_s : float;
+  throughput_rps : float;
+  server_counters : (string * int) list;  (* from a final stats query *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request stream                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_of_index i =
+  { Request.n_cps = 20 + (5 * i); seed = 1000 + i; nu_frac = 0.85 }
+
+(* Draw one request: 1/8 pings, the rest solves over the scenario pool
+   with a mix of equilibrium / surplus / regime queries. *)
+let draw_request cfg rng =
+  let query =
+    let k = Po_prng.Splitmix.int rng 8 in
+    if k = 0 then Request.Ping
+    else
+      let sc = scenario_of_index (Po_prng.Splitmix.int rng cfg.scenarios) in
+      match k with
+      | 1 | 2 | 3 -> Request.Equilibrium sc
+      | 4 | 5 -> Request.Surplus sc
+      | _ ->
+          Request.Regimes
+            { sc; po_share = Request.default_po_share;
+              levels = Request.default_levels;
+              points = Request.default_points }
+  in
+  { Request.query; deadline_s = cfg.deadline_s }
+
+(* ------------------------------------------------------------------ *)
+(* Client threads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type client_tally = {
+  mutable c_sent : int;
+  mutable c_ok : int;
+  mutable c_errors : int;
+  mutable c_protocol : int;
+  mutable c_diag : string option;  (* first protocol-error message *)
+  latencies_ms : float array;  (* one slot per request of this client *)
+}
+
+let protocol_failure tally msg =
+  tally.c_protocol <- tally.c_protocol + 1;
+  if tally.c_diag = None then tally.c_diag <- Some msg
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let client_run cfg rng count tally =
+  let fd = connect cfg.socket_path in
+  let reader = Lineio.reader fd in
+  let rec loop i =
+    if i < count then begin
+      let req = draw_request cfg rng in
+      let t0 = Clock.now_s () in
+      Lineio.write_line fd (Json.to_string ~indent:0 (Request.to_json req));
+      tally.c_sent <- tally.c_sent + 1;
+      match Lineio.read_line reader with
+      | Lineio.Eof | Lineio.Oversized ->
+          protocol_failure tally "connection ended before a response"
+      | Lineio.Line line ->
+          tally.latencies_ms.(i) <- (Clock.now_s () -. t0) *. 1000.;
+          (match Request.response_of_line line with
+          | Ok (Ok _) -> tally.c_ok <- tally.c_ok + 1
+          | Ok (Error _) -> tally.c_errors <- tally.c_errors + 1
+          | Error msg -> protocol_failure tally ("unparsable reply: " ^ msg));
+          loop (i + 1)
+    end
+  in
+  let finish () = try Unix.close fd with Unix.Unix_error (_, _, _) -> () in
+  (match loop 0 with
+  | () -> finish ()
+  | exception Unix.Unix_error (e, _, _) ->
+      (* a dropped connection mid-run is a protocol failure, not a crash *)
+      protocol_failure tally ("connection error: " ^ Unix.error_message e);
+      finish ())
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Nearest-rank percentile over the measured (non-zero-slot) latencies. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let fetch_server_counters cfg =
+  match connect cfg.socket_path with
+  | exception Unix.Unix_error (_, _, _) -> []
+  | fd -> (
+      let reader = Lineio.reader fd in
+      let req = { Request.query = Request.Stats; deadline_s = None } in
+      let finish v =
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        v
+      in
+      match
+        Lineio.write_line fd (Json.to_string ~indent:0 (Request.to_json req));
+        Lineio.read_line reader
+      with
+      | exception Unix.Unix_error (_, _, _) -> finish []
+      | Lineio.Eof | Lineio.Oversized -> finish []
+      | Lineio.Line line ->
+          finish
+            (match Request.response_of_line line with
+            | Ok (Ok result) -> (
+                match Json.member "counters" result with
+                | Some (Json.Obj kvs) ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        match Json.to_float v with
+                        | Some f -> Some (k, int_of_float f)
+                        | None -> None)
+                      kvs
+                | Some _ | None -> [])
+            | Ok (Error _) | Error _ -> []))
+
+let summary_json cfg s =
+  Json.Obj
+    [ ("schema", Json.String "po-serve-v1");
+      ("config",
+       Json.Obj
+         [ ("requests", Json.Number (float_of_int cfg.requests));
+           ("clients", Json.Number (float_of_int cfg.clients));
+           ("seed", Json.Number (float_of_int cfg.seed));
+           ("scenarios", Json.Number (float_of_int cfg.scenarios)) ]);
+      ("sent", Json.Number (float_of_int s.sent));
+      ("ok", Json.Number (float_of_int s.ok));
+      ("errors", Json.Number (float_of_int s.errors));
+      ("protocol_errors", Json.Number (float_of_int s.protocol_errors));
+      ("first_protocol_error",
+       match s.first_protocol_error with
+       | None -> Json.Null
+       | Some msg -> Json.String msg);
+      ("latency_ms",
+       Json.Obj
+         [ ("p50", Json.Number s.p50_ms);
+           ("p99", Json.Number s.p99_ms);
+           ("max", Json.Number s.max_ms) ]);
+      ("wall_s", Json.Number s.wall_s);
+      ("throughput_rps", Json.Number s.throughput_rps);
+      ("server",
+       Json.Obj
+         [ ("counters",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.Number (float_of_int v)))
+                 s.server_counters)) ]) ]
+
+let run cfg =
+  if cfg.requests <= 0 then invalid_arg "Loadgen.run: requests must be > 0";
+  if cfg.clients <= 0 then invalid_arg "Loadgen.run: clients must be > 0";
+  let root = Po_prng.Splitmix.of_int cfg.seed in
+  let per_client =
+    Array.init cfg.clients (fun i ->
+        let base = cfg.requests / cfg.clients in
+        (base + (if i < cfg.requests mod cfg.clients then 1 else 0),
+         Po_prng.Splitmix.split root))
+  in
+  let tallies =
+    Array.map
+      (fun (count, _) ->
+        { c_sent = 0; c_ok = 0; c_errors = 0; c_protocol = 0; c_diag = None;
+          latencies_ms = Array.make (max 1 count) 0. })
+      per_client
+  in
+  let t_start = Clock.now_s () in
+  let threads =
+    Array.mapi
+      (fun i (count, rng) ->
+        Thread.create (fun () -> client_run cfg rng count tallies.(i)) ())
+      per_client
+  in
+  Array.iter Thread.join threads;
+  let wall_s = Clock.now_s () -. t_start in
+  let sent = Array.fold_left (fun a t -> a + t.c_sent) 0 tallies in
+  let ok = Array.fold_left (fun a t -> a + t.c_ok) 0 tallies in
+  let errors = Array.fold_left (fun a t -> a + t.c_errors) 0 tallies in
+  let protocol_errors =
+    Array.fold_left (fun a t -> a + t.c_protocol) 0 tallies
+  in
+  let latencies =
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i t -> Array.sub t.latencies_ms 0 (fst per_client.(i)))
+            tallies))
+  in
+  let answered =
+    Array.of_list (List.filter (fun l -> l > 0.) (Array.to_list latencies))
+  in
+  Array.sort Float.compare answered;
+  let first_protocol_error =
+    Array.fold_left
+      (fun acc t -> if acc = None then t.c_diag else acc)
+      None tallies
+  in
+  let s =
+    { sent; ok; errors; protocol_errors; first_protocol_error;
+      p50_ms = percentile answered 50.;
+      p99_ms = percentile answered 99.;
+      max_ms = (if Array.length answered = 0 then 0.
+                else answered.(Array.length answered - 1));
+      wall_s;
+      throughput_rps =
+        (if wall_s > 0. then float_of_int sent /. wall_s else 0.);
+      server_counters = fetch_server_counters cfg }
+  in
+  (match cfg.out_path with
+  | None -> ()
+  | Some path ->
+      Po_report.Writer.write_atomic ~path
+        (Json.to_string ~indent:2 (summary_json cfg s)));
+  s

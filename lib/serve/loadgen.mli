@@ -1,0 +1,52 @@
+(** Deterministic, seeded load generator for the serve daemon — the
+    client half of the serving bench tier (DESIGN.md §14).
+
+    The request stream is a pure function of [seed]: one splitmix
+    stream per client, a fixed pool of [scenarios] distinct markets,
+    and a fixed query mix.  Repeats within the pool exercise the
+    daemon's solve cache.  Latencies and throughput are wall-clock
+    measurements (through [Po_obs.Clock]) — products of the run, never
+    inputs to it. *)
+
+type config = {
+  socket_path : string;
+  requests : int;  (** total requests, spread across clients *)
+  clients : int;  (** concurrent connections *)
+  seed : int;
+  scenarios : int;  (** distinct scenario pool size *)
+  deadline_s : float option;  (** attached to every solve request *)
+  out_path : string option;
+      (** when set, the [po-serve-v1] report is written there through
+          [Po_report.Writer] *)
+}
+
+val default_config : config
+(** 200 requests over 4 clients, seed 42, 8 scenarios, 30 s deadlines,
+    no report file. *)
+
+type summary = {
+  sent : int;
+  ok : int;
+  errors : int;
+      (** structured error responses — protocol-valid, distinct from
+          [protocol_errors] *)
+  protocol_errors : int;  (** unparsable replies or early EOF *)
+  first_protocol_error : string option;
+      (** diagnostic message of the first protocol failure, if any *)
+  p50_ms : float;  (** nearest-rank percentiles over answered requests *)
+  p99_ms : float;
+  max_ms : float;
+  wall_s : float;
+  throughput_rps : float;
+  server_counters : (string * int) list;
+      (** the daemon's counters fetched with a final [stats] query
+          (empty if that query failed) *)
+}
+
+val summary_json : config -> summary -> Po_obs.Json.t
+(** The [po-serve-v1] report body. *)
+
+val run : config -> summary
+(** Run the configured load against a listening daemon.  Raises
+    [Invalid_argument] for non-positive [requests]/[clients] and
+    [Unix.Unix_error] if the initial connections fail. *)

@@ -1,0 +1,381 @@
+(* Wire protocol of the scenario-query daemon (DESIGN.md §14).
+
+   Requests and responses travel as one JSON document per line over a
+   Unix-domain socket, encoded with the dependency-free [Po_obs.Json]
+   codec.  This module holds the typed request/response vocabulary and
+   its codecs; it is deliberately free of any I/O so the daemon, the
+   one-shot CLI ([ponet query]) and the tests all round-trip the exact
+   same values.
+
+   Parsing is strict: unknown query names, wrongly typed fields,
+   out-of-range values and unrecognised parameter keys are all rejected
+   with a typed [invalid_request] error.  Strictness protects the
+   cache-key contract — a field the server silently ignored could alias
+   two scenarios under one cache entry. *)
+
+module Json = Po_obs.Json
+
+type scenario = { n_cps : int; seed : int; nu_frac : float }
+
+type query =
+  | Ping
+  | Stats
+  | Equilibrium of scenario
+  | Surplus of scenario
+  | Regimes of { sc : scenario; po_share : float; levels : int; points : int }
+  | Welfare of { sc : scenario; po_share : float; levels : int; points : int }
+  | Fig_point of { fig : string; n_cps : int; seed : int; sweep_points : int }
+
+type t = { query : query; deadline_s : float option }
+
+type error = {
+  code : string;
+  message : string;
+  context : (string * string) list;
+}
+
+type response = (Json.t, error) result
+
+(* ------------------------------------------------------------------ *)
+(* Defaults: the same values the one-shot CLI uses, so an empty        *)
+(* "params" object over the wire answers exactly like `ponet regimes`. *)
+(* ------------------------------------------------------------------ *)
+
+let default_scenario =
+  { n_cps = Po_experiments.Common.default_params.Po_experiments.Common.n_cps;
+    seed = Po_experiments.Common.default_params.Po_experiments.Common.seed;
+    nu_frac = 0.85 }
+
+let default_po_share = 0.5
+let default_levels = 2
+let default_points = 9
+
+let query_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Equilibrium _ -> "equilibrium"
+  | Surplus _ -> "surplus"
+  | Regimes _ -> "regimes"
+  | Welfare _ -> "welfare"
+  | Fig_point _ -> "fig_point"
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let error ?(context = []) code message = { code; message; context }
+
+let invalid_request ?context message =
+  error ?context "invalid_request" message
+
+let overloaded ~queue_depth ~capacity =
+  error "overloaded"
+    (Printf.sprintf
+       "admission queue full (%d/%d); retry later or raise --queue"
+       queue_depth capacity)
+
+let shutting_down = error "overloaded" "server is shutting down"
+
+let kind_code (kind : Po_guard.Po_error.kind) =
+  match kind with
+  | Po_guard.Po_error.No_bracket _ -> "no_bracket"
+  | Po_guard.Po_error.Non_convergence _ -> "non_convergence"
+  | Po_guard.Po_error.Invalid_scenario _ -> "invalid_scenario"
+  | Po_guard.Po_error.Worker_crash _ -> "worker_crash"
+  | Po_guard.Po_error.Io_failure _ -> "io_failure"
+  | Po_guard.Po_error.Deadline_exceeded _ -> "deadline_exceeded"
+  | Po_guard.Po_error.Chunk_timeout _ -> "chunk_timeout"
+  | Po_guard.Po_error.Cancelled _ -> "cancelled"
+
+let error_of_po (e : Po_guard.Po_error.t) =
+  { code = kind_code e.Po_guard.Po_error.kind;
+    message = Po_guard.Po_error.kind_to_string e.Po_guard.Po_error.kind;
+    context = e.Po_guard.Po_error.context }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let f17 v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let scenario_fields sc =
+  [ ("n_cps", Json.Number (float_of_int sc.n_cps));
+    ("seed", Json.Number (float_of_int sc.seed));
+    ("nu_frac", Json.Number sc.nu_frac) ]
+
+let game_fields po_share levels points =
+  [ ("po_share", Json.Number po_share);
+    ("levels", Json.Number (float_of_int levels));
+    ("points", Json.Number (float_of_int points)) ]
+
+let params_json = function
+  | Ping | Stats -> None
+  | Equilibrium sc | Surplus sc -> Some (Json.Obj (scenario_fields sc))
+  | Regimes { sc; po_share; levels; points }
+  | Welfare { sc; po_share; levels; points } ->
+      Some (Json.Obj (scenario_fields sc @ game_fields po_share levels points))
+  | Fig_point { fig; n_cps; seed; sweep_points } ->
+      Some
+        (Json.Obj
+           [ ("fig", Json.String fig);
+             ("n_cps", Json.Number (float_of_int n_cps));
+             ("seed", Json.Number (float_of_int seed));
+             ("sweep_points", Json.Number (float_of_int sweep_points)) ])
+
+let to_json { query; deadline_s } =
+  Json.Obj
+    (("query", Json.String (query_name query))
+     ::
+     (match params_json query with
+     | None -> []
+     | Some p -> [ ("params", p) ])
+    @
+    match deadline_s with
+    | None -> []
+    | Some d -> [ ("deadline_s", Json.Number d) ])
+
+let error_to_json e =
+  Json.Obj
+    [ ("code", Json.String e.code); ("message", Json.String e.message);
+      ("context",
+       Json.List
+         (List.map
+            (fun (k, v) -> Json.List [ Json.String k; Json.String v ])
+            e.context)) ]
+
+let response_to_json = function
+  | Ok result -> Json.Obj [ ("ok", Json.Bool true); ("result", result) ]
+  | Error e -> Json.Obj [ ("ok", Json.Bool false); ("error", error_to_json e) ]
+
+let response_line r = Json.to_string ~indent:0 (response_to_json r)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* A tiny strict field reader: every consumed key is recorded, and
+   [finish] rejects any leftovers, so a misspelled or unsupported
+   parameter can never be silently ignored. *)
+let obj_fields name = function
+  | Json.Obj fields -> fields
+  | _ -> fail "%s must be a JSON object" name
+
+let reject_unknown ~where ~known fields =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k known) then
+        fail "unknown key %S in %s (known: %s)" k where
+          (String.concat ", " known))
+    fields
+
+let int_field ~where fields key ~default ~min ~max =
+  match List.assoc_opt key fields with
+  | None -> default
+  | Some (Json.Number v) when Float.is_integer v ->
+      let n = int_of_float v in
+      if n < min || n > max then
+        fail "%s.%s = %d outside [%d, %d]" where key n min max
+      else n
+  | Some _ -> fail "%s.%s must be an integer" where key
+
+let float_field ~where fields key ~default ~min_excl ~max_incl =
+  match List.assoc_opt key fields with
+  | None -> default
+  | Some (Json.Number v) ->
+      if not (Float.is_finite v) then
+        fail "%s.%s must be finite" where key
+      else if v <= min_excl || v > max_incl then
+        fail "%s.%s = %s outside (%s, %s]" where key (f17 v) (f17 min_excl)
+          (f17 max_incl)
+      else v
+  | Some _ -> fail "%s.%s must be a number" where key
+
+let string_field ~where fields key =
+  match List.assoc_opt key fields with
+  | Some (Json.String s) when s <> "" -> s
+  | Some _ -> fail "%s.%s must be a non-empty string" where key
+  | None -> fail "%s.%s is required" where key
+
+let scenario_of ~where fields =
+  { n_cps =
+      int_field ~where fields "n_cps" ~default:default_scenario.n_cps ~min:1
+        ~max:1_000_000;
+    seed =
+      int_field ~where fields "seed" ~default:default_scenario.seed
+        ~min:min_int ~max:max_int;
+    nu_frac =
+      float_field ~where fields "nu_frac" ~default:default_scenario.nu_frac
+        ~min_excl:0. ~max_incl:100. }
+
+let scenario_keys = [ "n_cps"; "seed"; "nu_frac" ]
+let game_keys = scenario_keys @ [ "po_share"; "levels"; "points" ]
+
+let game_of ~where fields =
+  let sc = scenario_of ~where fields in
+  let po_share =
+    float_field ~where fields "po_share" ~default:default_po_share
+      ~min_excl:0. ~max_incl:0.999
+  in
+  let levels = int_field ~where fields "levels" ~default:default_levels ~min:1 ~max:5 in
+  let points = int_field ~where fields "points" ~default:default_points ~min:2 ~max:129 in
+  (sc, po_share, levels, points)
+
+let query_of_json name params =
+  let where = "params" in
+  let fields =
+    match params with
+    | None -> []
+    | Some p -> obj_fields where p
+  in
+  match name with
+  | "ping" | "stats" ->
+      reject_unknown ~where ~known:[] fields;
+      if String.equal name "ping" then Ping else Stats
+  | "equilibrium" | "surplus" ->
+      reject_unknown ~where ~known:scenario_keys fields;
+      let sc = scenario_of ~where fields in
+      if String.equal name "equilibrium" then Equilibrium sc else Surplus sc
+  | "regimes" | "welfare" ->
+      reject_unknown ~where ~known:game_keys fields;
+      let sc, po_share, levels, points = game_of ~where fields in
+      if String.equal name "regimes" then
+        Regimes { sc; po_share; levels; points }
+      else Welfare { sc; po_share; levels; points }
+  | "fig_point" ->
+      reject_unknown ~where
+        ~known:[ "fig"; "n_cps"; "seed"; "sweep_points" ]
+        fields;
+      Fig_point
+        { fig = string_field ~where fields "fig";
+          n_cps =
+            int_field ~where fields "n_cps" ~default:default_scenario.n_cps
+              ~min:1 ~max:1_000_000;
+          seed =
+            int_field ~where fields "seed" ~default:default_scenario.seed
+              ~min:min_int ~max:max_int;
+          sweep_points =
+            int_field ~where fields "sweep_points" ~default:9 ~min:2 ~max:129 }
+  | other ->
+      fail
+        "unknown query %S (known: ping, stats, equilibrium, surplus, \
+         regimes, welfare, fig_point)"
+        other
+
+let of_json json =
+  match
+    match json with
+    | Json.Obj fields ->
+        reject_unknown ~where:"request"
+          ~known:[ "query"; "params"; "deadline_s" ]
+          fields;
+        let name =
+          match List.assoc_opt "query" fields with
+          | Some (Json.String s) -> s
+          | Some _ -> fail "request.query must be a string"
+          | None -> fail "request.query is required"
+        in
+        let deadline_s =
+          match List.assoc_opt "deadline_s" fields with
+          | None -> None
+          | Some (Json.Number v) when Float.is_finite v && v > 0. && v <= 86_400.
+            ->
+              Some v
+          | Some _ -> fail "request.deadline_s must be a number in (0, 86400]"
+        in
+        { query = query_of_json name (List.assoc_opt "params" fields);
+          deadline_s }
+    | _ -> fail "request must be a JSON object"
+  with
+  | t -> Ok t
+  | exception Bad msg -> Error (invalid_request msg)
+
+let of_line line =
+  match Json.of_string line with
+  | Error msg -> Error (invalid_request ("malformed JSON: " ^ msg))
+  | Ok json -> of_json json
+
+(* ------------------------------------------------------------------ *)
+(* Response parsing (for the load generator and the tests)            *)
+(* ------------------------------------------------------------------ *)
+
+let error_of_json json =
+  let str key =
+    match Json.member key json with
+    | Some (Json.String s) -> s
+    | _ -> fail "error.%s must be a string" key
+  in
+  let context =
+    match Json.member "context" json with
+    | Some (Json.List items) ->
+        List.map
+          (function
+            | Json.List [ Json.String k; Json.String v ] -> (k, v)
+            | _ -> fail "error.context entries must be [key, value] pairs")
+          items
+    | _ -> fail "error.context must be a list"
+  in
+  { code = str "code"; message = str "message"; context }
+
+let response_of_json json =
+  match
+    match Json.member "ok" json with
+    | Some (Json.Bool true) -> (
+        match Json.member "result" json with
+        | Some r -> Ok r
+        | None -> fail "ok response without result")
+    | Some (Json.Bool false) -> (
+        match Json.member "error" json with
+        | Some e -> Error (error_of_json e)
+        | None -> fail "error response without error")
+    | _ -> fail "response.ok must be a boolean"
+  with
+  | r -> Ok r
+  | exception Bad msg -> Error msg
+
+let response_of_line line =
+  match Json.of_string line with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok json -> response_of_json json
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The solve cache is keyed by the extended params hash
+   (Po_obs.Manifest.params_hash_kv): the query name plus every scenario
+   field, each under its own key name.  Deadlines are deliberately
+   excluded — they bound the computation, never its value.  Ping and
+   stats are uncacheable (stats reads live counters). *)
+let cache_key t =
+  let sc_kv sc =
+    [ ("n_cps", string_of_int sc.n_cps); ("seed", string_of_int sc.seed);
+      ("nu_frac", f17 sc.nu_frac) ]
+  in
+  let kv =
+    match t.query with
+    | Ping | Stats -> None
+    | Equilibrium sc -> Some (sc_kv sc)
+    | Surplus sc -> Some (sc_kv sc)
+    | Regimes { sc; po_share; levels; points }
+    | Welfare { sc; po_share; levels; points } ->
+        Some
+          (sc_kv sc
+          @ [ ("po_share", f17 po_share); ("levels", string_of_int levels);
+              ("points", string_of_int points) ])
+    | Fig_point { fig; n_cps; seed; sweep_points } ->
+        Some
+          [ ("fig", fig); ("n_cps", string_of_int n_cps);
+            ("seed", string_of_int seed);
+            ("sweep_points", string_of_int sweep_points) ]
+  in
+  Option.map
+    (fun kv ->
+      Po_obs.Manifest.params_hash_kv
+        (("query", query_name t.query) :: kv))
+    kv

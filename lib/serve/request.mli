@@ -1,0 +1,92 @@
+(** Wire protocol of the scenario-query daemon (DESIGN.md §14).
+
+    One JSON document per line in each direction, encoded with the
+    dependency-free {!Po_obs.Json} codec.  This module is pure — no
+    sockets, no clocks — so the daemon, the one-shot [ponet query] path
+    and the tests all share exactly the same request/response values and
+    bytes.
+
+    Parsing is {e strict}: unknown query names, wrongly typed or
+    out-of-range fields and unrecognised parameter keys are rejected
+    with an [invalid_request] error rather than ignored.  Strictness is
+    part of the cache-key contract — a field the server silently dropped
+    could alias two distinct scenarios under one cache entry. *)
+
+type scenario = { n_cps : int; seed : int; nu_frac : float }
+(** A market: [n_cps] CPs drawn from the paper ensemble at [seed], with
+    per-capita capacity [nu_frac] times the population's saturation
+    capacity. *)
+
+type query =
+  | Ping  (** liveness probe; answers [{"pong": true}] *)
+  | Stats  (** server metrics counters (uncacheable) *)
+  | Equilibrium of scenario  (** rate equilibrium of the market *)
+  | Surplus of scenario  (** consumer surplus at the equilibrium *)
+  | Regimes of { sc : scenario; po_share : float; levels : int; points : int }
+      (** the paper's headline regime comparison: unregulated monopoly
+          vs network-neutral regulation vs public option *)
+  | Welfare of { sc : scenario; po_share : float; levels : int; points : int }
+      (** three-party welfare decomposition per regime *)
+  | Fig_point of { fig : string; n_cps : int; seed : int; sweep_points : int }
+      (** evaluate a registered figure at the given scale and return its
+          panels as JSON series *)
+
+type t = { query : query; deadline_s : float option }
+(** A request envelope: the query plus an optional per-request deadline
+    in seconds, enforced by the server through a [Po_sup.Budget]. *)
+
+type error = {
+  code : string;
+      (** ["invalid_request"], ["overloaded"], ["internal_error"], or a
+          [Po_guard.Po_error] kind slug (["deadline_exceeded"],
+          ["non_convergence"], ...) *)
+  message : string;
+  context : (string * string) list;
+      (** the typed error's context frames, outermost first *)
+}
+
+type response = (Po_obs.Json.t, error) result
+
+val default_scenario : scenario
+(** The one-shot CLI defaults (paper scale, [nu_frac = 0.85]), used for
+    omitted request fields so an empty params object answers exactly
+    like [ponet regimes]. *)
+
+val default_po_share : float
+val default_levels : int
+val default_points : int
+
+val query_name : query -> string
+
+val to_json : t -> Po_obs.Json.t
+val of_json : Po_obs.Json.t -> (t, error) result
+val of_line : string -> (t, error) result
+(** Parse one wire line (JSON text). *)
+
+val response_to_json : response -> Po_obs.Json.t
+val response_of_json : Po_obs.Json.t -> (response, string) result
+val response_of_line : string -> (response, string) result
+val response_line : response -> string
+(** The exact bytes written to the socket (compact JSON, no newline). *)
+
+val error : ?context:(string * string) list -> string -> string -> error
+(** [error code message]. *)
+
+val invalid_request : ?context:(string * string) list -> string -> error
+val overloaded : queue_depth:int -> capacity:int -> error
+val shutting_down : error
+
+val error_of_po : Po_guard.Po_error.t -> error
+(** Map a typed solver/supervision error to a structured wire error:
+    the kind becomes the [code] slug, the context frames travel
+    verbatim. *)
+
+val f17 : float -> string
+(** Canonical float rendering shared with the JSON printer (shortest
+    round-tripping form); used for cache-key fields. *)
+
+val cache_key : t -> string option
+(** The solve-cache key: {!Po_obs.Manifest.params_hash_kv} over the
+    query name and every scenario field.  [None] for uncacheable
+    queries (ping, stats).  Deadlines are excluded — they bound the
+    computation, never its value. *)

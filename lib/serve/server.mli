@@ -1,0 +1,67 @@
+(** The long-lived scenario-query daemon (DESIGN.md §14).
+
+    Listens on a Unix-domain socket for newline-delimited JSON requests
+    ({!Request}), admits them to a bounded queue, batches them onto a
+    domain pool through the shared {!Engine}, and answers repeats from
+    an LRU cache whose hits are byte-identical to the cold solve.
+    Every failure mode — malformed request, oversized payload, expired
+    deadline, queue overflow, solver non-convergence — is a structured
+    JSON error response, never a dropped connection. *)
+
+type config = {
+  socket_path : string;
+  domains : int;  (** solver parallelism of the batch pool *)
+  queue_capacity : int;
+      (** admission bound: requests beyond it are shed with a typed
+          [overloaded] response *)
+  batch_max : int;  (** maximum jobs drained per dispatch round *)
+  cache_capacity : int;  (** LRU entries; [<= 0] disables the cache *)
+  default_deadline_s : float option;
+      (** budget for requests that carry no [deadline_s] of their own;
+          [None] leaves them unbounded *)
+  max_request_bytes : int;
+      (** request lines beyond this answer [invalid_request] and close
+          (framing is lost past the bound) *)
+  access_log : string option;
+      (** when set, one compact JSON line per request is appended there
+          through [Po_report.Writer] *)
+  snapshot_path : string option;
+      (** when set, a [po-serve-metrics-v1] document (metrics snapshot
+          plus run manifest) is exported there on shutdown *)
+  hold_s : float;
+      (** test hook: dispatcher pause before each batch, letting tests
+          and CI fill the admission queue deterministically; [0.] in
+          production *)
+}
+
+val default_config : config
+(** [ponet serve]'s defaults: socket ["ponet.sock"], 2 domains, queue
+    of 64, batches of 16, 256 cache entries, 30 s default deadline,
+    64 KiB request bound, no access log, no snapshot, no hold. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket (replacing a stale file at that path), spawn the
+    listener and dispatcher threads, arm metrics, and return
+    immediately.  Raises [Unix.Unix_error] if the socket cannot be
+    bound. *)
+
+val socket_path : t -> string
+
+val request_stop : t -> unit
+(** Flip the stop flag (async-signal-safe — this is all the daemon's
+    signal handlers do).  The listener notices within 100 ms; call
+    {!stop} (or let {!run} do it) to complete the drain. *)
+
+val stop : t -> unit
+(** Graceful shutdown, idempotent: stop accepting connections and
+    requests, drain every admitted job through the dispatcher (each one
+    gets its response), unblock idle connections, export the metrics
+    snapshot if configured, shut the pool down and remove the socket
+    file. *)
+
+val run : config -> unit
+(** [start], then block until SIGTERM / SIGINT (or {!request_stop} from
+    another thread) and {!stop}.  The foreground mode behind
+    [ponet serve]. *)

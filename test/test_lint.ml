@@ -111,6 +111,13 @@ let test_r4 () =
     (lint ~file:"lib/core/fixture.ml" {|let f () = Format.printf "x"|});
   check_rules "Printf.sprintf is pure, fine" []
     (lint ~file:"lib/core/fixture.ml" {|let f () = Printf.sprintf "x"|});
+  (* The daemon layer is NOT an output layer: its access log must go
+     through Po_report.Writer, so raw console output in lib/serve is a
+     violation like anywhere else in lib/. *)
+  check_rules "print in the serve daemon layer" [ "R4" ]
+    (lint ~file:"lib/serve/fixture.ml" {|let f () = print_endline "access"|});
+  check_rules "eprintf in the serve daemon layer" [ "R4" ]
+    (lint ~file:"lib/serve/fixture.ml" {|let f () = Printf.eprintf "x"|});
   check_rules "printing from bin/ is fine" []
     (lint ~file:"bin/fixture.ml" {|let f () = print_string "x"|});
   check_rules "lib/report is the output layer, exempt" []
