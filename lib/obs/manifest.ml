@@ -26,22 +26,25 @@ let fnv1a s =
   (* Mask to 62 bits so the rendering is identical on any boxing. *)
   Printf.sprintf "%016x" (!h land 0x3fffffffffffffff)
 
-(* Canonical key/value form of the hash.  Pairs are sorted by key so
-   callers cannot perturb the digest by argument order, and the key
-   names participate in the hashed string, so two scenarios that differ
-   only in a field one of them omits ("kappa" present vs absent) can
-   never canonicalise to the same bytes.  Duplicate keys are ambiguous
-   and rejected.  The serve cache (DESIGN.md §14) keys solve results on
-   this digest, so the canonical form is load-bearing: extend it by
-   adding pairs, never by changing the rendering of existing ones. *)
-let params_hash_kv kv =
+(* Canonical key/value form.  Pairs are sorted by key so callers cannot
+   perturb the rendering by argument order, and the key names
+   participate in the string, so two scenarios that differ only in a
+   field one of them omits ("kappa" present vs absent) can never
+   canonicalise to the same bytes.  Duplicate keys are ambiguous and
+   rejected.  The serve cache (DESIGN.md §14) keys solve results on
+   this exact string (the digest is only a fingerprint — FNV-1a
+   collisions are constructible, so it must never stand in for the
+   parameters themselves), so the canonical form is load-bearing:
+   extend it by adding pairs, never by changing the rendering of
+   existing ones. *)
+let params_canonical kv =
   let kv =
     List.sort (fun (a, _) (b, _) -> String.compare a b) kv
   in
   let rec check_dups = function
     | (a, _) :: ((b, _) :: _ as tl) ->
         if String.equal a b then
-          invalid_arg ("Manifest.params_hash_kv: duplicate key " ^ a)
+          invalid_arg ("Manifest.params_canonical: duplicate key " ^ a)
         else check_dups tl
     | _ -> ()
   in
@@ -49,9 +52,12 @@ let params_hash_kv kv =
   List.iter
     (fun (k, _) ->
       if String.contains k ';' || String.contains k '=' then
-        invalid_arg ("Manifest.params_hash_kv: key contains ';' or '=': " ^ k))
+        invalid_arg
+          ("Manifest.params_canonical: key contains ';' or '=': " ^ k))
     kv;
-  fnv1a (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) kv))
+  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) kv)
+
+let params_hash_kv kv = fnv1a (params_canonical kv)
 
 (* The original three-field arity, kept as a thin wrapper.  The sorted
    canonical form of these keys reproduces the historical rendering

@@ -11,16 +11,22 @@ type t = {
   warnings : int;  (** {!Po_guard.Warnings.count} at export time *)
 }
 
+val params_canonical : (string * string) list -> string
+(** Canonical rendering of an arbitrary parameter set given as
+    key/value pairs: sorted by key, joined as ["k=v;k=v;..."], so the
+    result is independent of argument order and two scenarios that
+    differ only in a field one of them omits (a regime id, [kappa], a
+    weight profile) can never canonicalise to the same bytes.  Keys
+    must be unique and free of [';']/['=']; violations raise
+    [Invalid_argument].  This string — not its digest — is the
+    cache-key primitive of the serve subsystem (DESIGN.md §14): the
+    FNV-1a fingerprint below is not collision-free, so only the full
+    canonical form may stand in for the parameters. *)
+
 val params_hash_kv : (string * string) list -> string
-(** Stable (FNV-1a) hash of an arbitrary parameter set given as
-    key/value pairs.  The canonical form sorts pairs by key and hashes
-    ["k=v;k=v;..."], so the digest is independent of argument order and
-    two scenarios that differ only in a field one of them omits (a
-    regime id, [kappa], a weight profile) can never collide by
-    canonicalising to the same bytes.  Keys must be unique and free of
-    [';']/['=']; violations raise [Invalid_argument].  This is the
-    cache-key primitive of the serve subsystem (DESIGN.md §14) as well
-    as the manifest fingerprint. *)
+(** Stable (FNV-1a) fingerprint of {!params_canonical} — compact
+    provenance for manifests and result files, where an accidental
+    collision is detectable, not a correctness hazard. *)
 
 val params_hash : n_cps:int -> seed:int -> sweep_points:int -> string
 (** The original three-field arity, now a thin wrapper over

@@ -1,5 +1,8 @@
-(* A mutex-protected LRU map from cache keys (extended params hashes,
-   see Po_obs.Manifest.params_hash_kv) to rendered response lines.
+(* A mutex-protected LRU map from cache keys (canonical parameter
+   strings, see Po_obs.Manifest.params_canonical) to rendered response
+   lines.  The hashtable hashes the key string for bucketing and
+   compares the full string on probe, so two distinct parameter sets
+   can never alias one entry.
 
    Values are the exact bytes the daemon writes to the socket, so a hit
    is byte-identical to the cold solve that populated it — the

@@ -1,6 +1,7 @@
 (** The daemon's solve cache: a mutex-protected LRU map from cache keys
-    ({!Po_obs.Manifest.params_hash_kv} digests) to rendered response
-    lines (DESIGN.md §14).
+    ({!Po_obs.Manifest.params_canonical} strings — full parameter
+    renderings, never digests) to rendered response lines
+    (DESIGN.md §14).
 
     Values are the exact bytes written to the socket, so a hit is
     byte-identical to the cold solve that populated the entry.  All

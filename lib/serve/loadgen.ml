@@ -195,6 +195,10 @@ let summary_json cfg s =
 let run cfg =
   if cfg.requests <= 0 then invalid_arg "Loadgen.run: requests must be > 0";
   if cfg.clients <= 0 then invalid_arg "Loadgen.run: clients must be > 0";
+  (* A daemon shutting down mid-run closes our socket; the next write
+     must surface as EPIPE (counted as a protocol failure by
+     [client_run]), not as a process-killing SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let root = Po_prng.Splitmix.of_int cfg.seed in
   let per_client =
     Array.init cfg.clients (fun i ->

@@ -174,14 +174,25 @@ let reject_unknown ~where ~known fields =
           (String.concat ", " known))
     fields
 
+(* Integers travel as JSON numbers, i.e. floats.  Beyond 2^53 a float
+   no longer represents every integer and [int_of_float] is unspecified
+   outside the [int] range, so acceptance is bounded to the float-exact
+   window first — an integral 1e300 must be a typed rejection, not an
+   arbitrary seed. *)
+let float_exact = 9007199254740992.  (* 2^53 *)
+
 let int_field ~where fields key ~default ~min ~max =
   match List.assoc_opt key fields with
   | None -> default
-  | Some (Json.Number v) when Float.is_integer v ->
+  | Some (Json.Number v)
+    when Float.is_integer v && Float.abs v <= float_exact ->
       let n = int_of_float v in
       if n < min || n > max then
         fail "%s.%s = %d outside [%d, %d]" where key n min max
       else n
+  | Some (Json.Number v) when Float.is_integer v ->
+      fail "%s.%s = %s outside the exact integer range [-2^53, 2^53]" where
+        key (f17 v)
   | Some _ -> fail "%s.%s must be an integer" where key
 
 let float_field ~where fields key ~default ~min_excl ~max_incl =
@@ -347,9 +358,13 @@ let response_of_line line =
 (* Cache keys                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* The solve cache is keyed by the extended params hash
-   (Po_obs.Manifest.params_hash_kv): the query name plus every scenario
-   field, each under its own key name.  Deadlines are deliberately
+(* The solve cache is keyed by the canonical parameter string
+   (Po_obs.Manifest.params_canonical): the query name plus every
+   scenario field, each under its own key name.  The full string — not
+   its FNV-1a digest — is the key: the digest is not collision-free,
+   and a digest collision would silently replay the wrong scenario's
+   bytes.  The hashtable hashes the string for bucketing and compares
+   it on probe, so aliasing is impossible.  Deadlines are deliberately
    excluded — they bound the computation, never its value.  Ping and
    stats are uncacheable (stats reads live counters). *)
 let cache_key t =
@@ -376,6 +391,6 @@ let cache_key t =
   in
   Option.map
     (fun kv ->
-      Po_obs.Manifest.params_hash_kv
+      Po_obs.Manifest.params_canonical
         (("query", query_name t.query) :: kv))
     kv

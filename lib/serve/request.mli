@@ -86,7 +86,8 @@ val f17 : float -> string
     round-tripping form); used for cache-key fields. *)
 
 val cache_key : t -> string option
-(** The solve-cache key: {!Po_obs.Manifest.params_hash_kv} over the
-    query name and every scenario field.  [None] for uncacheable
-    queries (ping, stats).  Deadlines are excluded — they bound the
-    computation, never its value. *)
+(** The solve-cache key: {!Po_obs.Manifest.params_canonical} over the
+    query name and every scenario field — the full canonical string,
+    not its digest, so distinct scenarios can never alias one cache
+    entry.  [None] for uncacheable queries (ping, stats).  Deadlines
+    are excluded — they bound the computation, never its value. *)

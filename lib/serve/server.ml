@@ -70,6 +70,17 @@ type job = {
   mutable reply : string option;  (* rendered response line *)
 }
 
+(* One live connection.  [closed] and list membership are guarded by
+   [conns_m]: the connection thread closes its own fd and removes its
+   entry when the peer goes away, and [stop] shuts down whatever is
+   still registered — the flag keeps the two from ever touching a
+   descriptor number the kernel may have reassigned. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  mutable c_th : Thread.t option;  (* set right after spawn *)
+  mutable c_closed : bool;
+}
+
 type t = {
   cfg : config;
   lsock : Unix.file_descr;
@@ -79,11 +90,12 @@ type t = {
   qm : Mutex.t;
   qc : Condition.t;
   mutable accepting : bool;  (* guarded by [qm] *)
+  mutable queue_peak : int;  (* guarded by [qm]; feeds the peak gauge *)
   stop_flag : bool Atomic.t;
   mutable listener : Thread.t option;
   mutable dispatcher : Thread.t option;
   conns_m : Mutex.t;
-  mutable conns : (Unix.file_descr * Thread.t) list;
+  mutable conns : conn list;
   log_m : Mutex.t;  (* serialises access-log appenders *)
   started_s : float;
   mutable stopped : bool;
@@ -118,7 +130,13 @@ let submit t job =
         end
         else begin
           Queue.push job t.queue;
-          Metrics.set m_queue_depth (float_of_int (depth + 1));
+          (* The gauge is a running peak: only a new maximum moves it,
+             so a later shallow admission can't overwrite the high-water
+             mark. *)
+          if depth + 1 > t.queue_peak then begin
+            t.queue_peak <- depth + 1;
+            Metrics.set m_queue_depth (float_of_int t.queue_peak)
+          end;
           Condition.signal t.qc;
           Ok ()
         end)
@@ -257,7 +275,20 @@ let handle t (req : Request.t) =
       line
   | Ok () -> await job
 
-let conn_loop t fd =
+(* Close the connection's fd and drop it from the registry.  Safe to
+   race with [stop]: both sides take [conns_m] and test [c_closed], so
+   the fd is closed exactly once and never shut down after a close
+   could have let the kernel reuse its number. *)
+let deregister t c =
+  Mutex.protect t.conns_m (fun () ->
+      if not c.c_closed then begin
+        c.c_closed <- true;
+        try Unix.close c.c_fd with Unix.Unix_error (_, _, _) -> ()
+      end;
+      t.conns <- List.filter (fun c' -> c' != c) t.conns)
+
+let conn_loop t c =
+  let fd = c.c_fd in
   let reader = Lineio.reader fd in
   let rec loop () =
     match Lineio.read_line ~max_bytes:t.cfg.max_request_bytes reader with
@@ -289,7 +320,7 @@ let conn_loop t fd =
         | exception Unix.Unix_error (_, _, _) -> ())
   in
   loop ();
-  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+  deregister t c
 
 (* ------------------------------------------------------------------ *)
 (* Listener                                                           *)
@@ -303,9 +334,12 @@ let rec listen_loop t =
         match Unix.accept t.lsock with
         | fd, _ ->
             Metrics.incr m_connections;
-            let th = Thread.create (fun () -> conn_loop t fd) () in
-            Mutex.protect t.conns_m (fun () ->
-                t.conns <- (fd, th) :: t.conns)
+            (* Register before spawning, so the connection thread's
+               [deregister] always finds its own entry. *)
+            let c = { c_fd = fd; c_th = None; c_closed = false } in
+            Mutex.protect t.conns_m (fun () -> t.conns <- c :: t.conns);
+            let th = Thread.create (fun () -> conn_loop t c) () in
+            Mutex.protect t.conns_m (fun () -> c.c_th <- Some th)
         | exception Unix.Unix_error (_, _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     listen_loop t
@@ -316,6 +350,12 @@ let rec listen_loop t =
 (* ------------------------------------------------------------------ *)
 
 let start cfg =
+  (* A peer that closes its socket before reading the response would
+     otherwise deliver SIGPIPE on our next write, whose default
+     disposition kills the whole daemon — ignoring it turns those
+     writes into EPIPE, which every write site already catches as
+     [Unix.Unix_error]. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Metrics.arm ();
   Po_report.Writer.mkdir_p (Filename.dirname cfg.socket_path);
   Po_report.Writer.remove_if_exists cfg.socket_path;
@@ -326,7 +366,8 @@ let start cfg =
     { cfg; lsock; pool = Po_par.Pool.create ~domains:cfg.domains ();
       cache = Cache.create ~capacity:cfg.cache_capacity;
       queue = Queue.create (); qm = Mutex.create (); qc = Condition.create ();
-      accepting = true; stop_flag = Atomic.make false; listener = None;
+      accepting = true; queue_peak = 0; stop_flag = Atomic.make false;
+      listener = None;
       dispatcher = None; conns_m = Mutex.create (); conns = [];
       log_m = Mutex.create (); started_s = Clock.now_s (); stopped = false }
   in
@@ -375,14 +416,23 @@ let stop t =
         Condition.broadcast t.qc);
     (match t.dispatcher with Some th -> Thread.join th | None -> ());
     (* Every admitted job has been answered; unblock connection threads
-       still parked in [read_line] and collect them. *)
-    let conns = Mutex.protect t.conns_m (fun () -> t.conns) in
+       still parked in [read_line] and collect them.  Shutdown happens
+       under [conns_m] and only on entries not yet closed, so a thread
+       that deregistered concurrently can't leave us poking a
+       descriptor number the kernel already reassigned. *)
+    let conns =
+      Mutex.protect t.conns_m (fun () ->
+          List.iter
+            (fun c ->
+              if not c.c_closed then
+                try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
+                with Unix.Unix_error (_, _, _) -> ())
+            t.conns;
+          t.conns)
+    in
     List.iter
-      (fun (fd, _) ->
-        try Unix.shutdown fd Unix.SHUTDOWN_ALL
-        with Unix.Unix_error (_, _, _) -> ())
+      (fun c -> match c.c_th with Some th -> Thread.join th | None -> ())
       conns;
-    List.iter (fun (_, th) -> Thread.join th) conns;
     (try Unix.close t.lsock with Unix.Unix_error (_, _, _) -> ());
     export_snapshot t;
     Po_par.Pool.shutdown t.pool;

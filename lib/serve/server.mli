@@ -44,8 +44,10 @@ type t
 val start : config -> t
 (** Bind the socket (replacing a stale file at that path), spawn the
     listener and dispatcher threads, arm metrics, and return
-    immediately.  Raises [Unix.Unix_error] if the socket cannot be
-    bound. *)
+    immediately.  Installs [Signal_ignore] for SIGPIPE process-wide so
+    a peer that disconnects before reading its response surfaces as
+    EPIPE on the write, not as a fatal signal.  Raises
+    [Unix.Unix_error] if the socket cannot be bound. *)
 
 val socket_path : t -> string
 

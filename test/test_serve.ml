@@ -89,6 +89,13 @@ let test_request_strictness () =
   check_invalid "levels out of range"
     {|{"query":"regimes","params":{"levels":6}}|};
   check_invalid "negative deadline" {|{"query":"ping","deadline_s":-1}|};
+  (* Integral floats beyond 2^53 are not exact integers: int_of_float
+     is unspecified there, so they must be typed rejections rather
+     than silently becoming an arbitrary seed. *)
+  check_invalid "seed beyond the float-exact range"
+    {|{"query":"equilibrium","params":{"seed":1e300}}|};
+  check_invalid "seed just past 2^53"
+    {|{"query":"equilibrium","params":{"seed":9007199254740994}}|};
   check_invalid "fig without id" {|{"query":"fig_point"}|}
 
 let test_response_roundtrip () =
@@ -151,6 +158,12 @@ let test_params_hash_kv_rejects () =
     (raises [ ("a;b", "1") ]);
   Alcotest.(check bool) "equals in key raises" true (raises [ ("a=b", "1") ])
 
+let test_params_canonical () =
+  Alcotest.(check string) "sorted k=v; rendering, independent of order"
+    "a=1;b=2;kappa=3"
+    (Po_obs.Manifest.params_canonical
+       [ ("kappa", "3"); ("a", "1"); ("b", "2") ])
+
 let test_cache_key_contract () =
   let t q = { Request.query = q; deadline_s = None } in
   let regimes_q =
@@ -160,6 +173,15 @@ let test_cache_key_contract () =
     Request.Welfare { sc = sc (); po_share = 0.5; levels = 2; points = 9 }
   in
   let regimes_key = Request.cache_key (t regimes_q) in
+  (* The key must be the canonical parameter string itself, not a
+     digest of it: a digest collision would silently replay the wrong
+     scenario's cached bytes. *)
+  (match regimes_key with
+  | Some k ->
+      Alcotest.(check bool)
+        "key is the canonical k=v string, not a digest" true
+        (String.contains k '=' && String.contains k ';')
+  | None -> Alcotest.fail "regimes query must be cacheable");
   Alcotest.(check bool) "regimes and welfare never alias" false
     (regimes_key = Request.cache_key (t welfare_q));
   Alcotest.(check bool) "deadline excluded from the key" true
@@ -528,6 +550,7 @@ let () =
           quick "order independence" test_params_hash_kv_order_independent;
           quick "extension changes digest" test_params_hash_kv_extends;
           quick "invalid keys rejected" test_params_hash_kv_rejects;
+          quick "canonical rendering" test_params_canonical;
           quick "cache-key contract" test_cache_key_contract ] );
       ( "cache",
         [ quick "lru eviction" test_cache_lru_eviction;
